@@ -1,0 +1,161 @@
+// Command vmsim replays a paper-style workload against the executable
+// engine and reports measured cost per query next to the analytic
+// model's prediction, for all three maintenance strategies:
+//
+//	vmsim -model 1 -n 5000 -k 20 -q 20 -l 10
+//	vmsim -model 2 -f 0.2 -fv 0.05
+//	vmsim -model 3 -agg sum -l 5
+//
+// "measured" is the whole-system average (including base-relation
+// update I/O); "scope" excludes the commit-write and fold phases and is
+// the number directly comparable to the model column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/core"
+	"viewmat/internal/costmodel"
+	"viewmat/internal/report"
+	"viewmat/internal/sim"
+	"viewmat/internal/storage"
+)
+
+func main() {
+	model := flag.Int("model", 1, "view model: 1 (select-project), 2 (join), 3 (aggregate)")
+	n := flag.Float64("n", 5000, "tuples in the base relation (N)")
+	k := flag.Float64("k", 20, "update transactions (k)")
+	q := flag.Float64("q", 20, "view queries (q)")
+	l := flag.Float64("l", 10, "tuples modified per transaction (l)")
+	f := flag.Float64("f", 0.1, "view predicate selectivity (f)")
+	fv := flag.Float64("fv", 0.1, "fraction of view retrieved per query (fv)")
+	fr2 := flag.Float64("fr2", 0.1, "|R2|/|R1| (fR2)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	skew := flag.Float64("skew", 0, "update-key Zipf skew (0 = uniform)")
+	aggName := flag.String("agg", "sum", "model-3 aggregate: count, sum, avg, min, max")
+	sweep := flag.String("sweep", "", "comma-separated P values: measure all strategies at each (engine-side Figure 1/5)")
+	verbose := flag.Bool("v", false, "print the per-phase cost breakdown for each strategy")
+	allStrategies := flag.Bool("all-strategies", false, "also measure snapshot and recompute-on-demand")
+	snapEvery := flag.Int("snapshot-every", 5, "snapshot refresh period in commits (with -all-strategies)")
+	flag.Parse()
+
+	p := costmodel.Default()
+	p.N, p.K, p.Q, p.L, p.F, p.FV, p.FR2 = *n, *k, *q, *l, *f, *fv, *fr2
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kind, err := parseAgg(*aggName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("model %d, N=%g k=%g q=%g l=%g f=%g fv=%g (P=%.2f, u=%g), seed %d\n\n",
+		*model, p.N, p.K, p.Q, p.L, p.F, p.FV, p.P(), p.U(), *seed)
+
+	if *sweep != "" {
+		ps, err := parseFloats(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		points, err := sim.SweepP(sim.Model(*model), p, ps, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fig := sim.MeasuredFigure("sweep", fmt.Sprintf("measured model-%d sweep", *model), "P", points)
+		fmt.Print(report.Render(fig))
+		return
+	}
+
+	rows := [][]string{}
+	var cmps []sim.Comparison
+	if *allStrategies {
+		cmps, err = sim.CompareAll(sim.Model(*model), p, *seed, *snapEvery)
+	} else {
+		cmps, err = compare(sim.Model(*model), p, *seed, kind, *skew)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, c := range cmps {
+		rows = append(rows, []string{
+			c.Strategy,
+			fmt.Sprintf("%.1f", c.Measured),
+			fmt.Sprintf("%.1f", c.ModelScope),
+			fmt.Sprintf("%.1f", c.Model),
+		})
+	}
+	fmt.Print(report.Table([]string{"strategy", "measured ms/query", "scope ms/query", "model ms/query"}, rows))
+	fmt.Println("\nscope = measured minus base-update phases (commit-write, fold); compare to model.")
+
+	if *verbose {
+		for _, st := range []core.Strategy{core.QueryModification, core.Immediate, core.Deferred} {
+			res, err := sim.Run(sim.Config{Model: sim.Model(*model), Strategy: st, Params: p, Seed: *seed, AggKind: kind})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			phases := map[string]storage.Stats{}
+			for ph, s := range res.Breakdown {
+				phases[string(ph)] = s
+			}
+			fmt.Printf("\n%s breakdown:\n", st)
+			fmt.Print(report.Breakdown(phases, p.C1, p.C2, p.C3))
+		}
+	}
+}
+
+func compare(model sim.Model, p costmodel.Params, seed int64, kind agg.Kind, skew float64) ([]sim.Comparison, error) {
+	out := make([]sim.Comparison, 0, 3)
+	for _, st := range []core.Strategy{core.QueryModification, core.Immediate, core.Deferred} {
+		res, err := sim.Run(sim.Config{Model: model, Strategy: st, Params: p, Seed: seed, AggKind: kind, Skew: skew})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sim.Comparison{
+			Strategy:   st.String(),
+			Measured:   res.AvgPerQuery,
+			ModelScope: res.ModelScopeAvg,
+			Model:      res.Model,
+		})
+	}
+	return out, nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseAgg(name string) (agg.Kind, error) {
+	switch name {
+	case "count":
+		return agg.Count, nil
+	case "sum":
+		return agg.Sum, nil
+	case "avg":
+		return agg.Avg, nil
+	case "min":
+		return agg.Min, nil
+	case "max":
+		return agg.Max, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate %q", name)
+	}
+}

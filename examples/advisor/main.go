@@ -1,0 +1,54 @@
+// Sweep the workload space with the advisor: for each view model,
+// print the recommended strategy as the update probability P grows —
+// the paper's conclusion ("highly application-dependent") rendered as
+// a table.
+package main
+
+import (
+	"fmt"
+
+	"viewmat"
+)
+
+func main() {
+	ps := []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+
+	models := []struct {
+		name string
+		kind viewmat.ViewKind
+	}{
+		{"select-project (Model 1)", viewmat.SelectProject},
+		{"two-way join   (Model 2)", viewmat.Join},
+		{"aggregate      (Model 3)", viewmat.Aggregate},
+	}
+
+	fmt.Printf("%-26s", "P:")
+	for _, pv := range ps {
+		fmt.Printf("%-12.2f", pv)
+	}
+	fmt.Println()
+	for _, m := range models {
+		fmt.Printf("%-26s", m.name)
+		for _, pv := range ps {
+			rec, err := viewmat.Advise(m.kind, viewmat.DefaultParams().WithP(pv))
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%-12s", rec.Best)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nsmall queries against a large join view (the EMP-DEPT case):")
+	p := viewmat.DefaultParams()
+	p.F, p.L, p.FV = 1, 1, 1/p.N
+	fmt.Printf("%-26s", "empdept profile")
+	for _, pv := range ps {
+		rec, err := viewmat.Advise(viewmat.Join, p.WithP(pv))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-12s", rec.Best)
+	}
+	fmt.Println()
+}

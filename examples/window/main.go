@@ -1,0 +1,101 @@
+// The paper's closing speculation (§4): view materialization's best
+// application may be a "window on a database" — a query result
+// displayed and kept current in real time. This program builds one: a
+// monitoring window over high-priority tickets, maintained deferred,
+// with an idle-time refresh (RefreshDeferredNow) so that reading the
+// window costs a plain scan of a small, already-current copy.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"viewmat"
+)
+
+func main() {
+	db := viewmat.Open(viewmat.Options{})
+
+	// tickets(priority, id, title), clustered on priority.
+	tickets := viewmat.NewSchema(
+		viewmat.Col("priority", viewmat.Int),
+		viewmat.Col("id", viewmat.Int),
+		viewmat.Col("title", viewmat.String),
+	)
+	if _, err := db.CreateRelationBTree("tickets", tickets, 0); err != nil {
+		panic(err)
+	}
+
+	// The window: priority ≤ 1 tickets (0 = page, 1 = urgent).
+	window := viewmat.Def{
+		Name:      "oncall_window",
+		Kind:      viewmat.SelectProject,
+		Relations: []string{"tickets"},
+		Pred:      viewmat.Where(viewmat.Cmp{Rel: 0, Col: 0, Op: viewmat.Le, Val: viewmat.I(1)}),
+		Project:   [][]int{{0, 1, 2}},
+	}
+	if err := db.CreateView(window, viewmat.Deferred); err != nil {
+		panic(err)
+	}
+
+	ids := map[int64]uint64{}
+	nextTicket := int64(100)
+	file := func(priority int64, title string) {
+		tx := db.Begin()
+		id, err := tx.Insert("tickets", viewmat.I(priority), viewmat.I(nextTicket), viewmat.S(title))
+		if err != nil {
+			panic(err)
+		}
+		ids[nextTicket] = id
+		nextTicket++
+		tx.MustCommit()
+	}
+	resolve := func(ticket int64, priority int64) {
+		tx := db.Begin()
+		if err := tx.Delete("tickets", viewmat.I(priority), ids[ticket]); err != nil {
+			panic(err)
+		}
+		tx.MustCommit()
+	}
+
+	render := func(moment string) {
+		rows, err := db.QueryView("oncall_window", nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("┌─ on-call window — %s\n", moment)
+		if len(rows) == 0 {
+			fmt.Println("│  (all quiet)")
+		}
+		for _, r := range rows {
+			bar := strings.Repeat("!", int(2-r.Vals[0].Int()))
+			fmt.Printf("│ %-2s #%d %s\n", bar, r.Vals[1].Int(), r.Vals[2].Str())
+		}
+		fmt.Println("└─")
+	}
+
+	render("09:00")
+
+	file(3, "typo on the pricing page") // below the window's threshold
+	file(1, "checkout latency p99 > 2s")
+	file(0, "payments DOWN")
+	render("09:10")
+
+	resolve(101, 1) // latency resolved
+	file(2, "dashboard chart misaligned")
+	render("09:20")
+
+	// Quiet period: refresh during idle time, so the next window read
+	// finds the copy current and pays only the scan.
+	if err := db.RefreshDeferredNow("oncall_window"); err != nil {
+		panic(err)
+	}
+	db.ResetStats()
+	render("09:30 (after idle-time refresh)")
+	bd := db.Breakdown()
+	fmt.Printf("\nthe 09:30 read did %d page reads and 0 refresh work (AD reads: %d, fold IOs: %d)\n",
+		bd["query"].Reads, bd["ad-read"].Reads, bd["fold"].IOs())
+
+	resolve(102, 0) // payments back
+	render("09:40")
+}

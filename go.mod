@@ -1,0 +1,3 @@
+module viewmat
+
+go 1.22

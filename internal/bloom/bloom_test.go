@@ -1,0 +1,132 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1024, 4)
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.MayContain(k) {
+			t.Errorf("false negative for %q", k)
+		}
+	}
+}
+
+func TestAbsentKeysMostlyRejected(t *testing.T) {
+	f := NewForRate(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("present-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Errorf("false-positive rate %.4f exceeds 3x target of 0.01", rate)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(256, 3)
+	f.Add("a")
+	f.Add("b")
+	if f.Len() != 2 {
+		t.Errorf("Len = %d, want 2", f.Len())
+	}
+	f.Reset()
+	if f.Len() != 0 {
+		t.Errorf("Len after reset = %d", f.Len())
+	}
+	if f.MayContain("a") {
+		t.Error("reset filter still reports membership")
+	}
+	if f.FillRatio() != 0 {
+		t.Errorf("fill ratio after reset = %v", f.FillRatio())
+	}
+}
+
+func TestNewForRateSizing(t *testing.T) {
+	f := NewForRate(1000, 0.01)
+	// Optimal m ≈ 9.6 bits/key, k ≈ 7.
+	if f.Bits() < 9000 || f.Bits() > 10100 {
+		t.Errorf("Bits = %d, want ≈9600", f.Bits())
+	}
+	if f.Hashes() < 6 || f.Hashes() > 8 {
+		t.Errorf("Hashes = %d, want ≈7", f.Hashes())
+	}
+}
+
+func TestDegenerateParamsClamped(t *testing.T) {
+	f := New(0, 0)
+	f.Add("x")
+	if !f.MayContain("x") {
+		t.Error("clamped filter lost a key")
+	}
+	f2 := NewForRate(0, 2.0)
+	f2.Add("y")
+	if !f2.MayContain("y") {
+		t.Error("clamped NewForRate filter lost a key")
+	}
+}
+
+func TestEstimatedFPRateGrowsWithLoad(t *testing.T) {
+	f := New(512, 4)
+	prev := f.EstimatedFPRate()
+	for i := 0; i < 300; i++ {
+		f.Add(fmt.Sprintf("k%d", i))
+	}
+	if got := f.EstimatedFPRate(); got <= prev {
+		t.Errorf("fp rate did not grow: %v -> %v", prev, got)
+	}
+}
+
+// Property: adding never causes a false negative, for arbitrary keys.
+func TestPropertyNoFalseNegatives(t *testing.T) {
+	f := New(4096, 5)
+	fn := func(keys []string) bool {
+		f.Reset()
+		for _, k := range keys {
+			f.Add(k)
+		}
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewForRate(100000, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Add("some-key-12345")
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	f := NewForRate(100000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add(fmt.Sprintf("k%d", i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.MayContain("k500")
+	}
+}

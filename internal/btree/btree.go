@@ -1,0 +1,681 @@
+// Package btree implements a clustered B+-tree over the simulated disk:
+// full tuples live in the leaves, ordered by one key column (with the
+// tuple id as a tiebreaker so duplicate key values are supported), and
+// leaves are forward-linked for range scans.
+//
+// This is the access method the paper assumes for the base relation R
+// (and R1) and for materialized views: "clustered B+-tree on field used
+// in view predicate" (§3.1). All page traffic is charged through the
+// buffer pool, so the tree's I/O behaviour — height-many reads per
+// descent, read+write per updated leaf, leaf-chain reads per scanned
+// page — is what the cost formulas price at C2 per page.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"viewmat/internal/pred"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+)
+
+// Tree is a clustered B+-tree. Not safe for concurrent use; the engine
+// serializes operations (the paper's model is single-user).
+type Tree struct {
+	pool   *storage.Pool
+	file   *storage.File
+	keyCol int
+	root   storage.PageNum
+	height int // levels including the leaf level
+	count  int // live tuples
+	// IndexEntryBytes emulates the paper's parameter n (bytes per
+	// B+-tree index record) for reporting; actual separator keys are
+	// variable-size.
+}
+
+// key orders leaf entries: by column value, then by tuple id.
+type key struct {
+	val tuple.Value
+	id  uint64
+}
+
+func (k key) less(o key) bool {
+	c := tuple.Compare(k.val, o.val)
+	if c != 0 {
+		return c < 0
+	}
+	return k.id < o.id
+}
+
+func keyOf(t tuple.Tuple, keyCol int) key { return key{val: t.Vals[keyCol], id: t.ID} }
+
+// leafNode is the decoded form of a leaf page.
+type leafNode struct {
+	next    storage.PageNum // +1 encoded; 0 = none
+	hasNext bool
+	tuples  []tuple.Tuple
+}
+
+// internalNode is the decoded form of an internal page: children[i]
+// covers keys in [seps[i-1], seps[i]) with seps[-1] = −inf.
+type internalNode struct {
+	children []storage.PageNum
+	seps     []key // len = len(children)-1
+}
+
+// Meta is a tree's persistent metadata: everything beyond the page
+// file needed to reopen it.
+type Meta struct {
+	Root   storage.PageNum
+	Height int
+	Count  int
+}
+
+// Meta returns the tree's persistent metadata.
+func (t *Tree) Meta() Meta {
+	return Meta{Root: t.root, Height: t.height, Count: t.count}
+}
+
+// Open attaches to an existing tree stored in file, trusting the
+// caller-supplied metadata (from a prior Meta call).
+func Open(pool *storage.Pool, file *storage.File, keyCol int, m Meta) (*Tree, error) {
+	if m.Height < 1 || m.Count < 0 {
+		return nil, fmt.Errorf("btree: invalid metadata %+v", m)
+	}
+	if _, err := file.Peek(m.Root); err != nil {
+		return nil, fmt.Errorf("btree: root page missing: %w", err)
+	}
+	return &Tree{pool: pool, file: file, keyCol: keyCol, root: m.Root, height: m.Height, count: m.Count}, nil
+}
+
+// New creates an empty tree whose leaves are clustered on keyCol.
+func New(pool *storage.Pool, file *storage.File, keyCol int) (*Tree, error) {
+	t := &Tree{pool: pool, file: file, keyCol: keyCol, height: 1}
+	fr, err := pool.Alloc(file)
+	if err != nil {
+		return nil, err
+	}
+	t.root = fr.PageNum()
+	encodeLeaf(fr.Data, &leafNode{})
+	fr.MarkDirty()
+	return t, pool.Release(fr)
+}
+
+// Height returns the number of levels in the tree including the leaf
+// level. The paper's Hvi ("height not including the data pages") is
+// Height()−1.
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of tuples stored.
+func (t *Tree) Len() int { return t.count }
+
+// LeafPages returns the number of leaf pages (the paper's view size in
+// blocks) by walking the leaf chain via unmetered Peek reads; it is a
+// statistics accessor, not a query, and charges nothing.
+func (t *Tree) LeafPages() int {
+	pn, err := t.leftmostLeafUncharged()
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for {
+		n++
+		page, err := t.file.Peek(pn)
+		if err != nil {
+			return n
+		}
+		leaf, err := decodeLeaf(page)
+		if err != nil || !leaf.hasNext {
+			return n
+		}
+		pn = leaf.next
+	}
+}
+
+// KeyCol returns the clustering column.
+func (t *Tree) KeyCol() int { return t.keyCol }
+
+// --- page codecs ---------------------------------------------------------
+
+func encodeKey(dst []byte, k key) []byte {
+	dst = tuple.AppendValue(dst, k.val)
+	return binary.BigEndian.AppendUint64(dst, k.id)
+}
+
+func decodeKey(src []byte) (key, int, error) {
+	v, n, err := tuple.DecodeValue(src)
+	if err != nil {
+		return key{}, 0, err
+	}
+	if len(src) < n+8 {
+		return key{}, 0, fmt.Errorf("btree: truncated key id")
+	}
+	return key{val: v, id: binary.BigEndian.Uint64(src[n:])}, n + 8, nil
+}
+
+func keySize(k key) int { return tuple.ValueSize(k.val) + 8 }
+
+// leaf layout: [1 type][2 count][4 next+1][tuples...]
+const leafHeader = 7
+
+func encodeLeaf(page []byte, n *leafNode) {
+	page[0] = pageLeaf
+	binary.BigEndian.PutUint16(page[1:], uint16(len(n.tuples)))
+	next := uint32(0)
+	if n.hasNext {
+		next = uint32(n.next) + 1
+	}
+	binary.BigEndian.PutUint32(page[3:], next)
+	off := leafHeader
+	for _, tp := range n.tuples {
+		b := tp.Encode(page[off:off])
+		off += len(b)
+	}
+	for i := off; i < len(page); i++ {
+		page[i] = 0
+	}
+}
+
+func leafSize(n *leafNode) int {
+	sz := leafHeader
+	for _, tp := range n.tuples {
+		sz += tp.EncodedSize()
+	}
+	return sz
+}
+
+func decodeLeaf(page []byte) (*leafNode, error) {
+	cnt := int(binary.BigEndian.Uint16(page[1:]))
+	rawNext := binary.BigEndian.Uint32(page[3:])
+	n := &leafNode{tuples: make([]tuple.Tuple, 0, cnt)}
+	if rawNext != 0 {
+		n.hasNext = true
+		n.next = storage.PageNum(rawNext - 1)
+	}
+	off := leafHeader
+	for i := 0; i < cnt; i++ {
+		tp, used, err := tuple.Decode(page[off:])
+		if err != nil {
+			return nil, fmt.Errorf("btree: leaf tuple %d: %w", i, err)
+		}
+		n.tuples = append(n.tuples, tp)
+		off += used
+	}
+	return n, nil
+}
+
+// internal layout: [1 type][2 count=children][4 child0][key1][4 child1]...
+const internalHeader = 3
+
+func encodeInternal(page []byte, n *internalNode) {
+	page[0] = pageInternal
+	binary.BigEndian.PutUint16(page[1:], uint16(len(n.children)))
+	off := internalHeader
+	binary.BigEndian.PutUint32(page[off:], uint32(n.children[0]))
+	off += 4
+	for i, sep := range n.seps {
+		b := encodeKey(page[off:off], sep)
+		off += len(b)
+		binary.BigEndian.PutUint32(page[off:], uint32(n.children[i+1]))
+		off += 4
+	}
+	for i := off; i < len(page); i++ {
+		page[i] = 0
+	}
+}
+
+func internalSize(n *internalNode) int {
+	sz := internalHeader + 4
+	for _, sep := range n.seps {
+		sz += keySize(sep) + 4
+	}
+	return sz
+}
+
+func decodeInternal(page []byte) (*internalNode, error) {
+	cnt := int(binary.BigEndian.Uint16(page[1:]))
+	if cnt < 1 {
+		return nil, fmt.Errorf("btree: internal page with %d children", cnt)
+	}
+	n := &internalNode{children: make([]storage.PageNum, 0, cnt), seps: make([]key, 0, cnt-1)}
+	off := internalHeader
+	n.children = append(n.children, storage.PageNum(binary.BigEndian.Uint32(page[off:])))
+	off += 4
+	for i := 1; i < cnt; i++ {
+		k, used, err := decodeKey(page[off:])
+		if err != nil {
+			return nil, fmt.Errorf("btree: internal sep %d: %w", i, err)
+		}
+		off += used
+		n.children = append(n.children, storage.PageNum(binary.BigEndian.Uint32(page[off:])))
+		off += 4
+		n.seps = append(n.seps, k)
+	}
+	return n, nil
+}
+
+// leftmostLeafUncharged descends to the leftmost leaf via unmetered
+// Peek reads (statistics walks only).
+func (t *Tree) leftmostLeafUncharged() (storage.PageNum, error) {
+	pn := t.root
+	for {
+		page, err := t.file.Peek(pn)
+		if err != nil {
+			return 0, err
+		}
+		if page[0] == pageLeaf {
+			return pn, nil
+		}
+		in, err := decodeInternal(page)
+		if err != nil {
+			return 0, err
+		}
+		pn = in.children[0]
+	}
+}
+
+// --- descent -------------------------------------------------------------
+
+// childFor returns the child index covering k: the last child whose
+// separator is ≤ k.
+func (n *internalNode) childFor(k key) int {
+	lo, hi := 0, len(n.seps) // binary search for first sep > k
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k.less(n.seps[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// findLeaf descends from the root to the leaf covering k, returning the
+// page numbers of the path (metered: one read per level unless cached).
+func (t *Tree) findLeaf(k key) ([]storage.PageNum, error) {
+	path := make([]storage.PageNum, 0, t.height)
+	pn := t.root
+	for {
+		path = append(path, pn)
+		fr, err := t.pool.Get(t.file, pn)
+		if err != nil {
+			return nil, err
+		}
+		if fr.Data[0] == pageLeaf {
+			t.pool.Release(fr)
+			return path, nil
+		}
+		in, err := decodeInternal(fr.Data)
+		t.pool.Release(fr)
+		if err != nil {
+			return nil, err
+		}
+		pn = in.children[in.childFor(k)]
+	}
+}
+
+// --- insert --------------------------------------------------------------
+
+// Insert adds a tuple. Duplicate (value, id) pairs are rejected: ids
+// are unique engine-wide, so a collision indicates a bug upstream.
+func (t *Tree) Insert(tp tuple.Tuple) error {
+	if leafHeader+tp.EncodedSize() > t.pool.PageSize() {
+		return fmt.Errorf("btree: tuple of %d bytes exceeds page capacity %d", tp.EncodedSize(), t.pool.PageSize())
+	}
+	k := keyOf(tp, t.keyCol)
+	sep, newChild, split, err := t.insertAt(t.root, tp, k)
+	if err != nil {
+		return err
+	}
+	if split {
+		// Grow a new root.
+		fr, err := t.pool.Alloc(t.file)
+		if err != nil {
+			return err
+		}
+		root := &internalNode{children: []storage.PageNum{t.root, newChild}, seps: []key{sep}}
+		encodeInternal(fr.Data, root)
+		fr.MarkDirty()
+		if err := t.pool.Release(fr); err != nil {
+			return err
+		}
+		t.root = fr.PageNum()
+		t.height++
+	}
+	t.count++
+	return nil
+}
+
+func (t *Tree) insertAt(pn storage.PageNum, tp tuple.Tuple, k key) (key, storage.PageNum, bool, error) {
+	fr, err := t.pool.Get(t.file, pn)
+	if err != nil {
+		return key{}, 0, false, err
+	}
+	if fr.Data[0] == pageLeaf {
+		leaf, err := decodeLeaf(fr.Data)
+		if err != nil {
+			t.pool.Release(fr)
+			return key{}, 0, false, err
+		}
+		idx := leafLowerBound(leaf, k, t.keyCol)
+		if idx < len(leaf.tuples) {
+			ek := keyOf(leaf.tuples[idx], t.keyCol)
+			if !k.less(ek) && !ek.less(k) {
+				t.pool.Release(fr)
+				return key{}, 0, false, fmt.Errorf("btree: duplicate key (%s, id %d)", k.val, k.id)
+			}
+		}
+		leaf.tuples = append(leaf.tuples, tuple.Tuple{})
+		copy(leaf.tuples[idx+1:], leaf.tuples[idx:])
+		leaf.tuples[idx] = tp
+		if leafSize(leaf) <= len(fr.Data) {
+			encodeLeaf(fr.Data, leaf)
+			fr.MarkDirty()
+			return key{}, 0, false, t.pool.Release(fr)
+		}
+		// Split: right sibling takes the upper half.
+		mid := len(leaf.tuples) / 2
+		right := &leafNode{next: leaf.next, hasNext: leaf.hasNext, tuples: append([]tuple.Tuple(nil), leaf.tuples[mid:]...)}
+		leaf.tuples = leaf.tuples[:mid]
+		rfr, err := t.pool.Alloc(t.file)
+		if err != nil {
+			t.pool.Release(fr)
+			return key{}, 0, false, err
+		}
+		leaf.next, leaf.hasNext = rfr.PageNum(), true
+		encodeLeaf(rfr.Data, right)
+		rfr.MarkDirty()
+		encodeLeaf(fr.Data, leaf)
+		fr.MarkDirty()
+		sep := keyOf(right.tuples[0], t.keyCol)
+		if err := t.pool.Release(rfr); err != nil {
+			t.pool.Release(fr)
+			return key{}, 0, false, err
+		}
+		return sep, rfr.PageNum(), true, t.pool.Release(fr)
+	}
+
+	in, err := decodeInternal(fr.Data)
+	if err != nil {
+		t.pool.Release(fr)
+		return key{}, 0, false, err
+	}
+	childIdx := in.childFor(k)
+	child := in.children[childIdx]
+	t.pool.Release(fr)
+
+	sep, newChild, split, err := t.insertAt(child, tp, k)
+	if err != nil || !split {
+		return key{}, 0, false, err
+	}
+
+	// Child split: insert (sep, newChild) after childIdx. Re-fetch the
+	// frame (it may have been evicted during the child's work).
+	fr, err = t.pool.Get(t.file, pn)
+	if err != nil {
+		return key{}, 0, false, err
+	}
+	in, err = decodeInternal(fr.Data)
+	if err != nil {
+		t.pool.Release(fr)
+		return key{}, 0, false, err
+	}
+	childIdx = in.childFor(sep)
+	in.seps = append(in.seps, key{})
+	copy(in.seps[childIdx+1:], in.seps[childIdx:])
+	in.seps[childIdx] = sep
+	in.children = append(in.children, 0)
+	copy(in.children[childIdx+2:], in.children[childIdx+1:])
+	in.children[childIdx+1] = newChild
+
+	if internalSize(in) <= len(fr.Data) {
+		encodeInternal(fr.Data, in)
+		fr.MarkDirty()
+		return key{}, 0, false, t.pool.Release(fr)
+	}
+	// Split internal node: middle separator moves up.
+	midSep := len(in.seps) / 2
+	upKey := in.seps[midSep]
+	right := &internalNode{
+		children: append([]storage.PageNum(nil), in.children[midSep+1:]...),
+		seps:     append([]key(nil), in.seps[midSep+1:]...),
+	}
+	in.children = in.children[:midSep+1]
+	in.seps = in.seps[:midSep]
+	rfr, err := t.pool.Alloc(t.file)
+	if err != nil {
+		t.pool.Release(fr)
+		return key{}, 0, false, err
+	}
+	encodeInternal(rfr.Data, right)
+	rfr.MarkDirty()
+	encodeInternal(fr.Data, in)
+	fr.MarkDirty()
+	if err := t.pool.Release(rfr); err != nil {
+		t.pool.Release(fr)
+		return key{}, 0, false, err
+	}
+	return upKey, rfr.PageNum(), true, t.pool.Release(fr)
+}
+
+// leafLowerBound returns the first index whose key is ≥ k.
+func leafLowerBound(leaf *leafNode, k key, keyCol int) int {
+	lo, hi := 0, len(leaf.tuples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keyOf(leaf.tuples[mid], keyCol).less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- delete --------------------------------------------------------------
+
+// Delete removes the tuple with the given key value and id, reporting
+// whether it was found. Leaves are allowed to underflow (no merging):
+// the linked leaf chain and separators stay valid, which is all the
+// scan and search paths require. Space is reclaimed when a relation is
+// rebuilt; the paper's workloads keep relation sizes stationary
+// (paired inserts and deletes), so underflow stays bounded in practice.
+func (t *Tree) Delete(val tuple.Value, id uint64) (bool, error) {
+	k := key{val: val, id: id}
+	path, err := t.findLeaf(k)
+	if err != nil {
+		return false, err
+	}
+	leafPN := path[len(path)-1]
+	fr, err := t.pool.Get(t.file, leafPN)
+	if err != nil {
+		return false, err
+	}
+	leaf, err := decodeLeaf(fr.Data)
+	if err != nil {
+		t.pool.Release(fr)
+		return false, err
+	}
+	idx := leafLowerBound(leaf, k, t.keyCol)
+	if idx >= len(leaf.tuples) {
+		return false, t.pool.Release(fr)
+	}
+	ek := keyOf(leaf.tuples[idx], t.keyCol)
+	if k.less(ek) || ek.less(k) {
+		return false, t.pool.Release(fr)
+	}
+	leaf.tuples = append(leaf.tuples[:idx], leaf.tuples[idx+1:]...)
+	encodeLeaf(fr.Data, leaf)
+	fr.MarkDirty()
+	t.count--
+	return true, t.pool.Release(fr)
+}
+
+// Get returns the tuple with the exact (value, id) key, if present.
+func (t *Tree) Get(val tuple.Value, id uint64) (tuple.Tuple, bool, error) {
+	k := key{val: val, id: id}
+	path, err := t.findLeaf(k)
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	fr, err := t.pool.Get(t.file, path[len(path)-1])
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	defer t.pool.Release(fr)
+	leaf, err := decodeLeaf(fr.Data)
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	idx := leafLowerBound(leaf, k, t.keyCol)
+	if idx >= len(leaf.tuples) {
+		return tuple.Tuple{}, false, nil
+	}
+	ek := keyOf(leaf.tuples[idx], t.keyCol)
+	if k.less(ek) || ek.less(k) {
+		return tuple.Tuple{}, false, nil
+	}
+	return leaf.tuples[idx].Clone(), true, nil
+}
+
+// --- scans ---------------------------------------------------------------
+
+// Iterator walks tuples in key order over a range. It holds no pins
+// between Next calls; each leaf is fetched (and charged) once per
+// visit.
+type Iterator struct {
+	tree    *Tree
+	rg      *pred.Range
+	pn      storage.PageNum
+	buf     []tuple.Tuple
+	idx     int
+	hasPage bool
+	done    bool
+}
+
+// Scan returns an iterator over tuples whose key-column value lies in
+// rg (nil means all). The descent to the first leaf is metered like any
+// search.
+func (t *Tree) Scan(rg *pred.Range) (*Iterator, error) {
+	it := &Iterator{tree: t, rg: rg}
+	var start key
+	if rg != nil && rg.Lo != nil {
+		start = key{val: *rg.Lo} // id 0: before all ids of that value
+		if !rg.LoInc {
+			// Exclusive lower bound: start just above every id of Lo.
+			start = key{val: *rg.Lo, id: ^uint64(0)}
+		}
+	} else {
+		// Unbounded: walk from the leftmost leaf via a charged descent.
+		path, err := t.findLeafLeftmost()
+		if err != nil {
+			return nil, err
+		}
+		it.pn = path
+		it.hasPage = true
+		if err := it.loadPage(); err != nil {
+			return nil, err
+		}
+		return it, nil
+	}
+	path, err := t.findLeaf(start)
+	if err != nil {
+		return nil, err
+	}
+	it.pn = path[len(path)-1]
+	it.hasPage = true
+	if err := it.loadPage(); err != nil {
+		return nil, err
+	}
+	// Skip entries below the range on the first page.
+	for it.idx < len(it.buf) {
+		v := it.buf[it.idx].Vals[t.keyCol]
+		if rg.Contains(v) || tuple.Compare(v, *rg.Lo) >= 0 {
+			break
+		}
+		it.idx++
+	}
+	return it, nil
+}
+
+// ScanAll returns an iterator over the whole tree.
+func (t *Tree) ScanAll() (*Iterator, error) { return t.Scan(nil) }
+
+func (t *Tree) findLeafLeftmost() (storage.PageNum, error) {
+	pn := t.root
+	for {
+		fr, err := t.pool.Get(t.file, pn)
+		if err != nil {
+			return 0, err
+		}
+		if fr.Data[0] == pageLeaf {
+			t.pool.Release(fr)
+			return pn, nil
+		}
+		in, err := decodeInternal(fr.Data)
+		t.pool.Release(fr)
+		if err != nil {
+			return 0, err
+		}
+		pn = in.children[0]
+	}
+}
+
+func (it *Iterator) loadPage() error {
+	fr, err := it.tree.pool.Get(it.tree.file, it.pn)
+	if err != nil {
+		return err
+	}
+	defer it.tree.pool.Release(fr)
+	leaf, err := decodeLeaf(fr.Data)
+	if err != nil {
+		return err
+	}
+	it.buf = leaf.tuples
+	it.idx = 0
+	it.hasPage = leaf.hasNext
+	it.pn = leaf.next
+	return nil
+}
+
+// Next returns the next tuple in the range. ok is false at exhaustion.
+func (it *Iterator) Next() (tuple.Tuple, bool, error) {
+	for {
+		if it.done {
+			return tuple.Tuple{}, false, nil
+		}
+		if it.idx >= len(it.buf) {
+			if !it.hasPage {
+				it.done = true
+				return tuple.Tuple{}, false, nil
+			}
+			if err := it.loadPage(); err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			continue
+		}
+		tp := it.buf[it.idx]
+		it.idx++
+		if it.rg != nil {
+			v := tp.Vals[it.tree.keyCol]
+			if it.rg.Hi != nil {
+				c := tuple.Compare(v, *it.rg.Hi)
+				if c > 0 || (c == 0 && !it.rg.HiInc) {
+					it.done = true
+					return tuple.Tuple{}, false, nil
+				}
+			}
+			if !it.rg.Contains(v) {
+				continue // below Lo (only possible on first page) or excluded
+			}
+		}
+		return tp.Clone(), true, nil
+	}
+}

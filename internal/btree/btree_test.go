@@ -1,0 +1,438 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"viewmat/internal/pred"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+func newTestTree(t testing.TB, pageSize, poolCap int) (*Tree, *storage.Meter) {
+	t.Helper()
+	d := storage.NewDisk(pageSize)
+	m := storage.NewMeter()
+	p := storage.NewPool(d, m, poolCap)
+	tr, err := New(p, d.Open("t"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, m
+}
+
+func mk(id uint64, k int64) tuple.Tuple {
+	return tuple.New(id, tuple.I(k), tuple.S("payload"))
+}
+
+func collect(t testing.TB, it *Iterator) []tuple.Tuple {
+	t.Helper()
+	var out []tuple.Tuple
+	for {
+		tp, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, tp)
+	}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 64)
+	for i := int64(0); i < 50; i++ {
+		if err := tr.Insert(mk(uint64(i+1), i*3)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Errorf("Len = %d, want 50", tr.Len())
+	}
+	tp, ok, err := tr.Get(tuple.I(30), 11)
+	if err != nil || !ok {
+		t.Fatalf("Get(30,11): ok=%v err=%v", ok, err)
+	}
+	if tp.ID != 11 || tp.Vals[0].Int() != 30 {
+		t.Errorf("Get returned %v", tp)
+	}
+	if _, ok, _ := tr.Get(tuple.I(31), 99); ok {
+		t.Error("Get of absent key succeeded")
+	}
+	if _, ok, _ := tr.Get(tuple.I(30), 99); ok {
+		t.Error("Get matched value with wrong id")
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 64)
+	if err := tr.Insert(mk(7, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(mk(7, 5)); err == nil {
+		t.Error("duplicate (value, id) accepted")
+	}
+}
+
+func TestDuplicateValuesDifferentIDs(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 64)
+	for id := uint64(1); id <= 40; id++ {
+		if err := tr.Insert(mk(id, 42)); err != nil {
+			t.Fatalf("insert dup value id=%d: %v", id, err)
+		}
+	}
+	it, err := tr.Scan(pred.PointRange(tuple.I(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it)
+	if len(got) != 40 {
+		t.Errorf("scan found %d duplicates, want 40", len(got))
+	}
+	// Each individually deletable by id.
+	ok, err := tr.Delete(tuple.I(42), 17)
+	if err != nil || !ok {
+		t.Fatalf("delete dup: ok=%v err=%v", ok, err)
+	}
+	if tr.Len() != 39 {
+		t.Errorf("Len = %d, want 39", tr.Len())
+	}
+}
+
+func TestScanOrderAfterRandomInserts(t *testing.T) {
+	tr, _ := newTestTree(t, 200, 128)
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(500)
+	for i, k := range keys {
+		if err := tr.Insert(mk(uint64(i+1), int64(k))); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	it, err := tr.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, it)
+	if len(got) != 500 {
+		t.Fatalf("scan found %d, want 500", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Vals[0].Int() > got[i].Vals[0].Int() {
+			t.Fatalf("scan out of order at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+	if tr.Height() < 2 {
+		t.Errorf("500 tuples on 200-byte pages should have split: height %d", tr.Height())
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tr, _ := newTestTree(t, 200, 128)
+	for i := int64(0); i < 300; i++ {
+		if err := tr.Insert(mk(uint64(i+1), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		name   string
+		rg     *pred.Range
+		lo, hi int64 // inclusive expected bounds
+		count  int
+	}{
+		{"closed", pred.NewRange(tuple.I(10), tuple.I(19), true, true), 10, 19, 10},
+		{"half-open", pred.NewRange(tuple.I(10), tuple.I(20), true, false), 10, 19, 10},
+		{"open-low", pred.NewRange(tuple.I(10), tuple.I(20), false, true), 11, 20, 10},
+		{"point", pred.PointRange(tuple.I(150)), 150, 150, 1},
+		{"past-end", pred.NewRange(tuple.I(290), tuple.I(400), true, true), 290, 299, 10},
+		{"empty", pred.NewRange(tuple.I(500), tuple.I(600), true, true), 0, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			it, err := tr.Scan(tc.rg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := collect(t, it)
+			if len(got) != tc.count {
+				t.Fatalf("count = %d, want %d", len(got), tc.count)
+			}
+			if tc.count > 0 {
+				if got[0].Vals[0].Int() != tc.lo || got[len(got)-1].Vals[0].Int() != tc.hi {
+					t.Errorf("range [%d,%d], want [%d,%d]",
+						got[0].Vals[0].Int(), got[len(got)-1].Vals[0].Int(), tc.lo, tc.hi)
+				}
+			}
+		})
+	}
+}
+
+func TestDeleteThenScan(t *testing.T) {
+	tr, _ := newTestTree(t, 200, 128)
+	for i := int64(0); i < 200; i++ {
+		if err := tr.Insert(mk(uint64(i+1), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 200; i += 2 {
+		ok, err := tr.Delete(tuple.I(i), uint64(i+1))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if ok, _ := tr.Delete(tuple.I(0), 1); ok {
+		t.Error("second delete of same tuple succeeded")
+	}
+	it, _ := tr.ScanAll()
+	got := collect(t, it)
+	if len(got) != 100 {
+		t.Fatalf("after deletes scan found %d, want 100", len(got))
+	}
+	for _, tp := range got {
+		if tp.Vals[0].Int()%2 == 0 {
+			t.Fatalf("deleted tuple %v still visible", tp)
+		}
+	}
+}
+
+func TestDeleteEntireTreeThenReinsert(t *testing.T) {
+	tr, _ := newTestTree(t, 200, 128)
+	for i := int64(0); i < 150; i++ {
+		if err := tr.Insert(mk(uint64(i+1), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 150; i++ {
+		if ok, err := tr.Delete(tuple.I(i), uint64(i+1)); err != nil || !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+	it, _ := tr.ScanAll()
+	if got := collect(t, it); len(got) != 0 {
+		t.Errorf("scan of emptied tree found %d tuples", len(got))
+	}
+	// Tree must remain usable.
+	for i := int64(0); i < 50; i++ {
+		if err := tr.Insert(mk(uint64(1000+i), i)); err != nil {
+			t.Fatalf("reinsert: %v", err)
+		}
+	}
+	it, _ = tr.ScanAll()
+	if got := collect(t, it); len(got) != 50 {
+		t.Errorf("after reinsert scan found %d, want 50", len(got))
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr, _ := newTestTree(t, 128, 256)
+	if tr.Height() != 1 {
+		t.Errorf("empty tree height = %d", tr.Height())
+	}
+	for i := int64(0); i < 2000; i++ {
+		if err := tr.Insert(mk(uint64(i+1), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Errorf("2000 tuples on 128-byte pages: height = %d, want ≥ 3", tr.Height())
+	}
+	if lp := tr.LeafPages(); lp < 100 {
+		t.Errorf("LeafPages = %d, want many", lp)
+	}
+}
+
+func TestSearchChargesHeightReads(t *testing.T) {
+	tr, m := newTestTree(t, 128, 256)
+	for i := int64(0); i < 2000; i++ {
+		if err := tr.Insert(mk(uint64(i+1), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cool the cache so the descent is cold, then count reads.
+	pool := tr.pool
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Snapshot()
+	if _, _, err := tr.Get(tuple.I(1234), 1235); err != nil {
+		t.Fatal(err)
+	}
+	reads := m.Snapshot().Sub(before).Reads
+	if reads != int64(tr.Height()) {
+		t.Errorf("cold Get charged %d reads, want height %d", reads, tr.Height())
+	}
+}
+
+func TestLeafPagesChargesNothing(t *testing.T) {
+	tr, m := newTestTree(t, 128, 256)
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(mk(uint64(i+1), i))
+	}
+	tr.pool.EvictAll()
+	before := m.Snapshot()
+	tr.LeafPages()
+	if diff := m.Snapshot().Sub(before); diff != (storage.Stats{}) {
+		t.Errorf("LeafPages charged %v", diff)
+	}
+}
+
+func TestOversizedTupleRejected(t *testing.T) {
+	tr, _ := newTestTree(t, 64, 16)
+	big := tuple.New(1, tuple.I(1), tuple.S(string(make([]byte, 100))))
+	if err := tr.Insert(big); err == nil {
+		t.Error("oversized tuple accepted")
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	d := storage.NewDisk(256)
+	p := storage.NewPool(d, storage.NewMeter(), 64)
+	tr, err := New(p, d.Open("s"), 1) // cluster on column 1 (string)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"pear", "apple", "fig", "banana", "cherry", "date", "elderberry", "grape"}
+	for i, w := range words {
+		if err := tr.Insert(tuple.New(uint64(i+1), tuple.I(int64(i)), tuple.S(w))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, _ := tr.ScanAll()
+	got := collect(t, it)
+	want := append([]string(nil), words...)
+	sort.Strings(want)
+	for i, tp := range got {
+		if tp.Vals[1].Str() != want[i] {
+			t.Fatalf("position %d: got %q want %q", i, tp.Vals[1].Str(), want[i])
+		}
+	}
+}
+
+// Property: after any interleaving of inserts and deletes, a full scan
+// returns exactly the live set in sorted order.
+func TestPropertyInsertDeleteScan(t *testing.T) {
+	fn := func(ops []int16) bool {
+		tr, _ := newTestTree(t, 160, 256)
+		live := map[uint64]int64{}
+		nextID := uint64(1)
+		for _, op := range ops {
+			k := int64(op % 64)
+			if op >= 0 { // insert
+				if err := tr.Insert(mk(nextID, k)); err != nil {
+					return false
+				}
+				live[nextID] = k
+				nextID++
+			} else { // delete a random live tuple with this key, if any
+				for id, lk := range live {
+					if lk == k {
+						ok, err := tr.Delete(tuple.I(k), id)
+						if err != nil || !ok {
+							return false
+						}
+						delete(live, id)
+						break
+					}
+				}
+			}
+		}
+		it, err := tr.ScanAll()
+		if err != nil {
+			return false
+		}
+		got := collect(t, it)
+		if len(got) != len(live) {
+			return false
+		}
+		prev := int64(-1 << 62)
+		for _, tp := range got {
+			k := tp.Vals[0].Int()
+			if k < prev {
+				return false
+			}
+			prev = k
+			if live[tp.ID] != k {
+				return false
+			}
+			delete(live, tp.ID)
+		}
+		return len(live) == 0
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: range scans agree with filtering a full scan.
+func TestPropertyRangeScanAgreesWithFilter(t *testing.T) {
+	tr, _ := newTestTree(t, 160, 256)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		if err := tr.Insert(mk(uint64(i+1), int64(rng.Intn(100)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	itAll, _ := tr.ScanAll()
+	all := collect(t, itAll)
+	fn := func(a, b int8, inc uint8) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		rg := pred.NewRange(tuple.I(lo), tuple.I(hi), inc&1 == 0, inc&2 == 0)
+		it, err := tr.Scan(rg)
+		if err != nil {
+			return false
+		}
+		got := collect(t, it)
+		var want int
+		for _, tp := range all {
+			if rg.Contains(tp.Vals[0]) {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	tr, _ := newTestTree(b, 4000, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(mk(uint64(i+1), int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetCold(b *testing.B) {
+	tr, _ := newTestTree(b, 4000, 256)
+	for i := 0; i < 100000; i++ {
+		if err := tr.Insert(mk(uint64(i+1), int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.pool.EvictAll()
+		k := int64(i % 100000)
+		if _, ok, err := tr.Get(tuple.I(k), uint64(k+1)); err != nil || !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func TestTreeKeyCol(t *testing.T) {
+	tr, _ := newTestTree(t, 256, 16)
+	if tr.KeyCol() != 0 {
+		t.Errorf("KeyCol = %d", tr.KeyCol())
+	}
+}

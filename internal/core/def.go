@@ -1,0 +1,256 @@
+// Package core implements the paper's subject matter: view definitions
+// over the storage substrates, materialized views with duplicate
+// counts, the differential (incremental) view-update algorithm in its
+// corrected form (§2.1) and in Blakeley's original form (Appendix A),
+// and the three maintenance strategies compared by the performance
+// analysis — query modification, immediate maintenance, and the
+// proposed deferred maintenance — behind a single Database engine.
+package core
+
+import (
+	"fmt"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/pred"
+	"viewmat/internal/tuple"
+)
+
+// Kind classifies a view definition by the paper's three models.
+type Kind int
+
+const (
+	// SelectProject is Model 1: a selection and projection of one
+	// relation.
+	SelectProject Kind = iota
+	// Join is Model 2: the natural join of two relations with a
+	// restriction on the first.
+	Join
+	// Aggregate is Model 3: an aggregate over a Model-1-shaped view;
+	// only the aggregate state is stored.
+	Aggregate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case SelectProject:
+		return "select-project"
+	case Join:
+		return "join"
+	case Aggregate:
+		return "aggregate"
+	case GroupedAggregate:
+		return "grouped-aggregate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Strategy selects how a view is materialized and kept current.
+type Strategy int
+
+const (
+	// QueryModification never materializes: queries are rewritten onto
+	// the base relations [Ston75].
+	QueryModification Strategy = iota
+	// Immediate keeps a materialized copy updated after every
+	// transaction [Blak86].
+	Immediate
+	// Deferred keeps a materialized copy updated just before data is
+	// retrieved from it, from net changes captured in hypothetical
+	// relations (the paper's proposal).
+	Deferred
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case QueryModification:
+		return "query-modification"
+	case Immediate:
+		return "immediate"
+	case Deferred:
+		return "deferred"
+	case Snapshot:
+		return "snapshot"
+	case RecomputeOnDemand:
+		return "recompute-on-demand"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Def is a view definition. Relation slots in Pred refer to positions
+// in Relations (slot 0 = Relations[0], …).
+type Def struct {
+	Name string
+	Kind Kind
+
+	// Relations names the base relations; 1 entry for SelectProject
+	// and Aggregate, 2 for Join.
+	Relations []string
+
+	// Pred is the view predicate X: restrictions for SelectProject and
+	// Aggregate; restrictions plus exactly one JoinEq atom for Join.
+	Pred *pred.P
+
+	// Project lists, per relation slot, the column positions projected
+	// into the view's target list (the paper's Y). Ignored for
+	// Aggregate.
+	Project [][]int
+
+	// ViewKeyCol is the output-schema column the materialized view is
+	// clustered on (the paper clusters V on the view-predicate field).
+	// Ignored for Aggregate.
+	ViewKeyCol int
+
+	// AggKind and AggCol define Model-3 views: the aggregate function
+	// and the (slot-0, pre-projection) column aggregated.
+	AggKind agg.Kind
+	AggCol  int
+
+	// GroupBy is the slot-0 column grouped on for GroupedAggregate
+	// views (the GROUP BY extension of Model 3).
+	GroupBy int
+}
+
+// Validate checks structural well-formedness against the given base
+// schemas (one per relation slot).
+func (d *Def) Validate(schemas []*tuple.Schema) error {
+	if d.Name == "" {
+		return fmt.Errorf("core: view needs a name")
+	}
+	wantRels := 1
+	if d.Kind == Join {
+		wantRels = 2
+	}
+	if len(d.Relations) != wantRels {
+		return fmt.Errorf("core: %s view %q needs %d relation(s), got %d", d.Kind, d.Name, wantRels, len(d.Relations))
+	}
+	if len(schemas) != wantRels {
+		return fmt.Errorf("core: view %q given %d schemas, want %d", d.Name, len(schemas), wantRels)
+	}
+	if d.Pred == nil {
+		return fmt.Errorf("core: view %q has no predicate (use pred.True())", d.Name)
+	}
+	joins := 0
+	for _, a := range d.Pred.Atoms {
+		switch at := a.(type) {
+		case pred.Cmp:
+			if at.Rel >= wantRels {
+				return fmt.Errorf("core: view %q predicate references slot %d", d.Name, at.Rel)
+			}
+			if at.Col < 0 || at.Col >= len(schemas[at.Rel].Cols) {
+				return fmt.Errorf("core: view %q predicate references column %d of slot %d", d.Name, at.Col, at.Rel)
+			}
+		case pred.JoinEq:
+			joins++
+			if at.LRel >= wantRels || at.RRel >= wantRels {
+				return fmt.Errorf("core: view %q join references slot out of range", d.Name)
+			}
+		}
+	}
+	if d.Kind == Join && joins != 1 {
+		return fmt.Errorf("core: join view %q needs exactly one join atom, got %d", d.Name, joins)
+	}
+	if d.Kind != Join && joins != 0 {
+		return fmt.Errorf("core: %s view %q must not contain join atoms", d.Kind, d.Name)
+	}
+	if d.Kind == Aggregate || d.Kind == GroupedAggregate {
+		if d.AggCol < 0 || d.AggCol >= len(schemas[0].Cols) {
+			return fmt.Errorf("core: view %q aggregates column %d, out of range", d.Name, d.AggCol)
+		}
+		if ct := schemas[0].Cols[d.AggCol].Type; d.AggKind != agg.Count && ct == tuple.String {
+			return fmt.Errorf("core: view %q cannot %s a string column", d.Name, d.AggKind)
+		}
+		if d.Kind == GroupedAggregate {
+			if d.GroupBy < 0 || d.GroupBy >= len(schemas[0].Cols) {
+				return fmt.Errorf("core: view %q groups by column %d, out of range", d.Name, d.GroupBy)
+			}
+		}
+		return nil
+	}
+	if len(d.Project) != wantRels {
+		return fmt.Errorf("core: view %q needs %d projection lists, got %d", d.Name, wantRels, len(d.Project))
+	}
+	total := 0
+	for slot, cols := range d.Project {
+		for _, c := range cols {
+			if c < 0 || c >= len(schemas[slot].Cols) {
+				return fmt.Errorf("core: view %q projects column %d of slot %d, out of range", d.Name, c, slot)
+			}
+		}
+		total += len(cols)
+	}
+	if total == 0 {
+		return fmt.Errorf("core: view %q projects no columns", d.Name)
+	}
+	if d.ViewKeyCol < 0 || d.ViewKeyCol >= total {
+		return fmt.Errorf("core: view %q clusters on output column %d, out of range", d.Name, d.ViewKeyCol)
+	}
+	return nil
+}
+
+// OutputSchema computes the view's result schema from the base schemas.
+// Aggregate views have a fixed one-column schema.
+func (d *Def) OutputSchema(schemas []*tuple.Schema) *tuple.Schema {
+	if d.Kind == Aggregate {
+		return tuple.NewSchema(tuple.Col("value", tuple.Float))
+	}
+	if d.Kind == GroupedAggregate {
+		return tuple.NewSchema(
+			tuple.Col("group", schemas[0].Cols[d.GroupBy].Type),
+			tuple.Col("value", tuple.Float),
+		)
+	}
+	cols := []tuple.Column{}
+	for slot, idx := range d.Project {
+		for _, c := range idx {
+			col := schemas[slot].Cols[c]
+			name := col.Name
+			if slot > 0 {
+				name = fmt.Sprintf("%s.%s", d.Relations[slot], col.Name)
+			}
+			cols = append(cols, tuple.Column{Name: name, Type: col.Type})
+		}
+	}
+	return tuple.NewSchema(cols...)
+}
+
+// JoinAtom returns the join view's single join atom.
+func (d *Def) JoinAtom() (pred.JoinEq, bool) {
+	for _, a := range d.Pred.Atoms {
+		if j, ok := a.(pred.JoinEq); ok {
+			return j, true
+		}
+	}
+	return pred.JoinEq{}, false
+}
+
+// ProjectValues builds the view row values for a binding of slots to
+// base tuples (for SelectProject, binding has only slot 0).
+func (d *Def) ProjectValues(binding map[int]tuple.Tuple) []tuple.Value {
+	out := make([]tuple.Value, 0, 8)
+	for slot, idx := range d.Project {
+		tp := binding[slot]
+		for _, c := range idx {
+			out = append(out, tp.Vals[c])
+		}
+	}
+	return out
+}
+
+// TargetColumns returns, for a relation slot, the base columns the
+// view's target list projects (used for RIU registration).
+func (d *Def) TargetColumns(slot int) []int {
+	if d.Kind == Aggregate {
+		return []int{d.AggCol}
+	}
+	if d.Kind == GroupedAggregate {
+		return []int{d.AggCol, d.GroupBy}
+	}
+	if slot < len(d.Project) {
+		return append([]int(nil), d.Project[slot]...)
+	}
+	return nil
+}

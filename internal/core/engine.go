@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/hr"
+	"viewmat/internal/pred"
+	"viewmat/internal/relation"
+	"viewmat/internal/rules"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Phase labels cost attribution buckets; the engine brackets every
+// metered activity with a phase so experiments can split total cost the
+// way the paper's formulas do (C_query vs C_refresh vs C_screen vs
+// C_AD …).
+type Phase string
+
+// Cost attribution phases.
+const (
+	// PhaseCommitWrite covers applying a transaction's writes to base
+	// relations or, for HR-wrapped relations, to the AD file. The
+	// paper's C_AD is the portion of this in excess of plain base
+	// updates.
+	PhaseCommitWrite Phase = "commit-write"
+	// PhaseScreen covers the two-stage screening of written tuples
+	// (C_screen).
+	PhaseScreen Phase = "screen"
+	// PhaseImmRefresh covers immediate per-transaction view refresh
+	// (C_imm-refresh) and the C3 bookkeeping overhead (C_overhead).
+	PhaseImmRefresh Phase = "imm-refresh"
+	// PhaseADRead covers reading the AD file for net changes
+	// (C_ADread).
+	PhaseADRead Phase = "ad-read"
+	// PhaseDefRefresh covers deferred refresh work against the
+	// materialized view (C_def-refresh).
+	PhaseDefRefresh Phase = "def-refresh"
+	// PhaseFold covers folding the AD file into the base relation
+	// (R := (R∪A)−D). The paper's model does not price this step; it
+	// is the base-update I/O the other strategies paid inline, so
+	// totals including it are the fair cross-strategy comparison. It
+	// is tracked separately so both views of the data are available.
+	PhaseFold Phase = "fold"
+	// PhaseQuery covers reading query results (C_query).
+	PhaseQuery Phase = "query"
+)
+
+// Database is the viewmat engine: relations, views, strategies, t-lock
+// screening and cost accounting over one simulated disk. Not safe for
+// concurrent use (the paper's model is single-user).
+type Database struct {
+	disk  *storage.Disk
+	pool  *storage.Pool
+	meter *storage.Meter
+	locks *rules.Table
+
+	clock    uint64
+	rels     map[string]*relation.Relation
+	hrs      map[string]*hr.HR
+	views    map[string]*viewState
+	hrConfig hr.Config
+
+	breakdown map[Phase]storage.Stats
+	phase     Phase
+
+	// Queries and Commits count operations for averaging.
+	Queries int
+	Commits int
+}
+
+// viewState is a view plus its runtime materialization.
+type viewState struct {
+	def      Def
+	strategy Strategy
+	schemas  []*tuple.Schema
+
+	mat *MatView // SelectProject/Join with Immediate or Deferred
+
+	groups *groupStore // GroupedAggregate materialization
+
+	aggState *agg.State // Aggregate with Immediate or Deferred
+	aggFile  *storage.File
+	aggPage  storage.PageNum
+
+	plan QueryPlan // default plan for QueryModification
+
+	// blakeley selects the uncorrected delete expansion of [Blak86]
+	// for join refresh — the Appendix A anomaly demonstration.
+	blakeley bool
+
+	// snapshotEvery is the staleness budget (in commits) of a
+	// Snapshot view; refreshEvery is a Deferred view's periodic
+	// refresh interval (0 = on demand); staleCommits counts commits
+	// that touched the view's relations since the last refresh.
+	snapshotEvery int
+	refreshEvery  int
+	staleCommits  int
+	// dirty marks a RecomputeOnDemand view whose next read must
+	// rebuild ([Bune79]).
+	dirty bool
+}
+
+// SetJoinVariantBlakeley switches a join view's refresh between the
+// corrected differential expansion (§2.1, the default) and Blakeley's
+// original expansion, which Appendix A shows can over-decrement
+// duplicate counts. It exists to reproduce that demonstration.
+func (db *Database) SetJoinVariantBlakeley(view string, on bool) error {
+	vs, ok := db.views[view]
+	if !ok {
+		return fmt.Errorf("core: unknown view %q", view)
+	}
+	if vs.def.Kind != Join {
+		return fmt.Errorf("core: view %q is not a join view", view)
+	}
+	vs.blakeley = on
+	return nil
+}
+
+// Options configures a Database.
+type Options struct {
+	// PageSize in bytes (the paper's B). Default 4000.
+	PageSize int
+	// PoolFrames is the buffer-pool capacity in pages. Default 256
+	// (~1 MB at the default page size, the paper's "very large main
+	// memory" that keeps R2 resident during a join).
+	PoolFrames int
+	// HR sizes the hypothetical relations created for deferred views.
+	HR hr.Config
+}
+
+// NewDatabase creates an empty engine.
+func NewDatabase(opts Options) *Database {
+	disk := storage.NewDisk(opts.PageSize)
+	meter := storage.NewMeter()
+	pool := storage.NewPool(disk, meter, opts.PoolFrames)
+	db := &Database{
+		disk:      disk,
+		pool:      pool,
+		meter:     meter,
+		locks:     rules.NewTable(meter),
+		rels:      map[string]*relation.Relation{},
+		hrs:       map[string]*hr.HR{},
+		views:     map[string]*viewState{},
+		breakdown: map[Phase]storage.Stats{},
+	}
+	db.hrConfig = opts.HR
+	return db
+}
+
+// Meter exposes the cost meter.
+func (db *Database) Meter() *storage.Meter { return db.meter }
+
+// Pool exposes the buffer pool (experiments tune write policy).
+func (db *Database) Pool() *storage.Pool { return db.pool }
+
+// Disk exposes the simulated disk.
+func (db *Database) Disk() *storage.Disk { return db.disk }
+
+// Breakdown returns a copy of per-phase cost attribution.
+func (db *Database) Breakdown() map[Phase]storage.Stats {
+	out := make(map[Phase]storage.Stats, len(db.breakdown))
+	for k, v := range db.breakdown {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the meter, breakdown and operation counters;
+// experiments call it after loading data so measurements exclude setup.
+func (db *Database) ResetStats() {
+	db.meter.Reset()
+	db.breakdown = map[Phase]storage.Stats{}
+	db.Queries = 0
+	db.Commits = 0
+}
+
+// nextID returns a fresh monotone tuple id (the HR scheme's clock).
+func (db *Database) nextID() uint64 {
+	db.clock++
+	return db.clock
+}
+
+// inPhase runs fn and attributes its metered cost to the phase.
+func (db *Database) inPhase(p Phase, fn func() error) error {
+	prevPhase := db.phase
+	db.phase = p
+	before := db.meter.Snapshot()
+	err := fn()
+	db.breakdown[p] = db.breakdown[p].Add(db.meter.Snapshot().Sub(before))
+	db.phase = prevPhase
+	return err
+}
+
+// --- schema objects -------------------------------------------------------
+
+// CreateRelationBTree creates a base relation clustered by B+-tree on
+// keyCol.
+func (db *Database) CreateRelationBTree(name string, schema *tuple.Schema, keyCol int) (*relation.Relation, error) {
+	if _, dup := db.rels[name]; dup {
+		return nil, fmt.Errorf("core: relation %q exists", name)
+	}
+	r, err := relation.NewBTree(db.disk, db.pool, name, schema, keyCol)
+	if err != nil {
+		return nil, err
+	}
+	db.rels[name] = r
+	return r, nil
+}
+
+// CreateRelationHash creates a base relation clustered by hashing on
+// keyCol with the given primary bucket count.
+func (db *Database) CreateRelationHash(name string, schema *tuple.Schema, keyCol, buckets int) (*relation.Relation, error) {
+	if _, dup := db.rels[name]; dup {
+		return nil, fmt.Errorf("core: relation %q exists", name)
+	}
+	r, err := relation.NewHash(db.disk, db.pool, name, schema, keyCol, buckets)
+	if err != nil {
+		return nil, err
+	}
+	db.rels[name] = r
+	return r, nil
+}
+
+// Relation returns a base relation by name.
+func (db *Database) Relation(name string) (*relation.Relation, bool) {
+	r, ok := db.rels[name]
+	return r, ok
+}
+
+// HR returns the hypothetical relation wrapping name, if any.
+func (db *Database) HR(name string) (*hr.HR, bool) {
+	h, ok := db.hrs[name]
+	return h, ok
+}
+
+// CreateView registers a view with the given maintenance strategy.
+// Deferred views wrap each of their base relations in a hypothetical
+// relation (creating it on first need). Mixing Immediate and Deferred
+// views over the same base relation is rejected: the two strategies
+// disagree about when the base files reflect pending changes.
+func (db *Database) CreateView(def Def, strategy Strategy) error {
+	if _, dup := db.views[def.Name]; dup {
+		return fmt.Errorf("core: view %q exists", def.Name)
+	}
+	schemas := make([]*tuple.Schema, 0, len(def.Relations))
+	for _, rn := range def.Relations {
+		r, ok := db.rels[rn]
+		if !ok {
+			return fmt.Errorf("core: view %q references unknown relation %q", def.Name, rn)
+		}
+		schemas = append(schemas, r.Schema())
+	}
+	if err := def.Validate(schemas); err != nil {
+		return err
+	}
+	// Deferred views leave the base files stale between folds, so a
+	// relation cannot simultaneously feed a deferred view and any
+	// strategy that reads or rewrites base files at its own cadence
+	// (immediate refresh, snapshot recompute, on-demand recompute).
+	// Query modification coexists: its read paths merge pending HR
+	// changes.
+	baseReader := func(s Strategy) bool {
+		return s == Immediate || s == Snapshot || s == RecomputeOnDemand
+	}
+	for _, rn := range def.Relations {
+		for _, other := range db.views {
+			if !dependsOn(other, rn) {
+				continue
+			}
+			if strategy == Deferred && baseReader(other.strategy) ||
+				baseReader(strategy) && other.strategy == Deferred {
+				return fmt.Errorf("core: relation %q cannot feed both a deferred view and a %s/%s view (%q, %q)",
+					rn, strategy, other.strategy, def.Name, other.def.Name)
+			}
+		}
+	}
+
+	vs := &viewState{def: def, strategy: strategy, schemas: schemas, plan: PlanAuto}
+
+	if strategy != QueryModification {
+		switch def.Kind {
+		case GroupedAggregate:
+			if err := db.rebuildGroupAgg(vs); err != nil {
+				return err
+			}
+		case Aggregate:
+			vs.aggState = agg.NewState(def.AggKind)
+			vs.aggFile = db.disk.Open(def.Name + ".agg")
+			fr, err := db.pool.Alloc(vs.aggFile)
+			if err != nil {
+				return err
+			}
+			vs.aggPage = fr.PageNum()
+			writeAggPage(fr, vs.aggState)
+			if err := db.pool.Release(fr); err != nil {
+				return err
+			}
+			// An aggregate over existing contents initializes from a
+			// scan (setup cost; callers usually ResetStats after).
+			if err := db.rebuildAggregate(vs); err != nil {
+				return err
+			}
+		default:
+			mat, err := NewMatView(db.disk, db.pool, def.Name, def.OutputSchema(schemas), def.ViewKeyCol)
+			if err != nil {
+				return err
+			}
+			vs.mat = mat
+			if err := db.bulkWrite(func() error { return db.populateView(vs) }); err != nil {
+				return err
+			}
+		}
+		// Screening is used by the differential strategies and by
+		// recompute-on-demand (whose whole point is the [Bune79]
+		// pre-execution analysis). Snapshot views refresh on a clock,
+		// so they place no locks and pay no screening.
+		if strategy != Snapshot {
+			for slot, rn := range def.Relations {
+				db.locks.Register(def.Name, rn, slot, db.rels[rn].KeyCol(), def.Pred, def.TargetColumns(slot))
+			}
+		}
+	}
+
+	if strategy == Deferred {
+		for _, rn := range def.Relations {
+			if _, ok := db.hrs[rn]; !ok {
+				h, err := hr.New(db.disk, db.pool, db.rels[rn], db.hrConfig)
+				if err != nil {
+					return err
+				}
+				db.hrs[rn] = h
+			}
+		}
+	}
+
+	db.views[def.Name] = vs
+	return nil
+}
+
+func dependsOn(vs *viewState, rel string) bool {
+	for _, rn := range vs.def.Relations {
+		if rn == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// View returns a view's definition and strategy.
+func (db *Database) View(name string) (Def, Strategy, bool) {
+	vs, ok := db.views[name]
+	if !ok {
+		return Def{}, 0, false
+	}
+	return vs.def, vs.strategy, true
+}
+
+// ViewNames returns all view names, sorted.
+func (db *Database) ViewNames() []string {
+	out := make([]string, 0, len(db.views))
+	for n := range db.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetDefaultPlan sets the default query-modification plan for a view.
+func (db *Database) SetDefaultPlan(view string, plan QueryPlan) error {
+	vs, ok := db.views[view]
+	if !ok {
+		return fmt.Errorf("core: unknown view %q", view)
+	}
+	vs.plan = plan
+	return nil
+}
+
+// DropView removes a view, its t-locks and its materialization. Base
+// relations and HRs (possibly shared) are left in place.
+func (db *Database) DropView(name string) error {
+	vs, ok := db.views[name]
+	if !ok {
+		return fmt.Errorf("core: unknown view %q", name)
+	}
+	db.locks.Unregister(name)
+	if vs.mat != nil {
+		db.disk.Remove(name + ".view.btree")
+	}
+	if vs.groups != nil {
+		db.disk.Remove(name + ".groups.btree")
+	}
+	if vs.aggFile != nil {
+		db.disk.Remove(name + ".agg")
+	}
+	delete(db.views, name)
+	return nil
+}
+
+// populateView builds a fresh materialization from current base
+// contents (used at CreateView over non-empty relations).
+func (db *Database) populateView(vs *viewState) error {
+	switch vs.def.Kind {
+	case SelectProject:
+		r := db.rels[vs.def.Relations[0]]
+		all, err := db.scanRestricted(vs, r)
+		if err != nil {
+			return err
+		}
+		for _, tp := range all {
+			if vs.def.Pred.EvalSingle(0, tp) {
+				if err := vs.mat.InsertDelta(vs.def.ProjectValues(map[int]tuple.Tuple{0: tp}), db.nextID()); err != nil {
+					return err
+				}
+			}
+		}
+	case Join:
+		r1 := db.rels[vs.def.Relations[0]]
+		r2 := db.rels[vs.def.Relations[1]]
+		ja, _ := vs.def.JoinAtom()
+		all, err := db.scanRestricted(vs, r1)
+		if err != nil {
+			return err
+		}
+		for _, t1 := range all {
+			if !vs.def.Pred.EvalSingle(0, t1) {
+				continue
+			}
+			matches, err := r2.LookupKey(t1.Vals[joinCol(ja, 0)])
+			if err != nil {
+				return err
+			}
+			for _, t2 := range matches {
+				b := map[int]tuple.Tuple{0: t1, 1: t2}
+				if vs.def.Pred.Eval(b) {
+					if err := vs.mat.InsertDelta(vs.def.ProjectValues(b), db.nextID()); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scanRestricted reads a view's slot-0 base tuples, narrowing to the
+// view predicate's interval on the clustering column when one exists
+// (the cost model's rebuild term reads f·b pages, not b).
+func (db *Database) scanRestricted(vs *viewState, r *relation.Relation) ([]tuple.Tuple, error) {
+	if r.Kind() == relation.ClusteredBTree {
+		if rg, constrained := vs.def.Pred.IntervalFor(0, r.KeyCol()); constrained {
+			return r.Scan(&rg)
+		}
+	}
+	return r.ScanAll()
+}
+
+// joinCol returns the join atom's column for the given relation slot.
+func joinCol(j pred.JoinEq, slot int) int {
+	if j.LRel == slot {
+		return j.LCol
+	}
+	return j.RCol
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"viewmat/internal/costmodel"
+)
+
+// WorkloadHints carries what the engine cannot observe from stored
+// state: the anticipated operation mix.
+type WorkloadHints struct {
+	// UpdateTxns and Queries set the paper's k and q (the mix whose
+	// ratio is P).
+	UpdateTxns float64
+	Queries    float64
+	// TuplesPerTxn is the paper's l.
+	TuplesPerTxn float64
+	// QueryFraction is the paper's fv, the fraction of the view each
+	// query retrieves.
+	QueryFraction float64
+}
+
+// ProfileView derives the cost model's parameters from the live state
+// of a view's base relations — N, S (average stored tuple bytes), B,
+// f (live selectivity of the view predicate), fR2 — and the caller's
+// workload hints. The result can be fed straight into the costmodel
+// functions or the advisor, closing the loop the paper leaves open:
+// its parameters were assumed; here they are measured from the data.
+//
+// The profile scan uses unmetered statistics accessors plus one
+// metered pass over the first relation to count predicate matches;
+// callers profiling inside a measured experiment should ResetStats
+// afterwards.
+func (db *Database) ProfileView(view string, hints WorkloadHints) (costmodel.Params, error) {
+	vs, ok := db.views[view]
+	if !ok {
+		return costmodel.Params{}, fmt.Errorf("core: unknown view %q", view)
+	}
+	p := costmodel.Default()
+	p.B = float64(db.disk.PageSize())
+	if hints.UpdateTxns > 0 {
+		p.K = hints.UpdateTxns
+	}
+	if hints.Queries > 0 {
+		p.Q = hints.Queries
+	}
+	if hints.TuplesPerTxn > 0 {
+		p.L = hints.TuplesPerTxn
+	}
+	if hints.QueryFraction > 0 {
+		p.FV = hints.QueryFraction
+	}
+
+	r0 := db.rels[vs.def.Relations[0]]
+	n := r0.Len()
+	if n == 0 {
+		return costmodel.Params{}, fmt.Errorf("core: relation %q is empty; nothing to profile", r0.Name())
+	}
+	p.N = float64(n)
+	// Average stored tuple size from the relation's data pages.
+	p.S = float64(r0.Pages()) * p.B / float64(n)
+	if p.S < 1 {
+		p.S = 1
+	}
+
+	// Live selectivity: the fraction of r0's tuples satisfying the
+	// view predicate's restrictions on slot 0.
+	matches := 0
+	all, err := r0.ScanAll()
+	if err != nil {
+		return costmodel.Params{}, err
+	}
+	for _, tp := range all {
+		if vs.def.Pred.EvalSingle(0, tp) {
+			matches++
+		}
+	}
+	p.F = float64(matches) / float64(n)
+	if p.F <= 0 {
+		p.F = 1 / float64(n) // an empty view still needs a valid f
+	}
+
+	if vs.def.Kind == Join {
+		r2 := db.rels[vs.def.Relations[1]]
+		if r2.Len() > 0 {
+			p.FR2 = float64(r2.Len()) / float64(n)
+			if p.FR2 > 1 {
+				p.FR2 = 1
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return costmodel.Params{}, fmt.Errorf("core: profiled parameters invalid: %w", err)
+	}
+	return p, nil
+}
+
+// Explanation reports, for one view, the analytic cost of every
+// applicable strategy at profiled parameters, the strategy currently
+// configured, and the model's verdict.
+type Explanation struct {
+	View       string
+	Current    Strategy
+	Params     costmodel.Params
+	Costs      map[string]float64
+	Cheapest   string
+	CurrentKey string // the cost-table key the current strategy maps to
+}
+
+// Explain profiles a view and prices every strategy the cost model
+// covers for its kind, so an operator can see whether the configured
+// strategy matches the model's recommendation.
+func (db *Database) Explain(view string, hints WorkloadHints) (*Explanation, error) {
+	vs, ok := db.views[view]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown view %q", view)
+	}
+	p, err := db.ProfileView(view, hints)
+	if err != nil {
+		return nil, err
+	}
+	var costs map[costmodel.Algorithm]float64
+	switch vs.def.Kind {
+	case Join:
+		costs = costmodel.Model2Costs(p)
+	case Aggregate:
+		costs = costmodel.Model3Costs(p)
+	default:
+		costs = costmodel.Model1CostsExtended(p, float64(maxInt(vs.snapshotEvery, 1)))
+	}
+	best, _ := costmodel.Best(costs)
+	ex := &Explanation{
+		View:       view,
+		Current:    vs.strategy,
+		Params:     p,
+		Costs:      map[string]float64{},
+		Cheapest:   string(best),
+		CurrentKey: strategyCostKey(vs.strategy, vs.def.Kind),
+	}
+	for alg, c := range costs {
+		ex.Costs[string(alg)] = c
+	}
+	return ex, nil
+}
+
+// strategyCostKey maps an engine strategy to its cost-table row for
+// the given view kind.
+func strategyCostKey(s Strategy, k Kind) string {
+	switch s {
+	case Immediate:
+		return string(costmodel.AlgImmediate)
+	case Deferred:
+		return string(costmodel.AlgDeferred)
+	case Snapshot:
+		return string(costmodel.AlgSnapshot)
+	case RecomputeOnDemand:
+		return string(costmodel.AlgRecomputeOnDemand)
+	default:
+		if k == Join {
+			return string(costmodel.AlgLoopJoin)
+		}
+		return string(costmodel.AlgClustered)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"viewmat/internal/agg"
+)
+
+func TestProfileViewDerivesParameters(t *testing.T) {
+	db := newSPDatabase(t, Immediate, 200)
+	hints := WorkloadHints{UpdateTxns: 30, Queries: 60, TuplesPerTxn: 7, QueryFraction: 0.25}
+	p, err := db.ProfileView("v", hints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 200 {
+		t.Errorf("N = %v, want 200", p.N)
+	}
+	// Seeds: keys 0..199, predicate 10 ≤ k < 30 → f = 0.1.
+	if math.Abs(p.F-0.1) > 1e-9 {
+		t.Errorf("f = %v, want 0.1", p.F)
+	}
+	if p.K != 30 || p.Q != 60 || p.L != 7 || p.FV != 0.25 {
+		t.Errorf("hints not applied: k=%v q=%v l=%v fv=%v", p.K, p.Q, p.L, p.FV)
+	}
+	if p.B != 512 {
+		t.Errorf("B = %v, want the database page size", p.B)
+	}
+	if p.S <= 0 || p.S > 512 {
+		t.Errorf("S = %v out of range", p.S)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("profiled params invalid: %v", err)
+	}
+}
+
+func TestProfileViewJoinDerivesFR2(t *testing.T) {
+	db := newJoinDatabase(t, Immediate, 60, 12)
+	p, err := db.ProfileView("j", WorkloadHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.FR2-0.2) > 1e-9 { // 12/60
+		t.Errorf("fR2 = %v, want 0.2", p.FR2)
+	}
+}
+
+func TestProfileViewErrors(t *testing.T) {
+	db := NewDatabase(testOpts())
+	db.CreateRelationBTree("r", spSchema(), 0)
+	if err := db.CreateView(spDef("v"), Immediate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ProfileView("v", WorkloadHints{}); err == nil {
+		t.Error("profiling an empty relation succeeded")
+	}
+	if _, err := db.ProfileView("missing", WorkloadHints{}); err == nil {
+		t.Error("profiling a missing view succeeded")
+	}
+}
+
+func TestExplainRanksStrategies(t *testing.T) {
+	db := newSPDatabase(t, Deferred, 300)
+	// Query-heavy profile: the model should prefer materialization.
+	ex, err := db.Explain("v", WorkloadHints{UpdateTxns: 5, Queries: 100, TuplesPerTxn: 2, QueryFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Current != Deferred || ex.View != "v" {
+		t.Errorf("explanation header wrong: %+v", ex)
+	}
+	if ex.CurrentKey != "deferred" {
+		t.Errorf("CurrentKey = %q", ex.CurrentKey)
+	}
+	if len(ex.Costs) < 5 {
+		t.Errorf("costs table has %d rows", len(ex.Costs))
+	}
+	if _, ok := ex.Costs[ex.Cheapest]; !ok {
+		t.Error("cheapest strategy missing from the cost table")
+	}
+	if ex.Costs[ex.Cheapest] > ex.Costs[ex.CurrentKey] {
+		t.Error("cheapest costs more than current")
+	}
+}
+
+func TestExplainJoinAndAggregate(t *testing.T) {
+	jdb := newJoinDatabase(t, QueryModification, 40, 8)
+	ex, err := jdb.Explain("j", WorkloadHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.CurrentKey != "loopjoin" {
+		t.Errorf("join QM CurrentKey = %q", ex.CurrentKey)
+	}
+	if _, ok := ex.Costs["loopjoin"]; !ok {
+		t.Error("join explanation missing loopjoin row")
+	}
+
+	adb := newAggDatabase(t, Immediate, agg.Sum, 100)
+	ex, err = adb.Explain("sumv", WorkloadHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ex.Costs["clustered"]; !ok {
+		t.Error("aggregate explanation missing recompute row")
+	}
+	if ex.CurrentKey != "immediate" {
+		t.Errorf("aggregate CurrentKey = %q", ex.CurrentKey)
+	}
+}
+
+func TestStrategyCostKeyMapping(t *testing.T) {
+	cases := map[Strategy]string{
+		Immediate:         "immediate",
+		Deferred:          "deferred",
+		Snapshot:          "snapshot",
+		RecomputeOnDemand: "recompute-on-demand",
+	}
+	for s, want := range cases {
+		if got := strategyCostKey(s, SelectProject); got != want {
+			t.Errorf("strategyCostKey(%v) = %q, want %q", s, got, want)
+		}
+	}
+	if got := strategyCostKey(QueryModification, Join); got != "loopjoin" {
+		t.Errorf("QM join key = %q", got)
+	}
+	if got := strategyCostKey(QueryModification, SelectProject); got != "clustered" {
+		t.Errorf("QM sp key = %q", got)
+	}
+}

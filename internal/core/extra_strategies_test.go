@@ -1,0 +1,285 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/tuple"
+)
+
+func TestSnapshotStalenessAndRefresh(t *testing.T) {
+	db := newSPDatabase(t, Snapshot, 50)
+	if err := db.SetSnapshotInterval("v", 2); err != nil {
+		t.Fatal(err)
+	}
+	insertAt := func(k int64) {
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(k), tuple.I(0), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One commit inside the staleness budget: the read is stale.
+	insertAt(15)
+	rows, err := db.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Errorf("within budget: rows = %d, want stale 20", len(rows))
+	}
+	if s, _ := db.SnapshotStaleness("v"); s != 1 {
+		t.Errorf("staleness = %d, want 1", s)
+	}
+
+	// Two more commits exceed the budget of 2: the next read refreshes.
+	insertAt(16)
+	insertAt(17)
+	rows, err = db.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 23 {
+		t.Errorf("past budget: rows = %d, want 23", len(rows))
+	}
+	if s, _ := db.SnapshotStaleness("v"); s != 0 {
+		t.Errorf("staleness after refresh = %d, want 0", s)
+	}
+}
+
+func TestSnapshotManualRefresh(t *testing.T) {
+	db := newSPDatabase(t, Snapshot, 50)
+	if err := db.SetSnapshotInterval("v", 1000); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(0), tuple.S("x"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.QueryView("v", nil)
+	if len(rows) != 20 {
+		t.Fatalf("expected stale read, got %d rows", len(rows))
+	}
+	if err := db.RefreshSnapshot("v"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.QueryView("v", nil)
+	if len(rows) != 21 {
+		t.Errorf("after manual refresh rows = %d, want 21", len(rows))
+	}
+}
+
+func TestSnapshotPaysNoScreening(t *testing.T) {
+	db := newSPDatabase(t, Snapshot, 50)
+	db.SetSnapshotInterval("v", 1000)
+	db.ResetStats()
+	tx := db.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(0), tuple.S("in-interval"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Breakdown()[PhaseScreen].Screens; got != 0 {
+		t.Errorf("snapshot view charged %d screens", got)
+	}
+}
+
+func TestSnapshotAPIErrors(t *testing.T) {
+	db := newSPDatabase(t, Immediate, 10)
+	if err := db.SetSnapshotInterval("v", 5); err == nil {
+		t.Error("interval set on non-snapshot view")
+	}
+	if err := db.RefreshSnapshot("v"); err == nil {
+		t.Error("manual refresh of non-snapshot view")
+	}
+	if err := db.SetSnapshotInterval("missing", 5); err == nil {
+		t.Error("interval set on missing view")
+	}
+	db2 := newSPDatabase(t, Snapshot, 10)
+	if err := db2.SetSnapshotInterval("v", -1); err == nil {
+		t.Error("negative interval accepted")
+	}
+}
+
+func TestRecomputeOnDemandRefreshesOnlyWhenThreatened(t *testing.T) {
+	db := newSPDatabase(t, RecomputeOnDemand, 50)
+
+	// An update outside the predicate interval is screened away: no
+	// dirty flag, and the next read pays no refresh.
+	tx := db.Begin()
+	tx.Insert("r", tuple.I(500), tuple.I(0), tuple.S("out"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	rows, err := db.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if got := db.Breakdown()[PhaseDefRefresh]; got.IOs() != 0 {
+		t.Errorf("clean read paid a recompute: %v", got)
+	}
+
+	// An in-interval update marks the view dirty; the next read does a
+	// full recompute and sees the change.
+	tx = db.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(0), tuple.S("in"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	rows, err = db.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 21 {
+		t.Errorf("rows after dirty read = %d, want 21", len(rows))
+	}
+	if got := db.Breakdown()[PhaseDefRefresh]; got.IOs() == 0 {
+		t.Error("dirty read did not pay a recompute")
+	}
+	// And the flag clears: a second read is cheap again.
+	db.ResetStats()
+	if _, err := db.QueryView("v", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Breakdown()[PhaseDefRefresh]; got.IOs() != 0 {
+		t.Error("clean follow-up read recomputed again")
+	}
+}
+
+func TestRecomputeOnDemandAgreesWithQueryModification(t *testing.T) {
+	rod := newSPDatabase(t, RecomputeOnDemand, 50)
+	qm := newSPDatabase(t, QueryModification, 50)
+	mutate := func(db *Database) {
+		tx := db.Begin()
+		tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("a"))
+		tx.Delete("r", tuple.I(12), 13)
+		tx.Update("r", tuple.I(25), 26, tuple.I(40), tuple.I(0), tuple.S("moved-out"))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate(rod)
+	mutate(qm)
+	got, err := rod.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := qm.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "recompute-on-demand", got, want)
+}
+
+func TestRecomputeOnDemandAggregate(t *testing.T) {
+	db := newAggDatabase(t, RecomputeOnDemand, agg.Sum, 50)
+	v0, ok, err := db.QueryAggregate("sumv")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(1000), tuple.S("x"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v1, ok, err := db.QueryAggregate("sumv")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if v1 != v0+1000 {
+		t.Errorf("aggregate after recompute = %v, want %v", v1, v0+1000)
+	}
+}
+
+func TestSnapshotAggregateStaleThenFresh(t *testing.T) {
+	db := newAggDatabase(t, Snapshot, agg.Count, 50)
+	db.SetSnapshotInterval("sumv", 1)
+	v0, _, _ := db.QueryAggregate("sumv") // 20 in-range tuples
+	tx := db.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// One commit: within budget, stale.
+	v1, _, _ := db.QueryAggregate("sumv")
+	if v1 != v0 {
+		t.Errorf("within budget count = %v, want stale %v", v1, v0)
+	}
+	tx = db.Begin()
+	tx.Insert("r", tuple.I(16), tuple.I(1), tuple.S("y"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	v2, _, _ := db.QueryAggregate("sumv")
+	if v2 != v0+2 {
+		t.Errorf("past budget count = %v, want %v", v2, v0+2)
+	}
+}
+
+func TestDeferredCannotMixWithSnapshotOrRecompute(t *testing.T) {
+	for _, other := range []Strategy{Snapshot, RecomputeOnDemand} {
+		db := NewDatabase(testOpts())
+		db.CreateRelationBTree("r", spSchema(), 0)
+		if err := db.CreateView(spDef("a"), Deferred); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateView(spDef("b"), other); err == nil {
+			t.Errorf("deferred + %v over one relation accepted", other)
+		} else if !strings.Contains(err.Error(), "deferred") {
+			t.Errorf("unhelpful error: %v", err)
+		}
+		// And the other direction.
+		db2 := NewDatabase(testOpts())
+		db2.CreateRelationBTree("r", spSchema(), 0)
+		if err := db2.CreateView(spDef("a"), other); err != nil {
+			t.Fatal(err)
+		}
+		if err := db2.CreateView(spDef("b"), Deferred); err == nil {
+			t.Errorf("%v + deferred over one relation accepted", other)
+		}
+	}
+}
+
+func TestRecomputeCostProfileVsDeferred(t *testing.T) {
+	// [Bune79]'s profile: cheaper commits than immediate (no view I/O
+	// in-transaction), expensive reads after updates (full rebuild
+	// instead of differential).
+	rod := newSPDatabase(t, RecomputeOnDemand, 200)
+	imm := newSPDatabase(t, Immediate, 200)
+	mutate := func(db *Database) {
+		tx := db.Begin()
+		tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x"))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rod.ResetStats()
+	imm.ResetStats()
+	mutate(rod)
+	mutate(imm)
+	rodCommit := rod.Breakdown()[PhaseImmRefresh].IOs() + rod.Breakdown()[PhaseCommitWrite].IOs()
+	immCommit := imm.Breakdown()[PhaseImmRefresh].IOs() + imm.Breakdown()[PhaseCommitWrite].IOs()
+	if rodCommit >= immCommit {
+		t.Errorf("recompute-on-demand commit (%d IOs) should be cheaper than immediate (%d IOs)", rodCommit, immCommit)
+	}
+	if _, err := rod.QueryView("v", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := imm.QueryView("v", nil); err != nil {
+		t.Fatal(err)
+	}
+	rodRead := rod.Breakdown()[PhaseDefRefresh].IOs() + rod.Breakdown()[PhaseQuery].IOs()
+	immRead := imm.Breakdown()[PhaseQuery].IOs()
+	if rodRead <= immRead {
+		t.Errorf("recompute-on-demand read (%d IOs) should exceed immediate's (%d IOs)", rodRead, immRead)
+	}
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/pred"
+	"viewmat/internal/relation"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Grouped aggregates extend Model 3 with a GROUP BY column: instead of
+// one sub-page aggregate state, the view stores one row per group, each
+// row carrying that group's full aggregate state (count, sum, sum of
+// squares, extreme), clustered on the grouping column. Insertion and
+// deletion update exactly the affected group's row; deleting a group's
+// extreme value under MIN/MAX triggers a recomputation scan restricted
+// to that group. This is the natural generalization the paper's §4
+// applications (triggers, live windows) ask for.
+
+// GroupedAggregate is the view kind for GROUP BY aggregates. The Def
+// uses AggKind/AggCol as for Aggregate, plus GroupBy.
+const GroupedAggregate Kind = 3
+
+// groupStore is the materialization: a B+-tree relation keyed on the
+// group value, one row per live group.
+type groupStore struct {
+	rel      *relation.Relation
+	groupTyp tuple.Type
+}
+
+// groupStoreSchema lays out a group row: group value, count, sum,
+// sum-of-squares, extreme.
+func groupStoreSchema(groupTyp tuple.Type) *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("group", groupTyp),
+		tuple.Col("count", tuple.Int),
+		tuple.Col("sum", tuple.Float),
+		tuple.Col("sumsq", tuple.Float),
+		tuple.Col("extreme", tuple.Float),
+	)
+}
+
+func newGroupStore(disk *storage.Disk, pool *storage.Pool, name string, groupTyp tuple.Type) (*groupStore, error) {
+	rel, err := relation.NewBTree(disk, pool, name+".groups", groupStoreSchema(groupTyp), 0)
+	if err != nil {
+		return nil, err
+	}
+	return &groupStore{rel: rel, groupTyp: groupTyp}, nil
+}
+
+// stateOf decodes a stored group row into an aggregate state.
+func stateOf(kind agg.Kind, row tuple.Tuple) *agg.State {
+	s := agg.NewState(kind)
+	s.Restore(row.Vals[1].Int(), row.Vals[2].Float(), row.Vals[3].Float(), row.Vals[4].Float())
+	return s
+}
+
+// rowOf encodes an aggregate state as a group row's values.
+func rowOf(group tuple.Value, s *agg.State) []tuple.Value {
+	count, sum, sumSq, extreme := s.Components()
+	return []tuple.Value{group, tuple.I(count), tuple.F(sum), tuple.F(sumSq), tuple.F(extreme)}
+}
+
+// get fetches a group's row.
+func (g *groupStore) get(group tuple.Value) (tuple.Tuple, bool, error) {
+	matches, err := g.rel.LookupKey(group)
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	if len(matches) == 0 {
+		return tuple.Tuple{}, false, nil
+	}
+	return matches[0], true, nil
+}
+
+// put replaces (or inserts) a group's row; an empty state removes it.
+func (g *groupStore) put(group tuple.Value, s *agg.State, old *tuple.Tuple, id uint64) error {
+	if old != nil {
+		if _, ok, err := g.rel.Delete(group, old.ID); err != nil || !ok {
+			return fmt.Errorf("core: group row rewrite lost %v: ok=%v err=%v", group, ok, err)
+		}
+	}
+	if s.Count() == 0 {
+		return nil
+	}
+	useID := id
+	if old != nil {
+		useID = old.ID
+	}
+	return g.rel.Insert(tuple.Tuple{ID: useID, Vals: rowOf(group, s)})
+}
+
+// GroupRow is one grouped-aggregate result.
+type GroupRow struct {
+	Group tuple.Value
+	Value float64
+	Count int64
+}
+
+// --- engine integration -----------------------------------------------------
+
+// refreshGroupAgg applies Model-3 deltas per group.
+func (db *Database) refreshGroupAgg(vs *viewState, d *deltas) error {
+	kind := vs.def.AggKind
+	for _, tp := range d.adds {
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			continue
+		}
+		group := tp.Vals[vs.def.GroupBy]
+		row, found, err := vs.groups.get(group)
+		if err != nil {
+			return err
+		}
+		var s *agg.State
+		var oldRow *tuple.Tuple
+		if found {
+			s = stateOf(kind, row)
+			oldRow = &row
+		} else {
+			s = agg.NewState(kind)
+		}
+		s.Insert(tp.Vals[vs.def.AggCol].AsFloat())
+		if err := vs.groups.put(group, s, oldRow, db.nextID()); err != nil {
+			return err
+		}
+	}
+	for _, tp := range d.dels {
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			continue
+		}
+		group := tp.Vals[vs.def.GroupBy]
+		row, found, err := vs.groups.get(group)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("core: delete for unknown group %v in %q", group, vs.def.Name)
+		}
+		s := stateOf(kind, row)
+		if s.Delete(tp.Vals[vs.def.AggCol].AsFloat()) {
+			if err := db.recomputeGroup(vs, group, s); err != nil {
+				return err
+			}
+		}
+		if err := vs.groups.put(group, s, &row, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recomputeGroup rebuilds one group's state from the base relation (a
+// restricted, charged scan) after a MIN/MAX extreme deletion.
+func (db *Database) recomputeGroup(vs *viewState, group tuple.Value, s *agg.State) error {
+	r := db.rels[vs.def.Relations[0]]
+	var vals []float64
+	consume := func(tp tuple.Tuple) {
+		db.meter.Screen(1)
+		if vs.def.Pred.EvalSingle(0, tp) && tuple.Equal(tp.Vals[vs.def.GroupBy], group) {
+			vals = append(vals, tp.Vals[vs.def.AggCol].AsFloat())
+		}
+	}
+	if r.Kind() == relation.ClusteredBTree {
+		rg, constrained := vs.def.Pred.IntervalFor(0, r.KeyCol())
+		var scanRg *pred.Range
+		if constrained {
+			scanRg = &rg
+		}
+		// When the relation is clustered on the grouping column the
+		// scan narrows to just that group.
+		if vs.def.GroupBy == r.KeyCol() {
+			scanRg = pred.PointRange(group)
+		}
+		it, err := r.Iter(scanRg)
+		if err != nil {
+			return err
+		}
+		for {
+			tp, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			consume(tp)
+		}
+	} else {
+		all, err := r.ScanAll()
+		if err != nil {
+			return err
+		}
+		for _, tp := range all {
+			consume(tp)
+		}
+	}
+	s.Rebuild(vals)
+	return nil
+}
+
+// rebuildGroupAgg rebuilds the whole group store from base contents
+// (populate at CreateView, and the recompute path of Snapshot /
+// RecomputeOnDemand strategies).
+func (db *Database) rebuildGroupAgg(vs *viewState) error {
+	name := vs.def.Name
+	db.disk.Remove(name + ".groups.btree")
+	r := db.rels[vs.def.Relations[0]]
+	groupTyp := r.Schema().Cols[vs.def.GroupBy].Type
+	gs, err := newGroupStore(db.disk, db.pool, name, groupTyp)
+	if err != nil {
+		return err
+	}
+	vs.groups = gs
+	return db.bulkWrite(func() error { return db.fillGroupStore(vs, r) })
+}
+
+// fillGroupStore scans the base relation and writes every group's
+// state into a fresh group store.
+func (db *Database) fillGroupStore(vs *viewState, r *relation.Relation) error {
+	gs := vs.groups
+	all, err := r.ScanAll()
+	if err != nil {
+		return err
+	}
+	states := map[string]*agg.State{}
+	groups := map[string]tuple.Value{}
+	for _, tp := range all {
+		db.meter.Screen(1)
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			continue
+		}
+		g := tp.Vals[vs.def.GroupBy]
+		key := g.String()
+		s, ok := states[key]
+		if !ok {
+			s = agg.NewState(vs.def.AggKind)
+			states[key] = s
+			groups[key] = g
+		}
+		s.Insert(tp.Vals[vs.def.AggCol].AsFloat())
+	}
+	for key, s := range states {
+		if err := gs.put(groups[key], s, nil, db.nextID()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// QueryGroups answers a grouped-aggregate query restricted to a group
+// range (nil = every group), refreshing per the view's strategy.
+func (db *Database) QueryGroups(name string, rg *pred.Range) ([]GroupRow, error) {
+	vs, ok := db.views[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown view %q", name)
+	}
+	if vs.def.Kind != GroupedAggregate {
+		return nil, fmt.Errorf("core: view %q is not a grouped aggregate", name)
+	}
+	if err := db.pool.EvictAll(); err != nil {
+		return nil, err
+	}
+	db.Queries++
+
+	switch vs.strategy {
+	case Deferred:
+		if err := db.refreshDeferred(vs); err != nil {
+			return nil, err
+		}
+	case Snapshot, RecomputeOnDemand:
+		if err := db.maybeRefreshExtra(vs); err != nil {
+			return nil, err
+		}
+	}
+
+	var rows []GroupRow
+	err := db.inPhase(PhaseQuery, func() error {
+		if vs.strategy == QueryModification {
+			var err error
+			rows, err = db.groupsFromBase(vs, rg)
+			return err
+		}
+		stored, err := vs.groups.rel.Scan(orFull(rg))
+		if err != nil {
+			return err
+		}
+		for _, row := range stored {
+			db.meter.Screen(1)
+			s := stateOf(vs.def.AggKind, row)
+			v, ok := s.Value()
+			if !ok {
+				continue
+			}
+			rows = append(rows, GroupRow{Group: row.Vals[0], Value: v, Count: s.Count()})
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// groupsFromBase evaluates a grouped aggregate with query modification.
+func (db *Database) groupsFromBase(vs *viewState, rg *pred.Range) ([]GroupRow, error) {
+	r := db.rels[vs.def.Relations[0]]
+	all, err := r.ScanAll()
+	if err != nil {
+		return nil, err
+	}
+	// Overlay un-folded HR changes (deferred siblings).
+	skip := map[uint64]bool{}
+	var extra []tuple.Tuple
+	if h, ok := db.hrs[vs.def.Relations[0]]; ok && h.ADLen() > 0 {
+		anet, dnet, err := h.NetChanges()
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range dnet {
+			skip[tp.ID] = true
+		}
+		extra = anet
+	}
+	states := map[string]*agg.State{}
+	groups := map[string]tuple.Value{}
+	consume := func(tp tuple.Tuple) {
+		db.meter.Screen(1)
+		if skip[tp.ID] || !vs.def.Pred.EvalSingle(0, tp) {
+			return
+		}
+		g := tp.Vals[vs.def.GroupBy]
+		if rg != nil && !rg.Contains(g) {
+			return
+		}
+		key := g.String()
+		s, ok := states[key]
+		if !ok {
+			s = agg.NewState(vs.def.AggKind)
+			states[key] = s
+			groups[key] = g
+		}
+		s.Insert(tp.Vals[vs.def.AggCol].AsFloat())
+	}
+	for _, tp := range all {
+		consume(tp)
+	}
+	for _, tp := range extra {
+		consume(tp)
+	}
+	rows := make([]GroupRow, 0, len(states))
+	for key, s := range states {
+		v, ok := s.Value()
+		if !ok {
+			continue
+		}
+		rows = append(rows, GroupRow{Group: groups[key], Value: v, Count: s.Count()})
+	}
+	sortGroupRows(rows)
+	return rows, nil
+}
+
+func sortGroupRows(rows []GroupRow) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && tuple.Compare(rows[j].Group, rows[j-1].Group) < 0; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+
+	"viewmat/internal/pred"
+	"viewmat/internal/relation"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// dupCountCol is the name of the hidden duplicate-count column.
+const dupCountCol = "__dup"
+
+// MatView is a materialized view stored as a clustered B+-tree with a
+// hidden duplicate count per distinct row (§2.1): projection can map
+// several source tuples to one view row, and without a count a deletion
+// could not tell whether the row must disappear. InsertDelta increments
+// the count (inserting at 1); DeleteDelta decrements it (physically
+// removing at 0) and fails on underflow — underflow is how the
+// Appendix A anomaly in Blakeley's delete expansion manifests.
+type MatView struct {
+	rel    *relation.Relation
+	out    *tuple.Schema // logical (count-free) schema
+	keyCol int
+}
+
+// NewMatView creates the backing store for a materialized view with
+// the given logical output schema, clustered on keyCol.
+func NewMatView(disk *storage.Disk, pool *storage.Pool, name string, out *tuple.Schema, keyCol int) (*MatView, error) {
+	cols := append(append([]tuple.Column(nil), out.Cols...), tuple.Col(dupCountCol, tuple.Int))
+	stored := tuple.NewSchema(cols...)
+	rel, err := relation.NewBTree(disk, pool, name+".view", stored, keyCol)
+	if err != nil {
+		return nil, err
+	}
+	return &MatView{rel: rel, out: out, keyCol: keyCol}, nil
+}
+
+// Schema returns the logical (count-free) output schema.
+func (v *MatView) Schema() *tuple.Schema { return v.out }
+
+// KeyCol returns the clustering column of the view.
+func (v *MatView) KeyCol() int { return v.keyCol }
+
+// DistinctRows returns the number of distinct stored rows.
+func (v *MatView) DistinctRows() int { return v.rel.Len() }
+
+// Pages returns the view's data pages (unmetered).
+func (v *MatView) Pages() int { return v.rel.Pages() }
+
+// IndexHeight returns the view index height above the leaves (Hvi).
+func (v *MatView) IndexHeight() int { return v.rel.IndexHeight() }
+
+// findRow locates the stored row with exactly these values, if any.
+func (v *MatView) findRow(vals []tuple.Value) (tuple.Tuple, bool, error) {
+	matches, err := v.rel.LookupKey(vals[v.keyCol])
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	for _, m := range matches {
+		if valsEqualPrefix(m.Vals, vals) {
+			return m, true, nil
+		}
+	}
+	return tuple.Tuple{}, false, nil
+}
+
+func valsEqualPrefix(stored []tuple.Value, vals []tuple.Value) bool {
+	if len(stored) != len(vals)+1 {
+		return false
+	}
+	for i := range vals {
+		if !tuple.Equal(stored[i], vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// InsertDelta adds one source occurrence of the row: increments the
+// duplicate count of an identical stored row, or inserts it with count
+// 1. id supplies a fresh tuple id when a physical insert is needed.
+func (v *MatView) InsertDelta(vals []tuple.Value, id uint64) error {
+	if err := v.out.Validate(vals); err != nil {
+		return fmt.Errorf("matview: %w", err)
+	}
+	row, found, err := v.findRow(vals)
+	if err != nil {
+		return err
+	}
+	if found {
+		return v.setCount(row, row.Vals[len(vals)].Int()+1)
+	}
+	stored := append(append([]tuple.Value(nil), vals...), tuple.I(1))
+	return v.rel.Insert(tuple.Tuple{ID: id, Vals: stored})
+}
+
+// DeleteDelta removes one source occurrence: decrements the duplicate
+// count, physically deleting the row at zero. A missing row is an
+// error — the differential algorithm never deletes what it did not
+// insert, so a miss means the caller used an incorrect expansion
+// (see Appendix A) or corrupted state.
+func (v *MatView) DeleteDelta(vals []tuple.Value) error {
+	if err := v.out.Validate(vals); err != nil {
+		return fmt.Errorf("matview: %w", err)
+	}
+	row, found, err := v.findRow(vals)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("matview: delete of absent row %v (duplicate-count underflow)", vals)
+	}
+	cnt := row.Vals[len(vals)].Int()
+	if cnt > 1 {
+		return v.setCount(row, cnt-1)
+	}
+	_, _, err = v.rel.Delete(row.Vals[v.keyCol], row.ID)
+	return err
+}
+
+// setCount rewrites a stored row with a new duplicate count.
+func (v *MatView) setCount(row tuple.Tuple, count int64) error {
+	if _, ok, err := v.rel.Delete(row.Vals[v.keyCol], row.ID); err != nil || !ok {
+		return fmt.Errorf("matview: rewrite lost row: ok=%v err=%v", ok, err)
+	}
+	vals := append([]tuple.Value(nil), row.Vals...)
+	vals[len(vals)-1] = tuple.I(count)
+	return v.rel.Insert(tuple.Tuple{ID: row.ID, Vals: vals})
+}
+
+// Row is a distinct view row and its duplicate count.
+type Row struct {
+	Vals  []tuple.Value
+	Count int64
+}
+
+// Scan returns the distinct rows whose clustering value lies in rg
+// (nil for all), in key order, with their duplicate counts.
+func (v *MatView) Scan(rg *pred.Range) ([]Row, error) {
+	stored, err := v.rel.Scan(orFull(rg))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Row, len(stored))
+	for i, tp := range stored {
+		n := len(tp.Vals) - 1
+		out[i] = Row{Vals: tp.Vals[:n], Count: tp.Vals[n].Int()}
+	}
+	return out, nil
+}
+
+// TotalCount returns the logical cardinality (sum of duplicate counts);
+// unmetered scans are not used — this reads through the pool like any
+// full scan, so callers should treat it as a charged operation.
+func (v *MatView) TotalCount() (int64, error) {
+	rows, err := v.Scan(nil)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, r := range rows {
+		total += r.Count
+	}
+	return total, nil
+}
+
+func orFull(rg *pred.Range) *pred.Range {
+	if rg == nil {
+		return pred.FullRange()
+	}
+	return rg
+}

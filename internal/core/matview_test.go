@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"viewmat/internal/pred"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+func newTestMatView(t testing.TB) *MatView {
+	t.Helper()
+	d := storage.NewDisk(512)
+	p := storage.NewPool(d, storage.NewMeter(), 128)
+	out := tuple.NewSchema(tuple.Col("k", tuple.Int), tuple.Col("v", tuple.String))
+	mv, err := NewMatView(d, p, "v", out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mv
+}
+
+func TestMatViewInsertIncrementsDupCount(t *testing.T) {
+	mv := newTestMatView(t)
+	row := []tuple.Value{tuple.I(1), tuple.S("x")}
+	for i := 0; i < 3; i++ {
+		if err := mv.InsertDelta(row, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mv.DistinctRows() != 1 {
+		t.Errorf("DistinctRows = %d, want 1 (duplicates collapsed)", mv.DistinctRows())
+	}
+	rows, err := mv.Scan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Count != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+	total, _ := mv.TotalCount()
+	if total != 3 {
+		t.Errorf("TotalCount = %d", total)
+	}
+}
+
+func TestMatViewDeleteDecrementsAndRemoves(t *testing.T) {
+	mv := newTestMatView(t)
+	row := []tuple.Value{tuple.I(1), tuple.S("x")}
+	mv.InsertDelta(row, 1)
+	mv.InsertDelta(row, 2)
+	if err := mv.DeleteDelta(row); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := mv.Scan(nil)
+	if len(rows) != 1 || rows[0].Count != 1 {
+		t.Errorf("after one delete rows = %v", rows)
+	}
+	if err := mv.DeleteDelta(row); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = mv.Scan(nil)
+	if len(rows) != 0 {
+		t.Errorf("after final delete rows = %v", rows)
+	}
+}
+
+func TestMatViewDeleteUnderflowErrors(t *testing.T) {
+	mv := newTestMatView(t)
+	row := []tuple.Value{tuple.I(1), tuple.S("x")}
+	if err := mv.DeleteDelta(row); err == nil {
+		t.Error("delete of absent row succeeded")
+	}
+	mv.InsertDelta(row, 1)
+	mv.DeleteDelta(row)
+	if err := mv.DeleteDelta(row); err == nil {
+		t.Error("duplicate-count underflow not detected")
+	}
+}
+
+func TestMatViewDistinguishesRowsSharingKey(t *testing.T) {
+	mv := newTestMatView(t)
+	a := []tuple.Value{tuple.I(1), tuple.S("a")}
+	b := []tuple.Value{tuple.I(1), tuple.S("b")}
+	mv.InsertDelta(a, 1)
+	mv.InsertDelta(b, 2)
+	mv.InsertDelta(a, 3)
+	rows, _ := mv.Scan(pred.PointRange(tuple.I(1)))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	counts := map[string]int64{}
+	for _, r := range rows {
+		counts[r.Vals[1].Str()] = r.Count
+	}
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if err := mv.DeleteDelta(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := mv.DeleteDelta(b); err == nil {
+		t.Error("second delete of b should underflow")
+	}
+}
+
+func TestMatViewScanRange(t *testing.T) {
+	mv := newTestMatView(t)
+	for i := int64(0); i < 20; i++ {
+		if err := mv.InsertDelta([]tuple.Value{tuple.I(i), tuple.S("r")}, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := mv.Scan(pred.NewRange(tuple.I(5), tuple.I(9), true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Errorf("range scan rows = %d, want 5", len(rows))
+	}
+	if mv.Pages() < 1 || mv.IndexHeight() < 0 {
+		t.Error("statistics accessors misbehaved")
+	}
+}
+
+func TestMatViewValidatesSchema(t *testing.T) {
+	mv := newTestMatView(t)
+	if err := mv.InsertDelta([]tuple.Value{tuple.I(1)}, 1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := mv.DeleteDelta([]tuple.Value{tuple.S("x"), tuple.S("y")}); err == nil {
+		t.Error("wrong types accepted")
+	}
+}

@@ -1,0 +1,363 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/hr"
+	"viewmat/internal/pred"
+	"viewmat/internal/relation"
+	"viewmat/internal/rules"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Save serializes the whole database — catalog, view state and the
+// disk image — to w (encoding/gob). Dirty buffer-pool frames are
+// flushed first so the image is consistent. A database restored with
+// Load answers every query identically and continues from the same
+// tuple-id clock.
+func (db *Database) Save(w io.Writer) error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	snap := dbSnapshot{
+		Version:    snapshotVersion,
+		PageSize:   db.disk.PageSize(),
+		PoolFrames: db.pool.Capacity(),
+		HRConfig:   db.hrConfig,
+		Clock:      db.clock,
+		Disk:       db.disk.Snapshot(),
+	}
+	relNames := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		relNames = append(relNames, n)
+	}
+	sort.Strings(relNames)
+	for _, n := range relNames {
+		r := db.rels[n]
+		snap.Relations = append(snap.Relations, relationDTO{
+			Name:   n,
+			Schema: schemaToDTO(r.Schema()),
+			Meta:   r.Meta(),
+		})
+	}
+	for _, n := range db.ViewNames() {
+		vs := db.views[n]
+		dto := viewDTO{
+			Def:           defToDTO(vs.def),
+			Strategy:      int(vs.strategy),
+			Plan:          int(vs.plan),
+			Blakeley:      vs.blakeley,
+			SnapshotEvery: vs.snapshotEvery,
+			RefreshEvery:  vs.refreshEvery,
+			StaleCommits:  vs.staleCommits,
+			Dirty:         vs.dirty,
+		}
+		if vs.mat != nil {
+			m := vs.mat.rel.Meta()
+			dto.MatMeta = &m
+		}
+		if vs.groups != nil {
+			m := vs.groups.rel.Meta()
+			dto.GroupMeta = &m
+		}
+		if vs.aggState != nil {
+			dto.HasAgg = true
+			dto.AggPage = vs.aggPage
+		}
+		snap.Views = append(snap.Views, dto)
+	}
+	hrNames := make([]string, 0, len(db.hrs))
+	for n := range db.hrs {
+		hrNames = append(hrNames, n)
+	}
+	sort.Strings(hrNames)
+	for _, n := range hrNames {
+		snap.HRs = append(snap.HRs, hrDTO{Relation: n, ADMeta: db.hrs[n].ADMeta()})
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reconstructs a database saved with Save. The restored engine's
+// meter starts at zero (loading is setup, not workload).
+func Load(r io.Reader) (*Database, error) {
+	var snap dbSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	disk, err := storage.RestoreDisk(snap.Disk)
+	if err != nil {
+		return nil, err
+	}
+	meter := storage.NewMeter()
+	db := &Database{
+		disk:      disk,
+		pool:      storage.NewPool(disk, meter, snap.PoolFrames),
+		meter:     meter,
+		locks:     rules.NewTable(meter),
+		rels:      map[string]*relation.Relation{},
+		hrs:       map[string]*hr.HR{},
+		views:     map[string]*viewState{},
+		hrConfig:  snap.HRConfig,
+		clock:     snap.Clock,
+		breakdown: map[Phase]storage.Stats{},
+	}
+
+	for _, rd := range snap.Relations {
+		rel, err := relation.Open(disk, db.pool, rd.Name, schemaFromDTO(rd.Schema), rd.Meta)
+		if err != nil {
+			return nil, fmt.Errorf("core: reopening relation %q: %w", rd.Name, err)
+		}
+		db.rels[rd.Name] = rel
+	}
+	for _, hd := range snap.HRs {
+		base, ok := db.rels[hd.Relation]
+		if !ok {
+			return nil, fmt.Errorf("core: HR for unknown relation %q", hd.Relation)
+		}
+		h, err := hr.Open(disk, db.pool, base, snap.HRConfig, hd.ADMeta)
+		if err != nil {
+			return nil, err
+		}
+		db.hrs[hd.Relation] = h
+	}
+	for _, vd := range snap.Views {
+		def, err := defFromDTO(vd.Def)
+		if err != nil {
+			return nil, err
+		}
+		schemas := make([]*tuple.Schema, 0, len(def.Relations))
+		for _, rn := range def.Relations {
+			rel, ok := db.rels[rn]
+			if !ok {
+				return nil, fmt.Errorf("core: view %q references unknown relation %q", def.Name, rn)
+			}
+			schemas = append(schemas, rel.Schema())
+		}
+		vs := &viewState{
+			def:           def,
+			strategy:      Strategy(vd.Strategy),
+			schemas:       schemas,
+			plan:          QueryPlan(vd.Plan),
+			blakeley:      vd.Blakeley,
+			snapshotEvery: vd.SnapshotEvery,
+			refreshEvery:  vd.RefreshEvery,
+			staleCommits:  vd.StaleCommits,
+			dirty:         vd.Dirty,
+		}
+		if vd.MatMeta != nil {
+			mat, err := OpenMatView(disk, db.pool, def.Name, def.OutputSchema(schemas), def.ViewKeyCol, *vd.MatMeta)
+			if err != nil {
+				return nil, fmt.Errorf("core: reopening view %q: %w", def.Name, err)
+			}
+			vs.mat = mat
+		}
+		if vd.GroupMeta != nil {
+			groupTyp := schemas[0].Cols[def.GroupBy].Type
+			rel, err := relation.Open(disk, db.pool, def.Name+".groups", groupStoreSchema(groupTyp), *vd.GroupMeta)
+			if err != nil {
+				return nil, fmt.Errorf("core: reopening groups of %q: %w", def.Name, err)
+			}
+			vs.groups = &groupStore{rel: rel, groupTyp: groupTyp}
+		}
+		if vd.HasAgg {
+			vs.aggFile = disk.Open(def.Name + ".agg")
+			vs.aggPage = vd.AggPage
+			page, err := vs.aggFile.Peek(vs.aggPage)
+			if err != nil {
+				return nil, fmt.Errorf("core: aggregate page for %q: %w", def.Name, err)
+			}
+			state, err := agg.DecodeState(page)
+			if err != nil {
+				return nil, fmt.Errorf("core: aggregate state for %q: %w", def.Name, err)
+			}
+			vs.aggState = state
+		}
+		if vs.strategy != QueryModification && vs.strategy != Snapshot {
+			for slot, rn := range def.Relations {
+				db.locks.Register(def.Name, rn, slot, db.rels[rn].KeyCol(), def.Pred, def.TargetColumns(slot))
+			}
+		}
+		db.views[def.Name] = vs
+	}
+	db.ResetStats()
+	return db, nil
+}
+
+const snapshotVersion = 1
+
+// --- DTOs (gob-friendly: exported fields, no interfaces) -------------------
+
+type dbSnapshot struct {
+	Version    int
+	PageSize   int
+	PoolFrames int
+	HRConfig   hr.Config
+	Clock      uint64
+	Disk       *storage.DiskImage
+	Relations  []relationDTO
+	Views      []viewDTO
+	HRs        []hrDTO
+}
+
+type colDTO struct {
+	Name string
+	Type uint8
+}
+
+type relationDTO struct {
+	Name   string
+	Schema []colDTO
+	Meta   relation.Meta
+}
+
+type viewDTO struct {
+	Def           defDTO
+	Strategy      int
+	Plan          int
+	Blakeley      bool
+	SnapshotEvery int
+	RefreshEvery  int
+	StaleCommits  int
+	Dirty         bool
+	MatMeta       *relation.Meta
+	GroupMeta     *relation.Meta
+	HasAgg        bool
+	AggPage       storage.PageNum
+}
+
+type hrDTO struct {
+	Relation string
+	ADMeta   hrADMeta
+}
+
+// hrADMeta aliases hr's AD metadata type for the DTO.
+type hrADMeta = hr.ADMeta
+
+type valueDTO struct {
+	Type uint8
+	I    int64
+	F    float64
+	S    string
+}
+
+type atomDTO struct {
+	IsJoin                 bool
+	Rel, Col               int
+	Op                     uint8
+	Val                    valueDTO
+	LRel, LCol, RRel, RCol int
+}
+
+type defDTO struct {
+	Name       string
+	Kind       int
+	Relations  []string
+	Atoms      []atomDTO
+	Project    [][]int
+	ViewKeyCol int
+	AggKind    uint8
+	AggCol     int
+	GroupBy    int
+}
+
+func schemaToDTO(s *tuple.Schema) []colDTO {
+	out := make([]colDTO, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = colDTO{Name: c.Name, Type: uint8(c.Type)}
+	}
+	return out
+}
+
+func schemaFromDTO(cols []colDTO) *tuple.Schema {
+	cc := make([]tuple.Column, len(cols))
+	for i, c := range cols {
+		cc[i] = tuple.Col(c.Name, tuple.Type(c.Type))
+	}
+	return tuple.NewSchema(cc...)
+}
+
+func valueToDTO(v tuple.Value) valueDTO {
+	switch v.Type() {
+	case tuple.Int:
+		return valueDTO{Type: uint8(tuple.Int), I: v.Int()}
+	case tuple.Float:
+		return valueDTO{Type: uint8(tuple.Float), F: v.Float()}
+	default:
+		return valueDTO{Type: uint8(tuple.String), S: v.Str()}
+	}
+}
+
+func valueFromDTO(d valueDTO) tuple.Value {
+	switch tuple.Type(d.Type) {
+	case tuple.Int:
+		return tuple.I(d.I)
+	case tuple.Float:
+		return tuple.F(d.F)
+	default:
+		return tuple.S(d.S)
+	}
+}
+
+func defToDTO(def Def) defDTO {
+	dto := defDTO{
+		Name:       def.Name,
+		Kind:       int(def.Kind),
+		Relations:  append([]string(nil), def.Relations...),
+		Project:    def.Project,
+		ViewKeyCol: def.ViewKeyCol,
+		AggKind:    uint8(def.AggKind),
+		AggCol:     def.AggCol,
+		GroupBy:    def.GroupBy,
+	}
+	for _, a := range def.Pred.Atoms {
+		switch at := a.(type) {
+		case pred.Cmp:
+			dto.Atoms = append(dto.Atoms, atomDTO{Rel: at.Rel, Col: at.Col, Op: uint8(at.Op), Val: valueToDTO(at.Val)})
+		case pred.JoinEq:
+			dto.Atoms = append(dto.Atoms, atomDTO{IsJoin: true, LRel: at.LRel, LCol: at.LCol, RRel: at.RRel, RCol: at.RCol})
+		}
+	}
+	return dto
+}
+
+func defFromDTO(dto defDTO) (Def, error) {
+	atoms := make([]pred.Atom, 0, len(dto.Atoms))
+	for _, a := range dto.Atoms {
+		if a.IsJoin {
+			atoms = append(atoms, pred.JoinEq{LRel: a.LRel, LCol: a.LCol, RRel: a.RRel, RCol: a.RCol})
+		} else {
+			atoms = append(atoms, pred.Cmp{Rel: a.Rel, Col: a.Col, Op: pred.Op(a.Op), Val: valueFromDTO(a.Val)})
+		}
+	}
+	return Def{
+		Name:       dto.Name,
+		Kind:       Kind(dto.Kind),
+		Relations:  dto.Relations,
+		Pred:       pred.New(atoms...),
+		Project:    dto.Project,
+		ViewKeyCol: dto.ViewKeyCol,
+		AggKind:    agg.Kind(dto.AggKind),
+		AggCol:     dto.AggCol,
+		GroupBy:    dto.GroupBy,
+	}, nil
+}
+
+// OpenMatView reattaches a materialized view's backing store from a
+// restored disk.
+func OpenMatView(disk *storage.Disk, pool *storage.Pool, name string, out *tuple.Schema, keyCol int, m relation.Meta) (*MatView, error) {
+	cols := append(append([]tuple.Column(nil), out.Cols...), tuple.Col(dupCountCol, tuple.Int))
+	stored := tuple.NewSchema(cols...)
+	rel, err := relation.Open(disk, pool, name+".view", stored, m)
+	if err != nil {
+		return nil, err
+	}
+	return &MatView{rel: rel, out: out, keyCol: keyCol}, nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/tuple"
+)
+
+func saveLoad(t *testing.T, db *Database) *Database {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return restored
+}
+
+func TestSaveLoadSPView(t *testing.T) {
+	db := newSPDatabase(t, Immediate, 60)
+	tx := db.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("pre-save"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := saveLoad(t, db)
+	got, err := restored.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "restored view", got, want)
+
+	// The restored engine keeps working: ids continue from the saved
+	// clock, screening still fires, the view stays maintained.
+	tx = restored.Begin()
+	id, err := tx.Insert("r", tuple.I(16), tuple.I(2), tuple.S("post-load"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 61 {
+		t.Errorf("clock did not survive: new id %d", id)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = restored.QueryView("v", nil)
+	if len(got) != len(want)+1 {
+		t.Errorf("post-load insert not visible: %d rows", len(got))
+	}
+	if restored.Breakdown()[PhaseScreen].Screens == 0 {
+		t.Error("restored engine does not screen")
+	}
+}
+
+func TestSaveLoadDeferredWithPendingAD(t *testing.T) {
+	db := newSPDatabase(t, Deferred, 50)
+	tx := db.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("pending"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := db.HR("r")
+	if h.ADLen() == 0 {
+		t.Fatal("no pending AD before save")
+	}
+
+	restored := saveLoad(t, db)
+	rh, ok := restored.HR("r")
+	if !ok {
+		t.Fatal("HR lost in restore")
+	}
+	if rh.ADLen() != h.ADLen() {
+		t.Errorf("AD length %d, want %d", rh.ADLen(), h.ADLen())
+	}
+	// The Bloom filter was rebuilt: the pending key probes AD.
+	if !rh.Filter().MayContain(tuple.I(15).String()) {
+		t.Error("restored bloom filter lost the pending key")
+	}
+	// The deferred refresh still happens at query time.
+	rows, err := restored.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 21 {
+		t.Errorf("rows = %d, want 21", len(rows))
+	}
+	if rh.ADLen() != 0 {
+		t.Error("restored query did not fold AD")
+	}
+}
+
+func TestSaveLoadJoinView(t *testing.T) {
+	db := newJoinDatabase(t, Immediate, 30, 6)
+	want, _ := db.QueryView("j", nil)
+	restored := saveLoad(t, db)
+	got, err := restored.QueryView("j", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "restored join", got, want)
+	// Mutations keep maintaining the restored join view.
+	tx := restored.Begin()
+	if _, err := tx.Insert("r1", tuple.I(70), tuple.I(3), tuple.S("n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = restored.QueryView("j", nil)
+	if len(got) != len(want)+1 {
+		t.Errorf("rows = %d, want %d", len(got), len(want)+1)
+	}
+}
+
+func TestSaveLoadAggregate(t *testing.T) {
+	db := newAggDatabase(t, Immediate, agg.Avg, 50)
+	want, ok, _ := db.QueryAggregate("sumv")
+	if !ok {
+		t.Fatal("aggregate undefined before save")
+	}
+	restored := saveLoad(t, db)
+	got, ok, err := restored.QueryAggregate("sumv")
+	if err != nil || !ok || got != want {
+		t.Errorf("restored aggregate = %v ok=%v err=%v, want %v", got, ok, err, want)
+	}
+	// Incremental maintenance continues.
+	tx := restored.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(1000), tuple.S("x"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := restored.QueryAggregate("sumv")
+	if after == want {
+		t.Error("restored aggregate is frozen")
+	}
+}
+
+func TestSaveLoadSnapshotState(t *testing.T) {
+	db := newSPDatabase(t, Snapshot, 40)
+	db.SetSnapshotInterval("v", 5)
+	tx := db.Begin()
+	tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := db.SnapshotStaleness("v"); s != 1 {
+		t.Fatal("staleness not recorded before save")
+	}
+	restored := saveLoad(t, db)
+	if s, _ := restored.SnapshotStaleness("v"); s != 1 {
+		t.Errorf("staleness lost in restore: %d", s)
+	}
+	_, st, ok := restored.View("v")
+	if !ok || st != Snapshot {
+		t.Errorf("restored strategy = %v", st)
+	}
+}
+
+func TestSaveLoadSecondaryIndexes(t *testing.T) {
+	db := newSPDatabase(t, QueryModification, 80)
+	r, _ := db.Relation("r")
+	if err := r.AddSecondary(1); err != nil {
+		t.Fatal(err)
+	}
+	restored := saveLoad(t, db)
+	rr, _ := restored.Relation("r")
+	if !rr.HasSecondary(1) {
+		t.Fatal("secondary index lost")
+	}
+	rows, err := restored.QueryViewPlan("v", nil, PlanClustered)
+	if err != nil || len(rows) != 20 {
+		t.Errorf("restored QM query: %d rows, err %v", len(rows), err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestSaveLoadRoundTripsTwice(t *testing.T) {
+	db := newSPDatabase(t, Deferred, 30)
+	first := saveLoad(t, db)
+	second := saveLoad(t, first)
+	rows, err := second.QueryView("v", nil)
+	if err != nil || len(rows) != 20 {
+		t.Errorf("double round trip: %d rows, err %v", len(rows), err)
+	}
+}

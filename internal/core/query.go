@@ -1,0 +1,561 @@
+package core
+
+import (
+	"fmt"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/pred"
+	"viewmat/internal/relation"
+	"viewmat/internal/tuple"
+)
+
+// QueryPlan selects the access path for query-modification execution
+// (§3.2.3's three Model-1 plans plus the Model-2 nested-loop join).
+type QueryPlan int
+
+const (
+	// PlanAuto picks clustered when the base relation is clustered on
+	// the view's key source column, unclustered when a secondary index
+	// exists on it, sequential otherwise; join views always use
+	// PlanLoopJoin.
+	PlanAuto QueryPlan = iota
+	// PlanClustered scans the base relation's clustering index.
+	PlanClustered
+	// PlanUnclustered fetches through a secondary index, one random
+	// page per tuple.
+	PlanUnclustered
+	// PlanSequential scans the whole relation.
+	PlanSequential
+	// PlanLoopJoin runs a nested-loop join with the inner relation's
+	// hash index (Model 2's TOTloop).
+	PlanLoopJoin
+)
+
+// String names the plan.
+func (p QueryPlan) String() string {
+	switch p {
+	case PlanAuto:
+		return "auto"
+	case PlanClustered:
+		return "clustered"
+	case PlanUnclustered:
+		return "unclustered"
+	case PlanSequential:
+		return "sequential"
+	case PlanLoopJoin:
+		return "loopjoin"
+	default:
+		return fmt.Sprintf("plan(%d)", int(p))
+	}
+}
+
+// ResultRow is one view query result.
+type ResultRow struct {
+	Vals []tuple.Value
+}
+
+// QueryView answers a query against the view restricted to rg over the
+// view's clustering column (nil = whole view), using the view's default
+// plan for query modification.
+func (db *Database) QueryView(name string, rg *pred.Range) ([]ResultRow, error) {
+	vs, ok := db.views[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown view %q", name)
+	}
+	return db.QueryViewPlan(name, rg, vs.plan)
+}
+
+// QueryViewPlan is QueryView with an explicit query-modification plan
+// (ignored for materialized strategies).
+func (db *Database) QueryViewPlan(name string, rg *pred.Range, plan QueryPlan) ([]ResultRow, error) {
+	vs, ok := db.views[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown view %q", name)
+	}
+	if vs.def.Kind == Aggregate {
+		return nil, fmt.Errorf("core: view %q is an aggregate; use QueryAggregate", name)
+	}
+	if vs.def.Kind == GroupedAggregate {
+		return nil, fmt.Errorf("core: view %q is a grouped aggregate; use QueryGroups", name)
+	}
+	if err := db.pool.EvictAll(); err != nil {
+		return nil, err
+	}
+	db.Queries++
+
+	switch vs.strategy {
+	case Deferred:
+		if err := db.refreshDeferred(vs); err != nil {
+			return nil, err
+		}
+	case Snapshot, RecomputeOnDemand:
+		if err := db.maybeRefreshExtra(vs); err != nil {
+			return nil, err
+		}
+	}
+
+	var rows []ResultRow
+	err := db.inPhase(PhaseQuery, func() error {
+		var err error
+		switch vs.strategy {
+		case QueryModification:
+			rows, err = db.queryModified(vs, rg, plan)
+		default:
+			rows, err = db.queryMaterialized(vs, rg)
+		}
+		return err
+	})
+	return rows, err
+}
+
+// QueryAggregate returns the current value of an aggregate view; ok is
+// false when the aggregate is undefined (empty set for AVG/MIN/MAX).
+func (db *Database) QueryAggregate(name string) (value float64, ok bool, err error) {
+	vs, found := db.views[name]
+	if !found {
+		return 0, false, fmt.Errorf("core: unknown view %q", name)
+	}
+	if vs.def.Kind != Aggregate {
+		return 0, false, fmt.Errorf("core: view %q is not an aggregate", name)
+	}
+	if err := db.pool.EvictAll(); err != nil {
+		return 0, false, err
+	}
+	db.Queries++
+
+	switch vs.strategy {
+	case Deferred:
+		if err := db.refreshDeferred(vs); err != nil {
+			return 0, false, err
+		}
+	case Snapshot, RecomputeOnDemand:
+		if err := db.maybeRefreshExtra(vs); err != nil {
+			return 0, false, err
+		}
+	}
+	err = db.inPhase(PhaseQuery, func() error {
+		switch vs.strategy {
+		case QueryModification:
+			value, ok, err = db.computeAggregateFromBase(vs)
+			return err
+		default:
+			// Read the one-page aggregate state (C_query3 = C2).
+			fr, err := db.pool.Get(vs.aggFile, vs.aggPage)
+			if err != nil {
+				return err
+			}
+			defer db.pool.Release(fr)
+			// The in-memory state is authoritative and identical to
+			// the page; the page read is the charged operation.
+			value, ok = vs.aggState.Value()
+			return nil
+		}
+	})
+	return value, ok, err
+}
+
+// --- deferred refresh ------------------------------------------------------
+
+// refreshDeferred brings a deferred view (and every other deferred view
+// sharing its hypothetical relations — §4's shared-refresh
+// optimization) up to date: read each HR's net changes once
+// (PhaseADRead), fold them into the base relations (PhaseFold), then
+// run the differential algorithm per view (PhaseDefRefresh).
+func (db *Database) refreshDeferred(root *viewState) error {
+	// Collect the transitive set of deferred views connected to root
+	// through shared relations.
+	viewSet := map[string]*viewState{root.def.Name: root}
+	relSet := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, vs := range viewSet {
+			for _, rn := range vs.def.Relations {
+				if _, hasHR := db.hrs[rn]; hasHR && !relSet[rn] {
+					relSet[rn] = true
+					changed = true
+				}
+			}
+		}
+		for name, vs := range db.views {
+			if vs.strategy != Deferred || viewSet[name] != nil {
+				continue
+			}
+			for _, rn := range vs.def.Relations {
+				if relSet[rn] {
+					viewSet[name] = vs
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Anything to do?
+	pending := false
+	for rn := range relSet {
+		if db.hrs[rn].ADLen() > 0 {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		return nil
+	}
+
+	// Read net changes once per HR (C_ADread).
+	nets := map[string]*deltas{}
+	err := db.inPhase(PhaseADRead, func() error {
+		for rn := range relSet {
+			anet, dnet, err := db.hrs[rn].NetChanges()
+			if err != nil {
+				return err
+			}
+			nets[rn] = &deltas{adds: anet, dels: dnet}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Fold AD into the bases so files reach end-of-epoch state.
+	err = db.inPhase(PhaseFold, func() error {
+		for rn := range relSet {
+			if err := db.hrs[rn].FoldWith(nets[rn].adds, nets[rn].dels); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Differential refresh per view.
+	return db.inPhase(PhaseDefRefresh, func() error {
+		for _, vs := range viewSet {
+			slots := map[int]*deltas{}
+			for slot, rn := range vs.def.Relations {
+				if d := nets[rn]; d != nil {
+					slots[slot] = d
+				}
+			}
+			if err := db.refreshView(vs, slots); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// --- materialized reads ----------------------------------------------------
+
+// queryMaterialized reads rows from the stored view, screening each
+// scanned row against the query predicate at C1 (the model's
+// C1·f·fv·N term).
+func (db *Database) queryMaterialized(vs *viewState, rg *pred.Range) ([]ResultRow, error) {
+	rows, err := vs.mat.Scan(rg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ResultRow, 0, len(rows))
+	for _, r := range rows {
+		db.meter.Screen(1)
+		// The stored row stands for Count logical duplicates (§2.1);
+		// expand so materialized and query-modified results agree as
+		// multisets.
+		for i := int64(0); i < r.Count; i++ {
+			out = append(out, ResultRow{Vals: r.Vals})
+		}
+	}
+	return out, nil
+}
+
+// --- query modification ----------------------------------------------------
+
+// keySource maps the view's clustering column back to its source
+// (slot, base column).
+func (vs *viewState) keySource() (slot, col int) {
+	i := 0
+	for s, idx := range vs.def.Project {
+		for _, c := range idx {
+			if i == vs.def.ViewKeyCol {
+				return s, c
+			}
+			i++
+		}
+	}
+	return 0, 0
+}
+
+// queryModified rewrites the view query onto the base relations.
+func (db *Database) queryModified(vs *viewState, rg *pred.Range, plan QueryPlan) ([]ResultRow, error) {
+	if vs.def.Kind == Join {
+		return db.loopJoin(vs, rg)
+	}
+	slot, col := vs.keySource()
+	if slot != 0 {
+		return nil, fmt.Errorf("core: view %q clusters on a non-slot-0 column", vs.def.Name)
+	}
+	r := db.rels[vs.def.Relations[0]]
+	if plan == PlanAuto {
+		switch {
+		case r.Kind() == relation.ClusteredBTree && r.KeyCol() == col:
+			plan = PlanClustered
+		case r.HasSecondary(col):
+			plan = PlanUnclustered
+		default:
+			plan = PlanSequential
+		}
+	}
+
+	var candidates []tuple.Tuple
+	var err error
+	switch plan {
+	case PlanClustered:
+		if r.Kind() != relation.ClusteredBTree || r.KeyCol() != col {
+			return nil, fmt.Errorf("core: clustered plan needs clustering on column %d of %q", col, r.Name())
+		}
+		candidates, err = r.Scan(combineRange(vs.def.Pred, 0, col, rg))
+	case PlanUnclustered:
+		candidates, err = r.LookupSecondary(col, orFull(combineRange(vs.def.Pred, 0, col, rg)))
+	case PlanSequential:
+		candidates, err = r.ScanAll()
+	default:
+		return nil, fmt.Errorf("core: plan %v not applicable to %s view", plan, vs.def.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var out []ResultRow
+	for _, tp := range candidates {
+		db.meter.Screen(1) // test against the (modified) view predicate
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			continue
+		}
+		if rg != nil && !rg.Contains(tp.Vals[col]) {
+			continue
+		}
+		out = append(out, ResultRow{Vals: vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})})
+	}
+	return db.mergePendingSP(vs, rg, col, out)
+}
+
+// mergePendingSP overlays un-folded HR changes onto a query-modification
+// result, so QM views sharing a relation with deferred views stay
+// correct. Relations without a live HR (the common case) pay nothing.
+func (db *Database) mergePendingSP(vs *viewState, rg *pred.Range, col int, rows []ResultRow) ([]ResultRow, error) {
+	h, hasHR := db.hrs[vs.def.Relations[0]]
+	if !hasHR || h.ADLen() == 0 {
+		return rows, nil
+	}
+	anet, dnet, err := h.NetChanges()
+	if err != nil {
+		return nil, err
+	}
+	match := func(tp tuple.Tuple) bool {
+		db.meter.Screen(1)
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			return false
+		}
+		return rg == nil || rg.Contains(tp.Vals[col])
+	}
+	removed := map[string]int{}
+	for _, tp := range dnet {
+		if match(tp) {
+			removed[tuple.Tuple{Vals: vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})}.ValueKey()]++
+		}
+	}
+	out := rows[:0]
+	for _, row := range rows {
+		k := tuple.Tuple{Vals: row.Vals}.ValueKey()
+		if removed[k] > 0 {
+			removed[k]--
+			continue
+		}
+		out = append(out, row)
+	}
+	for _, tp := range anet {
+		if match(tp) {
+			out = append(out, ResultRow{Vals: vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})})
+		}
+	}
+	return out, nil
+}
+
+// loopJoin evaluates a join view by nested loops: clustered scan of the
+// restricted outer R1, hash-probe of the inner R2 (whose pages stay in
+// the buffer pool, per §3.4.3's large-memory assumption).
+func (db *Database) loopJoin(vs *viewState, rg *pred.Range) ([]ResultRow, error) {
+	// A live HR on either base relation (from a deferred sibling view)
+	// would make the base files stale; trigger the shared fold-and-
+	// refresh so the scan below sees end-of-epoch state.
+	for _, rn := range vs.def.Relations {
+		if h, ok := db.hrs[rn]; ok && h.ADLen() > 0 {
+			if err := db.foldRelationsForQM(vs.def.Relations); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	ja, _ := vs.def.JoinAtom()
+	col1 := joinCol(ja, 0)
+	r1 := db.rels[vs.def.Relations[0]]
+	r2 := db.rels[vs.def.Relations[1]]
+	slot, keyCol := vs.keySource()
+	if slot != 0 {
+		return nil, fmt.Errorf("core: join view %q clusters on inner column", vs.def.Name)
+	}
+
+	it, err := r1.Iter(orFull(combineRange(vs.def.Pred, 0, keyCol, rg)))
+	if err != nil {
+		return nil, err
+	}
+	var out []ResultRow
+	for {
+		t1, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		db.meter.Screen(1) // screen outer tuple
+		if !vs.def.Pred.EvalSingle(0, t1) {
+			continue
+		}
+		if rg != nil && !rg.Contains(t1.Vals[keyCol]) {
+			continue
+		}
+		matches, err := r2.LookupKey(t1.Vals[col1])
+		if err != nil {
+			return nil, err
+		}
+		for _, t2 := range matches {
+			db.meter.Screen(1) // match cost
+			b := map[int]tuple.Tuple{0: t1, 1: t2}
+			if vs.def.Pred.Eval(b) {
+				out = append(out, ResultRow{Vals: vs.def.ProjectValues(b)})
+			}
+		}
+	}
+	return out, nil
+}
+
+// foldRelationsForQM folds the live HRs feeding a QM join view by
+// running the deferred refresh cycle rooted at any deferred view that
+// shares those relations, so no pending change is lost.
+func (db *Database) foldRelationsForQM(relNames []string) error {
+	for _, rn := range relNames {
+		if _, ok := db.hrs[rn]; !ok {
+			continue
+		}
+		for _, vs := range db.views {
+			if vs.strategy == Deferred && dependsOn(vs, rn) {
+				if err := db.refreshDeferred(vs); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// computeAggregateFromBase evaluates a Model-3 aggregate with query
+// modification: a clustered scan over the predicate interval,
+// screening and folding each tuple.
+func (db *Database) computeAggregateFromBase(vs *viewState) (float64, bool, error) {
+	r := db.rels[vs.def.Relations[0]]
+	rgp, constrained := vs.def.Pred.IntervalFor(0, r.KeyCol())
+	var scanRg *pred.Range
+	if constrained {
+		scanRg = &rgp
+	}
+	state := agg.NewState(vs.def.AggKind)
+	h, hasHR := db.hrs[vs.def.Relations[0]]
+	skipDeleted := map[uint64]bool{}
+	if hasHR && h.ADLen() > 0 {
+		// Overlay un-folded HR changes so QM aggregates sharing a
+		// relation with deferred views stay correct.
+		anet, dnet, err := h.NetChanges()
+		if err != nil {
+			return 0, false, err
+		}
+		for _, tp := range dnet {
+			skipDeleted[tp.ID] = true
+		}
+		for _, tp := range anet {
+			db.meter.Screen(1)
+			if vs.def.Pred.EvalSingle(0, tp) {
+				state.Insert(tp.Vals[vs.def.AggCol].AsFloat())
+			}
+		}
+	}
+	consume := func(tp tuple.Tuple) {
+		db.meter.Screen(1)
+		if skipDeleted[tp.ID] {
+			return
+		}
+		if vs.def.Pred.EvalSingle(0, tp) {
+			state.Insert(tp.Vals[vs.def.AggCol].AsFloat())
+		}
+	}
+	if r.Kind() == relation.ClusteredBTree {
+		it, err := r.Iter(scanRg)
+		if err != nil {
+			return 0, false, err
+		}
+		for {
+			tp, ok, err := it.Next()
+			if err != nil {
+				return 0, false, err
+			}
+			if !ok {
+				break
+			}
+			consume(tp)
+		}
+	} else {
+		all, err := r.ScanAll()
+		if err != nil {
+			return 0, false, err
+		}
+		for _, tp := range all {
+			consume(tp)
+		}
+	}
+	v, ok := state.Value()
+	return v, ok, nil
+}
+
+// combineRange intersects the view predicate's interval on (slot, col)
+// with the query range; nil means unconstrained.
+func combineRange(p *pred.P, slot, col int, rg *pred.Range) *pred.Range {
+	base, constrained := p.IntervalFor(slot, col)
+	switch {
+	case !constrained && rg == nil:
+		return nil
+	case !constrained:
+		return rg
+	case rg == nil:
+		return &base
+	}
+	out := base
+	if rg.Lo != nil {
+		op := pred.Ge
+		if !rg.LoInc {
+			op = pred.Gt
+		}
+		out.Restrict(op, *rg.Lo)
+	}
+	if rg.Hi != nil {
+		op := pred.Le
+		if !rg.HiInc {
+			op = pred.Lt
+		}
+		out.Restrict(op, *rg.Hi)
+	}
+	return &out
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+
+	"viewmat/internal/relation"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// This file implements the differential view-update algorithm of §2.1
+// in its corrected form. Given the net change sets A_i, D_i for a
+// view's base relations, the materialized copy V0 is advanced to V1 by
+// evaluating the delta terms of the algebraic expansion and applying
+// them with duplicate counts. For a two-relation join view the
+// corrected expansion (with R1' = R1 − D1, R2' = R2 − D2) is
+//
+//	V1 = V0 ∪ πσ(A1×R2') ∪ πσ(R1'×A2) ∪ πσ(A1×A2)
+//	        − πσ(D1×R2') − πσ(R1'×D2) − πσ(D1×D2)
+//
+// The engine refreshes against base files already at end-of-epoch
+// state (immediate: the commit applied writes first; deferred: the HR
+// fold ran first), so R' is reconstructed by skipping A-set ids when
+// probing, and every D-set tuple is available in memory.
+//
+// Blakeley's original expansion (Appendix A) is implemented alongside
+// for the anomaly demonstration: it joins the D sets against the full
+// start-of-epoch relations, deleting the same view row up to three
+// times when a joining pair is deleted together.
+
+// refreshView routes a view refresh given marked per-slot delta sets.
+func (db *Database) refreshView(vs *viewState, slots map[int]*deltas) error {
+	switch vs.def.Kind {
+	case SelectProject:
+		d := slots[0]
+		if d == nil {
+			return nil
+		}
+		return db.refreshSP(vs, d)
+	case Join:
+		if vs.blakeley {
+			return db.refreshJoinBlakeley(vs, slotOrEmpty(slots, 0), slotOrEmpty(slots, 1))
+		}
+		return db.refreshJoin(vs, slotOrEmpty(slots, 0), slotOrEmpty(slots, 1))
+	case Aggregate:
+		d := slots[0]
+		if d == nil {
+			return nil
+		}
+		return db.refreshAggregate(vs, d)
+	case GroupedAggregate:
+		d := slots[0]
+		if d == nil {
+			return nil
+		}
+		return db.refreshGroupAgg(vs, d)
+	}
+	return fmt.Errorf("core: refresh of unknown view kind %v", vs.def.Kind)
+}
+
+func slotOrEmpty(slots map[int]*deltas, i int) *deltas {
+	if d := slots[i]; d != nil {
+		return d
+	}
+	return &deltas{}
+}
+
+// refreshSP applies Model-1 deltas: marked tuples satisfying the view
+// predicate are projected and folded into the duplicate-counted store.
+// The screening CPU was charged when the tuples were marked; here only
+// the view I/O is charged (the model's C2·(3+Hvi)·X term).
+func (db *Database) refreshSP(vs *viewState, d *deltas) error {
+	for _, tp := range d.adds {
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			continue
+		}
+		if err := vs.mat.InsertDelta(vs.def.ProjectValues(map[int]tuple.Tuple{0: tp}), db.nextID()); err != nil {
+			return err
+		}
+	}
+	for _, tp := range d.dels {
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			continue
+		}
+		if err := vs.mat.DeleteDelta(vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// refreshJoin applies Model-2 deltas with the corrected expansion.
+// Each handled delta tuple charges one C1 unit (the model's C1·2u /
+// C1·2l per-tuple join-handling cost).
+func (db *Database) refreshJoin(vs *viewState, d1, d2 *deltas) error {
+	ja, ok := vs.def.JoinAtom()
+	if !ok {
+		return fmt.Errorf("core: join view %q lost its join atom", vs.def.Name)
+	}
+	col1, col2 := joinCol(ja, 0), joinCol(ja, 1)
+	r2 := db.rels[vs.def.Relations[1]]
+
+	a1IDs := idSet(d1.adds)
+	a2IDs := idSet(d2.adds)
+
+	apply := func(t1, t2 tuple.Tuple, insert bool) error {
+		b := map[int]tuple.Tuple{0: t1, 1: t2}
+		if !vs.def.Pred.Eval(b) {
+			return nil
+		}
+		if insert {
+			return vs.mat.InsertDelta(vs.def.ProjectValues(b), db.nextID())
+		}
+		return vs.mat.DeleteDelta(vs.def.ProjectValues(b))
+	}
+
+	// A1×R2' and D1×R2': probe R2 (end state) by join value through its
+	// clustered hash index, skipping A2 ids to recover R2'.
+	probeR2 := func(t1 tuple.Tuple, insert bool) error {
+		db.meter.Screen(1) // per-tuple handling cost
+		if !vs.def.Pred.EvalSingle(0, t1) {
+			return nil
+		}
+		matches, err := r2.LookupKey(t1.Vals[col1])
+		if err != nil {
+			return err
+		}
+		for _, t2 := range matches {
+			if a2IDs[t2.ID] {
+				continue
+			}
+			if err := apply(t1, t2, insert); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, t1 := range d1.adds {
+		if err := probeR2(t1, true); err != nil {
+			return err
+		}
+	}
+	for _, t1 := range d1.dels {
+		if err := probeR2(t1, false); err != nil {
+			return err
+		}
+	}
+
+	// R1'×A2 and R1'×D2: R1 has no index on the join column, so the
+	// R2-side deltas are matched with one restricted scan of R1 (end
+	// state), skipping A1 ids to recover R1'. The paper's Model 2
+	// never updates R2; this path generalizes it.
+	if len(d2.adds)+len(d2.dels) > 0 {
+		r1 := db.rels[vs.def.Relations[0]]
+		rg, constrained := vs.def.Pred.IntervalFor(0, r1.KeyCol())
+		var scanRg = &rg
+		if !constrained {
+			scanRg = nil
+		}
+		it, err := r1.Iter(scanRg)
+		if err != nil {
+			return err
+		}
+		for {
+			t1, okNext, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !okNext {
+				break
+			}
+			if a1IDs[t1.ID] || !vs.def.Pred.EvalSingle(0, t1) {
+				continue
+			}
+			for _, t2 := range d2.adds {
+				if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
+					if err := apply(t1, t2, true); err != nil {
+						return err
+					}
+				}
+			}
+			for _, t2 := range d2.dels {
+				if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
+					if err := apply(t1, t2, false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		db.meter.Screen(int64(len(d2.adds) + len(d2.dels)))
+	}
+
+	// A1×A2, A1×D2 is impossible (a tuple cannot be inserted into R2'
+	// and deleted from it in the same net set), D1×A2 likewise; the
+	// remaining cross terms are A1×A2 (insert) and D1×D2 (delete).
+	for _, t1 := range d1.adds {
+		for _, t2 := range d2.adds {
+			if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
+				if err := apply(t1, t2, true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, t1 := range d1.dels {
+		for _, t2 := range d2.dels {
+			if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
+				if err := apply(t1, t2, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// refreshJoinBlakeley is the Appendix A foil: the expansion of [Blak86]
+// which joins D sets against the full relations (not R1', R2'). With
+// end-state base files, the start-of-epoch relation R2 is recovered by
+// skipping A2 ids and adding back D2 tuples. Deleting a joining pair
+// (t1, t2) in one epoch decrements the view row for each of D1×D2,
+// D1×R2 and R1×D2 — three times instead of once — which surfaces as a
+// duplicate-count underflow error from the materialized view.
+func (db *Database) refreshJoinBlakeley(vs *viewState, d1, d2 *deltas) error {
+	ja, ok := vs.def.JoinAtom()
+	if !ok {
+		return fmt.Errorf("core: join view %q lost its join atom", vs.def.Name)
+	}
+	col1, col2 := joinCol(ja, 0), joinCol(ja, 1)
+	r2 := db.rels[vs.def.Relations[1]]
+	a2IDs := idSet(d2.adds)
+
+	apply := func(t1, t2 tuple.Tuple, insert bool) error {
+		b := map[int]tuple.Tuple{0: t1, 1: t2}
+		if !vs.def.Pred.Eval(b) {
+			return nil
+		}
+		if insert {
+			return vs.mat.InsertDelta(vs.def.ProjectValues(b), db.nextID())
+		}
+		return vs.mat.DeleteDelta(vs.def.ProjectValues(b))
+	}
+
+	// lookupR2Start recovers start-of-epoch R2 matches for a join value.
+	lookupR2Start := func(v tuple.Value) ([]tuple.Tuple, error) {
+		matches, err := r2.LookupKey(v)
+		if err != nil {
+			return nil, err
+		}
+		out := matches[:0]
+		for _, m := range matches {
+			if !a2IDs[m.ID] {
+				out = append(out, m)
+			}
+		}
+		for _, t2 := range d2.dels {
+			if tuple.Equal(t2.Vals[col2], v) {
+				out = append(out, t2)
+			}
+		}
+		return out, nil
+	}
+
+	// Insert terms: A1×A2 ∪ A1×R2 ∪ R1×A2. (The insert side of the
+	// original algorithm is correct; only deletions misbehave. R1×A2 is
+	// omitted here because the anomaly demonstration updates only the
+	// paper's example transaction shape: deletes on both relations and
+	// inserts on R1.)
+	for _, t1 := range d1.adds {
+		if !vs.def.Pred.EvalSingle(0, t1) {
+			continue
+		}
+		matches, err := lookupR2Start(t1.Vals[col1])
+		if err != nil {
+			return err
+		}
+		for _, t2 := range matches {
+			if err := apply(t1, t2, true); err != nil {
+				return err
+			}
+		}
+		for _, t2 := range d2.adds {
+			if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
+				if err := apply(t1, t2, true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Delete terms against FULL start-state relations — the bug.
+	// D1×D2:
+	for _, t1 := range d1.dels {
+		for _, t2 := range d2.dels {
+			if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
+				if err := apply(t1, t2, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// D1×R2 (R2 including D2 — over-deletes):
+	for _, t1 := range d1.dels {
+		if !vs.def.Pred.EvalSingle(0, t1) {
+			continue
+		}
+		matches, err := lookupR2Start(t1.Vals[col1])
+		if err != nil {
+			return err
+		}
+		for _, t2 := range matches {
+			if err := apply(t1, t2, false); err != nil {
+				return err
+			}
+		}
+	}
+	// R1×D2 (R1 including D1 — over-deletes): one restricted scan.
+	if len(d2.dels) > 0 {
+		r1 := db.rels[vs.def.Relations[0]]
+		rg, constrained := vs.def.Pred.IntervalFor(0, r1.KeyCol())
+		var scanRg = &rg
+		if !constrained {
+			scanRg = nil
+		}
+		it, err := r1.Iter(scanRg)
+		if err != nil {
+			return err
+		}
+		var r1Start []tuple.Tuple
+		a1IDs := idSet(d1.adds)
+		for {
+			t1, okNext, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !okNext {
+				break
+			}
+			if !a1IDs[t1.ID] {
+				r1Start = append(r1Start, t1)
+			}
+		}
+		for _, t1 := range d1.dels {
+			r1Start = append(r1Start, t1)
+		}
+		for _, t1 := range r1Start {
+			if !vs.def.Pred.EvalSingle(0, t1) {
+				continue
+			}
+			for _, t2 := range d2.dels {
+				if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
+					if err := apply(t1, t2, false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// refreshAggregate folds Model-3 deltas into the aggregate state and
+// rewrites its one-page store when anything changed. A Min/Max delete
+// of the current extreme triggers a recomputation scan of the base
+// relation (a charged clustered scan).
+func (db *Database) refreshAggregate(vs *viewState, d *deltas) error {
+	changed := false
+	needRecompute := false
+	for _, tp := range d.adds {
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			continue
+		}
+		vs.aggState.Insert(tp.Vals[vs.def.AggCol].AsFloat())
+		changed = true
+	}
+	for _, tp := range d.dels {
+		if !vs.def.Pred.EvalSingle(0, tp) {
+			continue
+		}
+		if vs.aggState.Delete(tp.Vals[vs.def.AggCol].AsFloat()) {
+			needRecompute = true
+		}
+		changed = true
+	}
+	if needRecompute {
+		if err := db.rebuildAggregate(vs); err != nil {
+			return err
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return db.writeAggState(vs)
+}
+
+// rebuildAggregate recomputes the aggregate state from the (end-state)
+// base relation with a clustered scan restricted to the predicate
+// interval, then persists it.
+func (db *Database) rebuildAggregate(vs *viewState) error {
+	r := db.rels[vs.def.Relations[0]]
+	rg, constrained := vs.def.Pred.IntervalFor(0, r.KeyCol())
+	var scanRg = &rg
+	if !constrained {
+		scanRg = nil
+	}
+	var vals []float64
+	if r.Kind() == relation.ClusteredBTree {
+		it, err := r.Iter(scanRg)
+		if err != nil {
+			return err
+		}
+		for {
+			tp, okNext, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !okNext {
+				break
+			}
+			db.meter.Screen(1)
+			if vs.def.Pred.EvalSingle(0, tp) {
+				vals = append(vals, tp.Vals[vs.def.AggCol].AsFloat())
+			}
+		}
+	} else {
+		all, err := r.ScanAll()
+		if err != nil {
+			return err
+		}
+		for _, tp := range all {
+			db.meter.Screen(1)
+			if vs.def.Pred.EvalSingle(0, tp) {
+				vals = append(vals, tp.Vals[vs.def.AggCol].AsFloat())
+			}
+		}
+	}
+	vs.aggState.Rebuild(vals)
+	return db.writeAggState(vs)
+}
+
+// writeAggState persists the aggregate state to its single page.
+func (db *Database) writeAggState(vs *viewState) error {
+	fr, err := db.pool.Get(vs.aggFile, vs.aggPage)
+	if err != nil {
+		return err
+	}
+	writeAggPage(fr, vs.aggState)
+	return db.pool.Release(fr)
+}
+
+// writeAggPage encodes the state into the frame.
+func writeAggPage(fr *storage.Frame, s interface{ Encode([]byte) []byte }) {
+	buf := s.Encode(fr.Data[:0])
+	for i := len(buf); i < len(fr.Data); i++ {
+		fr.Data[i] = 0
+	}
+	fr.MarkDirty()
+}
+
+func idSet(tuples []tuple.Tuple) map[uint64]bool {
+	out := make(map[uint64]bool, len(tuples))
+	for _, tp := range tuples {
+		out[tp.ID] = true
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"viewmat/internal/tuple"
+)
+
+// Tx is a buffered update transaction. Operations are validated and
+// queued by the Insert/Delete/Update methods and applied at Commit,
+// which produces the transaction's net A and D sets — the inputs to
+// the differential view-update algorithm.
+type Tx struct {
+	db   *Database
+	ops  []txOp
+	done bool
+}
+
+type txOpKind int
+
+const (
+	opInsert txOpKind = iota
+	opDelete
+	opUpdate
+)
+
+type txOp struct {
+	kind  txOpKind
+	rel   string
+	vals  []tuple.Value // insert/update: new values
+	key   tuple.Value   // delete/update: clustering-key value of target
+	id    uint64        // insert: id assigned; delete/update: id of target
+	newID uint64        // update: id assigned to the replacement
+}
+
+// Begin starts a transaction.
+func (db *Database) Begin() *Tx { return &Tx{db: db} }
+
+// Insert queues an insertion and returns the id the new tuple will
+// carry.
+func (tx *Tx) Insert(rel string, vals ...tuple.Value) (uint64, error) {
+	r, ok := tx.db.rels[rel]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown relation %q", rel)
+	}
+	if err := r.Schema().Validate(vals); err != nil {
+		return 0, err
+	}
+	id := tx.db.nextID()
+	tx.ops = append(tx.ops, txOp{kind: opInsert, rel: rel, vals: vals, id: id})
+	return id, nil
+}
+
+// Delete queues the deletion of the tuple with the given clustering-key
+// value and id.
+func (tx *Tx) Delete(rel string, key tuple.Value, id uint64) error {
+	if _, ok := tx.db.rels[rel]; !ok {
+		return fmt.Errorf("core: unknown relation %q", rel)
+	}
+	tx.ops = append(tx.ops, txOp{kind: opDelete, rel: rel, key: key, id: id})
+	return nil
+}
+
+// Update queues the replacement of the tuple (key, id) with new values;
+// the replacement receives a fresh id, which is returned.
+func (tx *Tx) Update(rel string, key tuple.Value, id uint64, vals ...tuple.Value) (uint64, error) {
+	r, ok := tx.db.rels[rel]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown relation %q", rel)
+	}
+	if err := r.Schema().Validate(vals); err != nil {
+		return 0, err
+	}
+	newID := tx.db.nextID()
+	tx.ops = append(tx.ops, txOp{kind: opUpdate, rel: rel, key: key, id: id, vals: vals, newID: newID})
+	return newID, nil
+}
+
+// deltas are a transaction's net changes per relation.
+type deltas struct {
+	adds []tuple.Tuple
+	dels []tuple.Tuple
+}
+
+// Commit applies the transaction: writes reach the base relations (or
+// the AD differential file for HR-wrapped relations), written tuples
+// are screened against every registered view, and immediate views are
+// refreshed with the transaction's marked deltas. The buffer pool is
+// evicted first so each transaction is charged from a cold cache, the
+// accounting posture of the cost model.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("core: transaction already finished")
+	}
+	tx.done = true
+	db := tx.db
+	if err := db.pool.EvictAll(); err != nil {
+		return err
+	}
+	db.Commits++
+
+	perRel := map[string]*deltas{}
+	record := func(rel string, add *tuple.Tuple, del *tuple.Tuple) {
+		d := perRel[rel]
+		if d == nil {
+			d = &deltas{}
+			perRel[rel] = d
+		}
+		if add != nil {
+			d.adds = append(d.adds, *add)
+		}
+		if del != nil {
+			d.dels = append(d.dels, *del)
+		}
+	}
+
+	// Apply writes (PhaseCommitWrite).
+	err := db.inPhase(PhaseCommitWrite, func() error {
+		for i := range tx.ops {
+			op := &tx.ops[i]
+			r := db.rels[op.rel]
+			h := db.hrs[op.rel]
+			switch op.kind {
+			case opInsert:
+				tp := tuple.Tuple{ID: op.id, Vals: op.vals}
+				if h != nil {
+					if err := h.Append(tp); err != nil {
+						return err
+					}
+				} else if err := r.Insert(tp); err != nil {
+					return err
+				}
+				record(op.rel, &tp, nil)
+			case opDelete:
+				var old tuple.Tuple
+				var ok bool
+				var err error
+				if h != nil {
+					old, ok, err = h.Delete(op.key, op.id)
+				} else {
+					old, ok, err = r.Delete(op.key, op.id)
+				}
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("core: delete of absent tuple (%s, id %d) in %q", op.key, op.id, op.rel)
+				}
+				record(op.rel, nil, &old)
+			case opUpdate:
+				newTp := tuple.Tuple{ID: op.newID, Vals: op.vals}
+				var old tuple.Tuple
+				var ok bool
+				var err error
+				if h != nil {
+					old, ok, err = h.Update(op.key, op.id, newTp)
+				} else {
+					old, ok, err = r.Delete(op.key, op.id)
+					if err == nil && ok {
+						err = r.Insert(newTp)
+					}
+				}
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("core: update of absent tuple (%s, id %d) in %q", op.key, op.id, op.rel)
+				}
+				record(op.rel, &newTp, &old)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Screen written tuples (PhaseScreen): every inserted and deleted
+	// tuple runs the two-stage test once; hits become the marked
+	// per-view delta sets.
+	marked := map[string]map[int]*deltas{} // view -> slot -> deltas
+	err = db.inPhase(PhaseScreen, func() error {
+		for rel, d := range perRel {
+			for _, tp := range d.adds {
+				for _, view := range db.locks.Screen(rel, tp) {
+					addMarked(marked, db.views[view], rel, tp, true)
+				}
+			}
+			for _, tp := range d.dels {
+				for _, view := range db.locks.Screen(rel, tp) {
+					addMarked(marked, db.views[view], rel, tp, false)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Snapshot views count staleness; recompute-on-demand views go
+	// dirty when a marked tuple threatened them.
+	touched := map[string]bool{}
+	for rel := range perRel {
+		touched[rel] = true
+	}
+	db.noteExtraStrategyCommit(marked, touched)
+
+	// Refresh immediate views (PhaseImmRefresh), charging the C3
+	// bookkeeping overhead per marked tuple (C_overhead).
+	err = db.inPhase(PhaseImmRefresh, func() error {
+		for name, slots := range marked {
+			vs := db.views[name]
+			if vs.strategy != Immediate {
+				continue
+			}
+			var total int64
+			for _, d := range slots {
+				total += int64(len(d.adds) + len(d.dels))
+			}
+			db.meter.ADTouch(total)
+			if err := db.refreshView(vs, slots); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Deferred views with a periodic refresh policy (§4) refresh here.
+	return db.runPeriodicDeferredRefresh(touched)
+}
+
+// addMarked files a marked tuple into the view's per-slot delta sets.
+func addMarked(marked map[string]map[int]*deltas, vs *viewState, rel string, tp tuple.Tuple, isAdd bool) {
+	if vs == nil || vs.strategy == QueryModification {
+		return
+	}
+	slots := marked[vs.def.Name]
+	if slots == nil {
+		slots = map[int]*deltas{}
+		marked[vs.def.Name] = slots
+	}
+	for slot, rn := range vs.def.Relations {
+		if rn != rel {
+			continue
+		}
+		d := slots[slot]
+		if d == nil {
+			d = &deltas{}
+			slots[slot] = d
+		}
+		if isAdd {
+			d.adds = append(d.adds, tp)
+		} else {
+			d.dels = append(d.dels, tp)
+		}
+	}
+}
+
+// MustCommit is Commit that panics on error; examples use it.
+func (tx *Tx) MustCommit() {
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,485 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestDerivedParameters(t *testing.T) {
+	p := Default()
+	approxEq(t, "b", p.Blocks(), 2500, 0)
+	approxEq(t, "T", p.TuplesPerPage(), 40, 0)
+	approxEq(t, "u", p.U(), 25, 0)
+	approxEq(t, "P", p.P(), 0.5, 0)
+	q := p.WithP(0.8)
+	approxEq(t, "k after WithP(0.8)", q.K, 400, 1e-9)
+	approxEq(t, "P round trip", q.P(), 0.8, 1e-9)
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := Default()
+	bad.F = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("f=0 accepted")
+	}
+	bad = Default()
+	bad.N = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative N accepted")
+	}
+	bad = Default()
+	bad.FV = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("fv>1 accepted")
+	}
+}
+
+func TestIndexHeight(t *testing.T) {
+	p := Default()
+	// fanout B/n = 200; fN = 10000 → ceil(log200 10000) = 2.
+	approxEq(t, "Hvi(10000)", p.IndexHeight(10000), 2, 0)
+	// N = 100000 → ceil(log200 100000) = 3.
+	approxEq(t, "Hvi(100000)", p.IndexHeight(100000), 3, 0)
+	approxEq(t, "Hvi(1)", p.IndexHeight(1), 1, 0)
+}
+
+// Hand-computed values at the paper's default settings (P = 0.5,
+// u = 25); see DESIGN.md for the formula reconstruction notes.
+func TestModel1DefaultsHandChecked(t *testing.T) {
+	p := Default()
+	approxEq(t, "CQuery1", CQuery1(p), 1435, 0.5)
+	approxEq(t, "CAD", CAD(p), 37.5, 0.1)
+	approxEq(t, "CADRead", CADRead(p), 37.5, 1e-9)
+	approxEq(t, "CScreen", CScreen(p), 2.5, 1e-9)
+	approxEq(t, "CDefRefresh1", CDefRefresh1(p), 737.9, 1.0)
+	approxEq(t, "TotalDeferred1", TotalDeferred1(p), 2250.4, 2)
+	approxEq(t, "TotalImmediate1", TotalImmediate1(p), 2180.4, 2)
+	approxEq(t, "TotalClustered", TotalClustered(p), 1750, 1e-9)
+	approxEq(t, "TotalSequential", TotalSequential(p), 175000, 1e-9)
+	approxEq(t, "TotalUnclustered", TotalUnclustered(p), 25726, 30)
+}
+
+func TestModel2DefaultsHandChecked(t *testing.T) {
+	p := Default()
+	approxEq(t, "CQuery2", CQuery2(p), 1810, 0.5)
+	approxEq(t, "CDefRefresh2", CDefRefresh2(p), 942.9, 2)
+	approxEq(t, "TotalDeferred2", TotalDeferred2(p), 2830.4, 3)
+	approxEq(t, "TotalImmediate2", TotalImmediate2(p), 2760.4, 3)
+	approxEq(t, "TotalLoopJoin", TotalLoopJoin(p), 10204, 10)
+}
+
+func TestModel3DefaultsHandChecked(t *testing.T) {
+	p := Default()
+	approxEq(t, "CQuery3", CQuery3(p), 30, 0)
+	approxEq(t, "CDefRefresh3", CDefRefresh3(p), 29.85, 0.05)
+	approxEq(t, "TotalDeferred3", TotalDeferred3(p), 137.3, 0.5)
+	approxEq(t, "TotalImmediate3", TotalImmediate3(p), 62.3, 0.5)
+	approxEq(t, "TotalRecompute3", TotalRecompute3(p), 1750, 1e-9)
+}
+
+// Figure 1's described shape: clustered query modification matches or
+// beats materialization from moderate P upward (its curve is flat in
+// P while the maintenance overhead grows), with the crossover at low
+// P — which is exactly Figure 2's immediate-best region at small P —
+// and deferred ≈ immediate, especially at low P.
+func TestFigure1Shape(t *testing.T) {
+	base := Default()
+	for _, P := range []float64{0.4, 0.5, 0.7, 0.9} {
+		p := base.WithP(P)
+		cl, def, imm := TotalClustered(p), TotalDeferred1(p), TotalImmediate1(p)
+		if cl > def || cl > imm {
+			t.Errorf("P=%v: clustered %v not ≤ deferred %v / immediate %v", P, cl, def, imm)
+		}
+	}
+	// At low P the materialized copy's denser pages win (the paper's
+	// "twice as many tuples per page" advantage), so a crossover with
+	// clustered exists.
+	low := base.WithP(0.05)
+	if TotalImmediate1(low) >= TotalClustered(low) {
+		t.Error("expected materialization to win at very low P")
+	}
+	if _, ok := CrossoverP(base, Model1Costs, AlgImmediate, AlgClustered, 0.05, 0.9); !ok {
+		t.Error("no immediate/clustered crossover in (0.05, 0.9)")
+	}
+	// Deferred and immediate converge as P → 0.
+	low = base.WithP(0.02)
+	ratio := TotalDeferred1(low) / TotalImmediate1(low)
+	if math.Abs(ratio-1) > 0.02 {
+		t.Errorf("low-P deferred/immediate ratio = %v, want ≈1", ratio)
+	}
+	// Sequential is "off the scale" of Figure 1.
+	if TotalSequential(base) < 10*TotalClustered(base) {
+		t.Error("sequential scan should be far off the Figure 1 scale")
+	}
+}
+
+// Figure 2's described properties (fv = 0.1, C3 = 1): deferred is
+// never the single best algorithm anywhere on the f×P grid, and larger
+// f improves deferred relative to immediate.
+func TestFigure2Claims(t *testing.T) {
+	base := Default()
+	pts := RegionMap(base, Model1Costs, 20, 20)
+	for _, pt := range pts {
+		if pt.Best == AlgDeferred {
+			t.Fatalf("deferred best at P=%v f=%v, contradicting §3.3", pt.P, pt.F)
+		}
+	}
+	// def/imm ratio decreases with f at high update rates.
+	high := base.WithP(0.8)
+	prev := math.Inf(1)
+	for _, f := range []float64{0.1, 0.3, 0.5, 0.8} {
+		p := high
+		p.F = f
+		r := TotalDeferred1(p) / TotalImmediate1(p)
+		if r >= prev {
+			t.Errorf("f=%v: deferred/immediate ratio %v did not improve (prev %v)", f, r, prev)
+		}
+		prev = r
+	}
+}
+
+// Figure 3's claim: lowering fv to 0.01 grows the region where
+// clustered query modification wins.
+func TestFigure3Claim(t *testing.T) {
+	base := Default()
+	countClustered := func(fv float64) int {
+		p := base
+		p.FV = fv
+		n := 0
+		for _, pt := range RegionMap(p, Model1Costs, 20, 20) {
+			if pt.Best == AlgClustered {
+				n++
+			}
+		}
+		return n
+	}
+	if c01, c10 := countClustered(0.01), countClustered(0.1); c01 <= c10 {
+		t.Errorf("clustered region at fv=.01 (%d cells) not larger than at fv=.1 (%d)", c01, c10)
+	}
+}
+
+// Figure 4's claim is the model's sensitivity to C3: doubling the A/D
+// upkeep cost opens a region where deferred beats immediate. (Under
+// our formula reconstruction the region where deferred beats immediate
+// still sits slightly above clustered's cost, so deferred does not
+// become the overall winner — EXPERIMENTS.md records this deviation;
+// the sensitivity itself, which is the claim the paper's text draws
+// from the figure, reproduces cleanly.)
+func TestFigure4Claim(t *testing.T) {
+	deferredBeatsImmediate := func(c3 float64) int {
+		p := Default()
+		p.C3 = c3
+		n := 0
+		for _, P := range []float64{0.3, 0.4, 0.5, 0.6, 0.7} {
+			for _, f := range []float64{0.5, 0.7, 0.9, 1.0} {
+				q := p.WithP(P)
+				q.F = f
+				if TotalDeferred1(q) < TotalImmediate1(q) {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	base, doubled := deferredBeatsImmediate(1), deferredBeatsImmediate(2)
+	if doubled <= base {
+		t.Errorf("C3=2 region (%d cells) not larger than C3=1 region (%d)", doubled, base)
+	}
+	if doubled == 0 {
+		t.Error("C3=2 opened no deferred-over-immediate region at all")
+	}
+}
+
+// Figure 5's described shape: for join views, materialization beats
+// query modification at low/moderate P, and loopjoin overtakes as P
+// grows large.
+func TestFigure5Shape(t *testing.T) {
+	base := Default()
+	mid := base.WithP(0.5)
+	if TotalLoopJoin(mid) < TotalDeferred2(mid) || TotalLoopJoin(mid) < TotalImmediate2(mid) {
+		t.Error("at P=0.5 materialization should beat loopjoin for join views")
+	}
+	high := base.WithP(0.99)
+	if best, _ := Best(Model2Costs(high)); best != AlgLoopJoin {
+		t.Errorf("at P=0.99 best = %v, want loopjoin", best)
+	}
+	if _, ok := CrossoverP(base, Model2Costs, AlgLoopJoin, AlgImmediate, 0.5, 0.999); !ok {
+		t.Error("no loopjoin/immediate crossover found in (0.5, 0.999)")
+	}
+}
+
+// Figures 6–7: lowering fv grows query modification's region for
+// Model 2 as well.
+func TestFigure6And7Claim(t *testing.T) {
+	base := Default()
+	countLoop := func(fv float64) int {
+		p := base
+		p.FV = fv
+		n := 0
+		for _, pt := range RegionMap(p, Model2Costs, 20, 20) {
+			if pt.Best == AlgLoopJoin {
+				n++
+			}
+		}
+		return n
+	}
+	if c01, c10 := countLoop(0.01), countLoop(0.1); c01 <= c10 {
+		t.Errorf("loopjoin region at fv=.01 (%d) not larger than at fv=.1 (%d)", c01, c10)
+	}
+}
+
+// §3.5's EMP-DEPT case: query modification wins for essentially all
+// update probabilities when the view is large and queries fetch one
+// tuple (the paper reports P ≥ .08).
+func TestEmpDeptCase(t *testing.T) {
+	base := EmpDept()
+	for _, P := range []float64{0.2, 0.5, 0.9} {
+		p := base.WithP(P)
+		if best, _ := Best(Model2Costs(p)); best != AlgLoopJoin {
+			t.Errorf("EMP-DEPT at P=%v: best = %v, want loopjoin", P, best)
+		}
+	}
+	// The crossover below which materialization wins sits at small P.
+	cross, ok := CrossoverP(base, Model2Costs, AlgLoopJoin, AlgImmediate, 0.001, 0.5)
+	if ok && cross > 0.2 {
+		t.Errorf("EMP-DEPT crossover at P=%v, expected ≤ 0.2", cross)
+	}
+}
+
+// Figure 8's claim: for small l, maintaining an aggregate costs a
+// small percentage of recomputing it.
+func TestFigure8Claim(t *testing.T) {
+	base := Default()
+	for _, l := range []float64{1, 10, 25, 100} {
+		p := base
+		p.L = l
+		imm, rec := TotalImmediate3(p), TotalRecompute3(p)
+		if imm > rec/5 {
+			t.Errorf("l=%v: immediate %v not ≪ recompute %v", l, imm, rec)
+		}
+	}
+}
+
+// Figure 9: equal-cost P exists and decreases as l grows (more tuples
+// per transaction push the balance toward recomputation sooner), and
+// larger f makes maintenance attractive over a wider range.
+func TestFigure9Curves(t *testing.T) {
+	base := Default()
+	prev := math.Inf(1)
+	for _, l := range []float64{1, 5, 25, 100} {
+		cross, ok := EqualCostP(base, l)
+		if !ok {
+			// Immediate may dominate everywhere for tiny l; that only
+			// strengthens the claim.
+			continue
+		}
+		if cross >= prev {
+			t.Errorf("l=%v: equal-cost P %v did not decrease (prev %v)", l, cross, prev)
+		}
+		prev = cross
+	}
+	// Larger f raises the recompute cost linearly but the maintenance
+	// cost only saturates: the equal-cost P should not shrink with f.
+	pSmall := base
+	pSmall.F = 0.05
+	pLarge := base
+	pLarge.F = 0.5
+	cSmall, okS := EqualCostP(pSmall, 25)
+	cLarge, okL := EqualCostP(pLarge, 25)
+	if okS && okL && cLarge < cSmall {
+		t.Errorf("equal-cost P fell from %v to %v as f grew", cSmall, cLarge)
+	}
+}
+
+// §4's refresh-timing argument: because the Yao function satisfies the
+// triangle inequality, one deferred refresh for a batch of changes
+// never exceeds the summed cost of refreshing in sub-batches. Checked
+// here at the cost-formula level (the yao package property-tests the
+// inequality itself).
+func TestDeferredBatchingNeverLoses(t *testing.T) {
+	f := func(pRaw, splitRaw uint16) bool {
+		P := 0.05 + 0.9*float64(pRaw)/65535
+		p := Default().WithP(P)
+		u := p.U()
+		split := 0.1 + 0.8*float64(splitRaw)/65535
+		refreshOnce := CDefRefresh1(p)
+		pa := p
+		pa.K = p.K * split
+		pb := p
+		pb.K = p.K * (1 - split)
+		_ = u
+		return refreshOnce <= CDefRefresh1(pa)+CDefRefresh1(pb)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all cost formulas are nonnegative and finite over the
+// valid parameter domain.
+func TestPropertyCostsFiniteNonnegative(t *testing.T) {
+	f := func(pRaw, fRaw, fvRaw, lRaw uint16) bool {
+		p := Default()
+		p = p.WithP(0.01 + 0.98*float64(pRaw)/65535)
+		p.F = 0.01 + 0.99*float64(fRaw)/65535
+		p.FV = 0.001 + 0.999*float64(fvRaw)/65535
+		p.L = 1 + float64(lRaw%500)
+		for _, costs := range []map[Algorithm]float64{Model1Costs(p), Model2Costs(p), Model3Costs(p)} {
+			for _, c := range costs {
+				if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: costs are monotone in the unit costs — raising C2 never
+// lowers any total.
+func TestPropertyMonotoneInC2(t *testing.T) {
+	f := func(pRaw uint16) bool {
+		p := Default().WithP(0.05 + 0.9*float64(pRaw)/65535)
+		hi := p
+		hi.C2 = p.C2 * 2
+		for _, pair := range [][2]map[Algorithm]float64{
+			{Model1Costs(p), Model1Costs(hi)},
+			{Model2Costs(p), Model2Costs(hi)},
+			{Model3Costs(p), Model3Costs(hi)},
+		} {
+			for alg, c := range pair[0] {
+				if pair[1][alg] < c-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionMapCoversGrid(t *testing.T) {
+	pts := RegionMap(Default(), Model1Costs, 10, 10)
+	if len(pts) != 10*9 {
+		t.Errorf("region map has %d points, want 90", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Best == "" {
+			t.Fatal("unlabeled region point")
+		}
+	}
+}
+
+func TestCrossoverPNoSignChange(t *testing.T) {
+	// Sequential never beats clustered at defaults: no crossover.
+	if _, ok := CrossoverP(Default(), Model1Costs, AlgSequential, AlgClustered, 0.01, 0.99); ok {
+		t.Error("found a crossover where one algorithm dominates")
+	}
+}
+
+func TestRecomputeOnDemandExtension(t *testing.T) {
+	p := Default()
+	// With no updates, recompute-on-demand degenerates to reading the
+	// stored copy (plus zero screening).
+	idle := p
+	idle.K = 0
+	if got, want := TotalRecomputeOnDemand1(idle), CQuery1(idle); math.Abs(got-want) > 1e-9 {
+		t.Errorf("idle RoD = %v, want %v", got, want)
+	}
+	// At the defaults the differential strategies beat full
+	// recomputation — the reason the paper proposes them.
+	if TotalRecomputeOnDemand1(p) <= TotalDeferred1(p) {
+		t.Errorf("RoD (%v) should cost more than deferred (%v) at defaults",
+			TotalRecomputeOnDemand1(p), TotalDeferred1(p))
+	}
+	// Under heavy churn the differential machinery touches more pages
+	// than one bounded rebuild, so recompute-on-demand overtakes both
+	// differential strategies — the regime [Bune79] was built for.
+	churn := Default().WithP(0.99)
+	rod := TotalRecomputeOnDemand1(churn)
+	if rod >= TotalImmediate1(churn) || rod >= TotalDeferred1(churn) {
+		t.Errorf("RoD (%v) should beat immediate (%v) and deferred (%v) under heavy churn",
+			rod, TotalImmediate1(churn), TotalDeferred1(churn))
+	}
+}
+
+func TestSnapshotExtension(t *testing.T) {
+	p := Default()
+	// A longer period amortizes the rebuild further.
+	if TotalSnapshot1(p, 10) >= TotalSnapshot1(p, 1) {
+		t.Error("longer snapshot period should not cost more")
+	}
+	// Period is clamped to ≥ 1.
+	if TotalSnapshot1(p, 0) != TotalSnapshot1(p, 1) {
+		t.Error("period clamp missing")
+	}
+	// Snapshot pays no screening: with a generous period it undercuts
+	// every consistent strategy (the price is staleness).
+	cheap := TotalSnapshot1(p, 100)
+	for alg, c := range Model1Costs(p) {
+		if alg == AlgUnclustered || alg == AlgSequential {
+			continue
+		}
+		if cheap >= c {
+			t.Errorf("long-period snapshot (%v) should undercut %s (%v)", cheap, alg, c)
+		}
+	}
+}
+
+func TestModel1CostsExtended(t *testing.T) {
+	costs := Model1CostsExtended(Default(), 5)
+	if len(costs) != 7 {
+		t.Fatalf("extended costs has %d entries, want 7", len(costs))
+	}
+	for _, alg := range []Algorithm{AlgRecomputeOnDemand, AlgSnapshot} {
+		if costs[alg] <= 0 {
+			t.Errorf("%s cost = %v", alg, costs[alg])
+		}
+	}
+}
+
+func TestModel2And3Extensions(t *testing.T) {
+	p := Default()
+	// Incremental maintenance of an aggregate crushes any recompute
+	// mechanism: the differential refresh writes at most one page.
+	if TotalRecomputeOnDemand3(p) <= TotalImmediate3(p) {
+		t.Errorf("Model-3 RoD (%v) should cost more than immediate (%v)",
+			TotalRecomputeOnDemand3(p), TotalImmediate3(p))
+	}
+	// Snapshot periods amortize for both models.
+	if TotalSnapshot2(p, 10) >= TotalSnapshot2(p, 1) {
+		t.Error("Model-2 snapshot period not amortizing")
+	}
+	if TotalSnapshot3(p, 0) != TotalSnapshot3(p, 1) {
+		t.Error("Model-3 snapshot period clamp missing")
+	}
+	// Extended cost maps carry all rows.
+	if got := len(Model2CostsExtended(p, 5)); got != 5 {
+		t.Errorf("Model2CostsExtended rows = %d, want 5", got)
+	}
+	if got := len(Model3CostsExtended(p, 5)); got != 5 {
+		t.Errorf("Model3CostsExtended rows = %d, want 5", got)
+	}
+	// A join-view rebuild costs at least the full loopjoin.
+	full := p
+	full.FV = 1
+	if CRebuild2(p) < TotalLoopJoin(full) {
+		t.Error("CRebuild2 cheaper than the join it contains")
+	}
+}

@@ -1,0 +1,128 @@
+package costmodel
+
+import "math"
+
+// Extensions beyond the paper's three contenders: cost formulas for
+// the two further refresh mechanisms its introduction surveys, derived
+// from the same components (DESIGN.md §6). They let the advisor rank
+// all five strategies on one scale.
+//
+// Both strategies store the view and answer queries from it, so they
+// share CQuery1. They differ in how the copy is brought current:
+// a full recomputation — read the matching fraction of the base
+// relation through the clustered index (f·b pages, C1 per tuple) and
+// rewrite the view copy (f·b/2 pages) — instead of a differential
+// refresh.
+
+// CRebuild1 is the cost of one full recomputation of a Model-1 view:
+// a clustered scan of the qualifying base pages plus writing the fresh
+// copy.
+func CRebuild1(p Params) float64 {
+	return p.C2*p.F*p.Blocks() + p.C1*p.F*p.N + p.C2*p.F*p.Blocks()/2
+}
+
+// TotalRecomputeOnDemand1 prices the [Bune79] mechanism on Model 1:
+// updates pay only screening (the pre-execution analysis); a query
+// pays a full rebuild if and only if some update since the last query
+// survived screening, which happens with probability 1 − (1−f)^u.
+func TotalRecomputeOnDemand1(p Params) float64 {
+	pDirty := 1 - math.Pow(1-p.F, p.U())
+	return CQuery1(p) + pDirty*CRebuild1(p) + CScreen(p)
+}
+
+// TotalSnapshot1 prices the [Adib80, Lind86] snapshot mechanism on
+// Model 1 with a refresh period of every j update transactions: no
+// screening at all, and one full rebuild amortized over j
+// transactions, i.e. (k/q)/j rebuilds per query. Reads inside the
+// period are stale — the model prices I/O, not staleness; callers must
+// decide whether the application tolerates it.
+func TotalSnapshot1(p Params, every float64) float64 {
+	if every < 1 {
+		every = 1
+	}
+	return CQuery1(p) + p.KOverQ()/every*CRebuild1(p)
+}
+
+// Model1CostsExtended evaluates the paper's strategies plus the two
+// extensions (snapshot at the given refresh period).
+func Model1CostsExtended(p Params, snapshotEvery float64) map[Algorithm]float64 {
+	out := Model1Costs(p)
+	out[AlgRecomputeOnDemand] = TotalRecomputeOnDemand1(p)
+	out[AlgSnapshot] = TotalSnapshot1(p, snapshotEvery)
+	return out
+}
+
+// Extension algorithm names.
+const (
+	// AlgRecomputeOnDemand is the [Bune79] screen-then-fully-recompute
+	// mechanism.
+	AlgRecomputeOnDemand Algorithm = "recompute-on-demand"
+	// AlgSnapshot is the periodically recomputed snapshot of [Adib80,
+	// Lind86] (stale within its period).
+	AlgSnapshot Algorithm = "snapshot"
+)
+
+// --- Model 2 -----------------------------------------------------------------
+
+// CRebuild2 is one full recomputation of a Model-2 join view: a
+// nested-loop join of the restricted R1 against R2 (the TOTloop cost
+// at fv = 1) plus writing the f·b view pages.
+func CRebuild2(p Params) float64 {
+	full := p
+	full.FV = 1
+	return TotalLoopJoin(full) + p.C2*p.F*p.Blocks()
+}
+
+// TotalRecomputeOnDemand2 prices [Bune79] on Model 2.
+func TotalRecomputeOnDemand2(p Params) float64 {
+	pDirty := 1 - math.Pow(1-p.F, p.U())
+	return CQuery2(p) + pDirty*CRebuild2(p) + CScreen(p)
+}
+
+// TotalSnapshot2 prices the snapshot mechanism on Model 2 with a
+// refresh period of every j update transactions.
+func TotalSnapshot2(p Params, every float64) float64 {
+	if every < 1 {
+		every = 1
+	}
+	return CQuery2(p) + p.KOverQ()/every*CRebuild2(p)
+}
+
+// Model2CostsExtended evaluates Model 2's strategies plus extensions.
+func Model2CostsExtended(p Params, snapshotEvery float64) map[Algorithm]float64 {
+	out := Model2Costs(p)
+	out[AlgRecomputeOnDemand] = TotalRecomputeOnDemand2(p)
+	out[AlgSnapshot] = TotalSnapshot2(p, snapshotEvery)
+	return out
+}
+
+// --- Model 3 -----------------------------------------------------------------
+
+// CRebuild3 is one full recomputation of a Model-3 aggregate: a
+// clustered scan of every qualifying tuple (fv = 1 — an aggregate
+// cannot sample) plus one state-page write.
+func CRebuild3(p Params) float64 {
+	return p.C2*p.F*p.Blocks() + p.C1*p.F*p.N + p.C2
+}
+
+// TotalRecomputeOnDemand3 prices [Bune79] on Model 3.
+func TotalRecomputeOnDemand3(p Params) float64 {
+	pDirty := 1 - math.Pow(1-p.F, p.U())
+	return CQuery3(p) + pDirty*CRebuild3(p) + CScreen(p)
+}
+
+// TotalSnapshot3 prices the snapshot mechanism on Model 3.
+func TotalSnapshot3(p Params, every float64) float64 {
+	if every < 1 {
+		every = 1
+	}
+	return CQuery3(p) + p.KOverQ()/every*CRebuild3(p)
+}
+
+// Model3CostsExtended evaluates Model 3's strategies plus extensions.
+func Model3CostsExtended(p Params, snapshotEvery float64) map[Algorithm]float64 {
+	out := Model3Costs(p)
+	out[AlgRecomputeOnDemand] = TotalRecomputeOnDemand3(p)
+	out[AlgSnapshot] = TotalSnapshot3(p, snapshotEvery)
+	return out
+}

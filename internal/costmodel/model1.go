@@ -1,0 +1,114 @@
+package costmodel
+
+// Model 1 (§3.2): the view is a selection (selectivity f) and
+// projection (half the attributes, so view tuples are S/2 bytes) of a
+// single relation R clustered by B+-tree on the predicate field. The
+// view holds f·N tuples on f·b/2 pages.
+
+// Algorithm names the strategies compared by the model.
+type Algorithm string
+
+// Algorithms.
+const (
+	AlgDeferred    Algorithm = "deferred"
+	AlgImmediate   Algorithm = "immediate"
+	AlgClustered   Algorithm = "clustered"
+	AlgUnclustered Algorithm = "unclustered"
+	AlgSequential  Algorithm = "sequential"
+	AlgLoopJoin    Algorithm = "loopjoin"
+)
+
+// Model1Hvi returns the view index height for Model 1 (f·N tuples).
+func Model1Hvi(p Params) float64 { return p.IndexHeight(p.F * p.N) }
+
+// CQuery1 is the cost to read a query's result from the stored view:
+// one index descent, f·fv·b/2 page reads, and a C1 screen per tuple
+// read.
+func CQuery1(p Params) float64 {
+	return p.C2*(p.F*p.FV*p.Blocks()/2) + p.C2*Model1Hvi(p) + p.C1*(p.F*p.FV*p.N)
+}
+
+// CAD is the average per-query cost of the extra I/O to maintain the
+// hypothetical relation: per transaction, y(2u, 2u/T, l) AD pages are
+// touched beyond the plain base update, and there are k/q transactions
+// per query.
+func CAD(p Params) float64 {
+	u := p.U()
+	if u <= 0 {
+		return 0
+	}
+	return p.C2 * p.KOverQ() * Y(2*u, 2*u/p.TuplesPerPage(), p.L)
+}
+
+// CADRead is the cost to read the whole AD file at refresh: 2u tuples
+// on 2u/T pages.
+func CADRead(p Params) float64 {
+	return p.C2 * 2 * p.U() / p.TuplesPerPage()
+}
+
+// CScreen is the average per-query screening cost: a fraction f of the
+// u tuples updated per query break a t-lock and pay the C1
+// satisfiability test.
+func CScreen(p Params) float64 { return p.C1 * p.F * p.U() }
+
+// COverhead is immediate maintenance's per-query cost of maintaining
+// the in-transaction A and D sets: C3 for each of the 2·f·l marked
+// tuples, k/q transactions per query.
+func COverhead(p Params) float64 {
+	return p.C3 * 2 * p.F * p.L * p.KOverQ()
+}
+
+// CDefRefresh1 is the deferred refresh cost for Model 1: 2·f·u view
+// tuples change, touching X1 = y(fN, fb/2, 2fu) view pages, each at
+// (3 + Hvi) I/Os (index descent, data read+write, leaf write).
+func CDefRefresh1(p Params) float64 {
+	x1 := Y(p.F*p.N, p.F*p.Blocks()/2, 2*p.F*p.U())
+	return p.C2 * (3 + Model1Hvi(p)) * x1
+}
+
+// CImmRefresh1 is the immediate refresh cost per query: per
+// transaction 2·f·l view tuples change on X2 = y(fN, fb/2, 2fl) pages,
+// and there are k/q transactions per query.
+func CImmRefresh1(p Params) float64 {
+	x2 := Y(p.F*p.N, p.F*p.Blocks()/2, 2*p.F*p.L)
+	return p.KOverQ() * p.C2 * (3 + Model1Hvi(p)) * x2
+}
+
+// TotalDeferred1 is TOTAL_deferred1.
+func TotalDeferred1(p Params) float64 {
+	return CAD(p) + CADRead(p) + CQuery1(p) + CDefRefresh1(p) + CScreen(p)
+}
+
+// TotalImmediate1 is TOTAL_immediate1.
+func TotalImmediate1(p Params) float64 {
+	return CQuery1(p) + CImmRefresh1(p) + CScreen(p) + COverhead(p)
+}
+
+// TotalClustered is the query-modification cost with a clustered
+// (primary) index scan: f·fv·b page reads and a screen per retrieved
+// tuple.
+func TotalClustered(p Params) float64 {
+	return p.C2*p.Blocks()*p.F*p.FV + p.C1*p.N*p.F*p.FV
+}
+
+// TotalUnclustered is the query-modification cost via a secondary
+// index: y(N, b, N·f·fv) random page reads plus the screens.
+func TotalUnclustered(p Params) float64 {
+	return p.C2*Y(p.N, p.Blocks(), p.N*p.F*p.FV) + p.C1*p.N*p.F*p.FV
+}
+
+// TotalSequential is the query-modification cost of a full scan.
+func TotalSequential(p Params) float64 {
+	return p.C2*p.Blocks() + p.C1*p.N
+}
+
+// Model1Costs evaluates every Model-1 strategy at p.
+func Model1Costs(p Params) map[Algorithm]float64 {
+	return map[Algorithm]float64{
+		AlgDeferred:    TotalDeferred1(p),
+		AlgImmediate:   TotalImmediate1(p),
+		AlgClustered:   TotalClustered(p),
+		AlgUnclustered: TotalUnclustered(p),
+		AlgSequential:  TotalSequential(p),
+	}
+}

@@ -1,0 +1,74 @@
+package costmodel
+
+import "math"
+
+// Model 2 (§3.4): V is the natural join of R1 (N tuples, clustered
+// B+-tree on the restriction field) and R2 (fR2·N tuples, clustered
+// hashing on the join field), restricted on R1 with selectivity f.
+// Every restricted R1 tuple joins exactly one R2 tuple, so V has f·N
+// tuples of S bytes (half of each side's attributes), i.e. f·b pages.
+// Only R1 is updated.
+
+// Model2Hvi returns the view index height for Model 2 (f·N tuples).
+func Model2Hvi(p Params) float64 { return p.IndexHeight(p.F * p.N) }
+
+// CQuery2 is the materialized-view query cost for Model 2: an index
+// descent, a clustered scan of fv of the view's f·b pages, and a
+// screen per tuple scanned.
+func CQuery2(p Params) float64 {
+	return p.C2*Model2Hvi(p) + p.C2*(p.F*p.FV*p.Blocks()) + p.C1*(p.F*p.FV*p.N)
+}
+
+// CDefRefresh2 is the deferred refresh cost: join the A1 and D1 sets
+// (2·f·u matching tuples) to R2 through its hash index — X3 =
+// y(fR2·N, fR2·b, 2fu) inner pages, buffered across both joins — with
+// a C1 handling cost per delta tuple, then update X4 = y(fN, fb, 2fu)
+// view pages at (3+Hvi) I/Os each.
+func CDefRefresh2(p Params) float64 {
+	u := p.U()
+	x3 := Y(p.FR2*p.N, p.FR2*p.Blocks(), 2*p.F*u)
+	x4 := Y(p.F*p.N, p.F*p.Blocks(), 2*p.F*u)
+	return p.C2*x3 + p.C1*2*u + p.C2*(3+Model2Hvi(p))*x4
+}
+
+// CImmRefresh2 is the immediate refresh cost per query: the same work
+// per transaction with l in place of u, times k/q.
+func CImmRefresh2(p Params) float64 {
+	x5 := Y(p.FR2*p.N, p.FR2*p.Blocks(), 2*p.F*p.L)
+	x6 := Y(p.F*p.N, p.F*p.Blocks(), 2*p.F*p.L)
+	return p.KOverQ() * (p.C2*x5 + p.C1*2*p.L + p.C2*(3+Model2Hvi(p))*x6)
+}
+
+// TotalDeferred2 is TOTAL_deferred2. C_AD and C_ADread carry over from
+// Model 1 unchanged (§3.4.1).
+func TotalDeferred2(p Params) float64 {
+	return CAD(p) + CADRead(p) + CDefRefresh2(p) + CQuery2(p) + CScreen(p)
+}
+
+// TotalImmediate2 is TOTAL_immediate2.
+func TotalImmediate2(p Params) float64 {
+	return CImmRefresh2(p) + CQuery2(p) + COverhead(p) + CScreen(p)
+}
+
+// TotalLoopJoin is TOTloop: nested-loop join under query modification.
+// R1 is the outer (B+-tree descent plus a clustered scan of f·fv·b
+// pages, C1 per scanned tuple); R2 is the inner, probed through its
+// hash index with pages staying in the buffer pool, so y(fR2·N, fR2·b,
+// f·fv·N) distinct pages are read; matching costs another C1 per
+// result tuple.
+func TotalLoopJoin(p Params) float64 {
+	h := math.Ceil(math.Log(p.N) / math.Log(p.B/p.IdxRec))
+	return p.C2*h +
+		p.C2*p.F*p.FV*p.Blocks() +
+		p.C2*Y(p.FR2*p.N, p.FR2*p.Blocks(), p.F*p.FV*p.N) +
+		2*p.C1*p.N*p.F*p.FV
+}
+
+// Model2Costs evaluates every Model-2 strategy at p.
+func Model2Costs(p Params) map[Algorithm]float64 {
+	return map[Algorithm]float64{
+		AlgDeferred:  TotalDeferred2(p),
+		AlgImmediate: TotalImmediate2(p),
+		AlgLoopJoin:  TotalLoopJoin(p),
+	}
+}

@@ -1,0 +1,54 @@
+package costmodel
+
+import "math"
+
+// Model 3 (§3.6): the view is an incrementally maintainable aggregate
+// (sum, count, average) over a Model-1-shaped selection. Only the
+// aggregate state is stored — less than one disk block — so a query is
+// a single page read, and a refresh is a single page write when (and
+// only when) some modified tuple lay in the aggregated set.
+
+// CQuery3 is the cost to read the aggregate state: one page.
+func CQuery3(p Params) float64 { return p.C2 }
+
+// CDefRefresh3 is deferred maintenance's refresh cost: one write times
+// the probability that at least one of the 2u tuples modified since
+// the last query lies in the aggregated set, 1 − (1−f)^(2u).
+func CDefRefresh3(p Params) float64 {
+	return p.C2 * (1 - math.Pow(1-p.F, 2*p.U()))
+}
+
+// CImmRefresh3 is immediate maintenance's per-query refresh cost: per
+// transaction, one write with probability 1 − (1−f)^(2l), times k/q.
+func CImmRefresh3(p Params) float64 {
+	return p.C2 * (1 - math.Pow(1-p.F, 2*p.L)) * p.KOverQ()
+}
+
+// TotalDeferred3 is TOTAL_deferred3. The hypothetical-relation costs
+// C_AD and C_ADread are included as in Models 1 and 2 — deferred
+// maintenance cannot exist without the HR (DESIGN.md documents this
+// reading of the garbled equation).
+func TotalDeferred3(p Params) float64 {
+	return CAD(p) + CADRead(p) + CQuery3(p) + CDefRefresh3(p) + CScreen(p)
+}
+
+// TotalImmediate3 is TOTAL_immediate3 exactly as the paper lists it:
+// query + refresh + screening (no C_overhead term; see EXPERIMENTS.md
+// on the asymmetry).
+func TotalImmediate3(p Params) float64 {
+	return CQuery3(p) + CImmRefresh3(p) + CScreen(p)
+}
+
+// TotalRecompute3 is the cost of recomputing the aggregate from
+// scratch with a clustered index scan, which the paper equates to
+// TOTAL_clustered.
+func TotalRecompute3(p Params) float64 { return TotalClustered(p) }
+
+// Model3Costs evaluates every Model-3 strategy at p.
+func Model3Costs(p Params) map[Algorithm]float64 {
+	return map[Algorithm]float64{
+		AlgDeferred:  TotalDeferred3(p),
+		AlgImmediate: TotalImmediate3(p),
+		AlgClustered: TotalRecompute3(p),
+	}
+}

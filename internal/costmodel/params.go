@@ -1,0 +1,104 @@
+// Package costmodel implements the analytic cost model of Hanson's
+// performance analysis (§3): closed-form average cost per view query,
+// in milliseconds, for query modification, immediate view maintenance
+// and deferred view maintenance, over the paper's three view models.
+// Every displayed formula of the paper is reproduced here; the handful
+// of equations the scanned text garbles are reconstructed per the
+// "OCR reconstruction notes" in DESIGN.md.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"viewmat/internal/yao"
+)
+
+// Params are the model parameters of §3.1, with the paper's notation
+// preserved in the comments.
+type Params struct {
+	N      float64 // N:  tuples in the relation (R, R1)
+	S      float64 // S:  bytes per tuple
+	B      float64 // B:  bytes per block
+	K      float64 // k:  number of update transactions
+	L      float64 // l:  tuples modified per update transaction
+	Q      float64 // q:  number of view queries
+	IdxRec float64 // n:  bytes per B+-tree index record
+	F      float64 // f:  view predicate selectivity
+	FV     float64 // fv: fraction of the view retrieved per query
+	FR2    float64 // fR2: |R2| as a fraction of |R1|
+	C1     float64 // C1: ms to screen a record against a predicate
+	C2     float64 // C2: ms per disk read or write
+	C3     float64 // C3: ms per tuple per transaction of A/D upkeep
+}
+
+// Default returns the paper's default parameter settings (§3.1).
+func Default() Params {
+	return Params{
+		N: 100000, S: 100, B: 4000,
+		K: 100, L: 25, Q: 100,
+		IdxRec: 20,
+		F:      0.1, FV: 0.1, FR2: 0.1,
+		C1: 1, C2: 30, C3: 1,
+	}
+}
+
+// Blocks returns b = N·S/B, the relation's size in blocks.
+func (p Params) Blocks() float64 { return p.N * p.S / p.B }
+
+// TuplesPerPage returns T = B/S.
+func (p Params) TuplesPerPage() float64 { return p.B / p.S }
+
+// U returns u = k·l/q, tuples updated between view queries.
+func (p Params) U() float64 { return p.K * p.L / p.Q }
+
+// P returns the update probability P = k/(k+q).
+func (p Params) P() float64 { return p.K / (p.K + p.Q) }
+
+// KOverQ returns the updates-per-query ratio k/q = P/(1−P).
+func (p Params) KOverQ() float64 { return p.K / p.Q }
+
+// WithP returns a copy with k adjusted (holding q fixed) so that the
+// update probability equals P. The figures sweep this.
+func (p Params) WithP(P float64) Params {
+	if P < 0 {
+		P = 0
+	}
+	if P >= 1 {
+		P = 1 - 1e-9
+	}
+	p.K = p.Q * P / (1 - P)
+	return p
+}
+
+// Validate rejects parameter settings outside the model's domain.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0, p.S <= 0, p.B <= 0, p.Q <= 0, p.L <= 0, p.IdxRec <= 0:
+		return fmt.Errorf("costmodel: N, S, B, Q, L, n must be positive: %+v", p)
+	case p.K < 0:
+		return fmt.Errorf("costmodel: k must be nonnegative")
+	case p.F <= 0 || p.F > 1:
+		return fmt.Errorf("costmodel: f must be in (0,1], got %v", p.F)
+	case p.FV <= 0 || p.FV > 1:
+		return fmt.Errorf("costmodel: fv must be in (0,1], got %v", p.FV)
+	case p.FR2 <= 0 || p.FR2 > 1:
+		return fmt.Errorf("costmodel: fR2 must be in (0,1], got %v", p.FR2)
+	case p.C1 < 0 || p.C2 < 0 || p.C3 < 0:
+		return fmt.Errorf("costmodel: unit costs must be nonnegative")
+	}
+	return nil
+}
+
+// IndexHeight returns Hvi = ⌈log_(B/n) tuples⌉, the B+-tree height
+// above the data pages for an index over the given tuple count.
+func (p Params) IndexHeight(tuples float64) float64 {
+	if tuples <= 1 {
+		return 1
+	}
+	fanout := p.B / p.IdxRec
+	return math.Ceil(math.Log(tuples) / math.Log(fanout))
+}
+
+// Y is the Yao function at the model's dispatch policy.
+func Y(n, m, k float64) float64 { return yao.Y(n, m, k) }

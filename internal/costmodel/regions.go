@@ -1,0 +1,110 @@
+package costmodel
+
+import (
+	"math"
+	"sort"
+)
+
+// Best returns the cheapest algorithm in a cost map (ties broken by
+// name for determinism) and its cost.
+func Best(costs map[Algorithm]float64) (Algorithm, float64) {
+	names := make([]Algorithm, 0, len(costs))
+	for a := range costs {
+		names = append(names, a)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	best := names[0]
+	for _, a := range names[1:] {
+		if costs[a] < costs[best] {
+			best = a
+		}
+	}
+	return best, costs[best]
+}
+
+// RegionPoint is one cell of a best-algorithm region map.
+type RegionPoint struct {
+	P, F float64
+	Best Algorithm
+}
+
+// RegionMap computes, over a P×f grid, which algorithm is cheapest —
+// the data behind Figures 2–4 (Model 1) and 6–7 (Model 2). costs is a
+// model's cost function (Model1Costs or Model2Costs); base supplies
+// all other parameters.
+func RegionMap(base Params, costs func(Params) map[Algorithm]float64, pSteps, fSteps int) []RegionPoint {
+	out := make([]RegionPoint, 0, pSteps*fSteps)
+	for fi := 1; fi <= fSteps; fi++ {
+		f := float64(fi) / float64(fSteps)
+		for pi := 1; pi < pSteps; pi++ {
+			pv := float64(pi) / float64(pSteps)
+			q := base.WithP(pv)
+			q.F = f
+			best, _ := Best(costs(q))
+			out = append(out, RegionPoint{P: pv, F: f, Best: best})
+		}
+	}
+	return out
+}
+
+// CrossoverP finds the smallest P in (lo, hi) at which algorithm a
+// stops being cheaper than algorithm b under the given cost function,
+// by bisection on cost(a) − cost(b). ok is false when no sign change
+// exists in the interval.
+func CrossoverP(base Params, costs func(Params) map[Algorithm]float64, a, b Algorithm, lo, hi float64) (float64, bool) {
+	diff := func(pv float64) float64 {
+		c := costs(base.WithP(pv))
+		return c[a] - c[b]
+	}
+	dlo, dhi := diff(lo), diff(hi)
+	if math.Signbit(dlo) == math.Signbit(dhi) {
+		return 0, false
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if math.Signbit(diff(mid)) == math.Signbit(dlo) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// EqualCostP solves, for Model 3 at a given l, the update probability
+// P at which immediate aggregate maintenance and clustered-scan
+// recomputation cost the same — one point of a Figure-9 curve. ok is
+// false when one algorithm dominates over the whole (0,1) range.
+func EqualCostP(base Params, l float64) (float64, bool) {
+	p := base
+	p.L = l
+	diff := func(pv float64) float64 {
+		q := p.WithP(pv)
+		return TotalImmediate3(q) - TotalRecompute3(q)
+	}
+	lo, hi := 1e-6, 1-1e-6
+	dlo, dhi := diff(lo), diff(hi)
+	if math.Signbit(dlo) == math.Signbit(dhi) {
+		return 0, false
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if math.Signbit(diff(mid)) == math.Signbit(dlo) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// EmpDept returns the parameters of the paper's EMP-DEPT special case
+// (§3.5): a large join view (f = 1) queried one tuple at a time
+// (fv = 1/N) with single-tuple updates (l = 1).
+func EmpDept() Params {
+	p := Default()
+	p.F = 1
+	p.L = 1
+	p.FV = 1 / p.N
+	return p
+}

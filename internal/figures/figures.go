@@ -1,0 +1,317 @@
+// Package figures regenerates the data behind every figure and table
+// in the paper's evaluation: cost-vs-parameter series (Figures 1, 5,
+// 8), best-algorithm region maps (Figures 2–4, 6–7), equal-cost curves
+// (Figure 9), the §3.5 EMP-DEPT special case, and the §3.1 parameter
+// table. cmd/figures prints them; bench_test.go regenerates them under
+// testing.B; EXPERIMENTS.md records them against the paper.
+package figures
+
+import (
+	"fmt"
+
+	"viewmat/internal/costmodel"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a regenerated figure or table.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+
+	Series  []Series                // cost curves (Figures 1, 5, 8, 9)
+	Regions []costmodel.RegionPoint // region maps (Figures 2-4, 6-7)
+	Rows    [][]string              // tabular data (params, empdept)
+	Header  []string
+
+	Notes []string
+}
+
+// pGrid returns the update-probability sweep used by the P-axis
+// figures.
+func pGrid(steps int) []float64 {
+	out := make([]float64, 0, steps)
+	for i := 1; i < steps; i++ {
+		out = append(out, float64(i)/float64(steps))
+	}
+	return out
+}
+
+// Figure1 — Model 1: total cost vs P for deferred, immediate,
+// clustered and unclustered (sequential is off the scale).
+func Figure1(base costmodel.Params) *Figure {
+	ps := pGrid(40)
+	algs := []struct {
+		name string
+		fn   func(costmodel.Params) float64
+	}{
+		{"deferred", costmodel.TotalDeferred1},
+		{"immediate", costmodel.TotalImmediate1},
+		{"clustered", costmodel.TotalClustered},
+		{"unclustered", costmodel.TotalUnclustered},
+	}
+	fig := &Figure{
+		ID:     "1",
+		Title:  "Model 1: average cost per query vs P",
+		XLabel: "P (probability an operation is an update)",
+		YLabel: "cost (ms)",
+		Notes: []string{
+			"sequential omitted (off the scale, = " +
+				fmt.Sprintf("%.0f ms)", costmodel.TotalSequential(base)),
+		},
+	}
+	for _, a := range algs {
+		s := Series{Name: a.name}
+		for _, pv := range ps {
+			s.X = append(s.X, pv)
+			s.Y = append(s.Y, a.fn(base.WithP(pv)))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// regionFigure builds a best-algorithm region map figure.
+func regionFigure(id, title string, base costmodel.Params, costs func(costmodel.Params) map[costmodel.Algorithm]float64, notes ...string) *Figure {
+	return &Figure{
+		ID:      id,
+		Title:   title,
+		XLabel:  "P",
+		YLabel:  "f",
+		Regions: costmodel.RegionMap(base, costs, 24, 24),
+		Notes:   notes,
+	}
+}
+
+// Figure2 — Model 1 regions, fv = .1.
+func Figure2(base costmodel.Params) *Figure {
+	base.FV = 0.1
+	return regionFigure("2", "Model 1: best algorithm, f vs P (fv=.1)", base, costmodel.Model1Costs)
+}
+
+// Figure3 — Model 1 regions, fv = .01.
+func Figure3(base costmodel.Params) *Figure {
+	base.FV = 0.01
+	return regionFigure("3", "Model 1: best algorithm, f vs P (fv=.01)", base, costmodel.Model1Costs)
+}
+
+// Figure4 — Model 1 regions with C3 = 2, fv = .1.
+func Figure4(base costmodel.Params) *Figure {
+	base.FV = 0.1
+	base.C3 = 2
+	return regionFigure("4", "Model 1: best algorithm, f vs P (C3=2, fv=.1)", base, costmodel.Model1Costs,
+		"doubling C3 opens a deferred-over-immediate region; see EXPERIMENTS.md for the overall-best comparison")
+}
+
+// Figure5 — Model 2: total cost vs P for deferred, immediate, loopjoin.
+func Figure5(base costmodel.Params) *Figure {
+	ps := pGrid(40)
+	algs := []struct {
+		name string
+		fn   func(costmodel.Params) float64
+	}{
+		{"deferred", costmodel.TotalDeferred2},
+		{"immediate", costmodel.TotalImmediate2},
+		{"loopjoin", costmodel.TotalLoopJoin},
+	}
+	fig := &Figure{
+		ID:     "5",
+		Title:  "Model 2: average cost per query vs P",
+		XLabel: "P",
+		YLabel: "cost (ms)",
+	}
+	for _, a := range algs {
+		s := Series{Name: a.name}
+		for _, pv := range ps {
+			s.X = append(s.X, pv)
+			s.Y = append(s.Y, a.fn(base.WithP(pv)))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	if cross, ok := costmodel.CrossoverP(base, costmodel.Model2Costs, costmodel.AlgLoopJoin, costmodel.AlgImmediate, 0.5, 0.999); ok {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("loopjoin overtakes immediate at P ≈ %.3f", cross))
+	}
+	return fig
+}
+
+// Figure6 — Model 2 regions, fv = .1.
+func Figure6(base costmodel.Params) *Figure {
+	base.FV = 0.1
+	return regionFigure("6", "Model 2: best algorithm, f vs P (fv=.1)", base, costmodel.Model2Costs)
+}
+
+// Figure7 — Model 2 regions, fv = .01.
+func Figure7(base costmodel.Params) *Figure {
+	base.FV = 0.01
+	return regionFigure("7", "Model 2: best algorithm, f vs P (fv=.01)", base, costmodel.Model2Costs)
+}
+
+// Figure8 — Model 3: cost vs l for deferred, immediate and clustered
+// recomputation.
+func Figure8(base costmodel.Params) *Figure {
+	ls := []float64{1, 2, 5, 10, 25, 50, 100, 200, 300, 400, 500}
+	algs := []struct {
+		name string
+		fn   func(costmodel.Params) float64
+	}{
+		{"deferred", costmodel.TotalDeferred3},
+		{"immediate", costmodel.TotalImmediate3},
+		{"clustered (recompute)", costmodel.TotalRecompute3},
+	}
+	fig := &Figure{
+		ID:     "8",
+		Title:  "Model 3: average cost of an aggregate query vs l",
+		XLabel: "l (tuples modified per transaction)",
+		YLabel: "cost (ms)",
+		Notes:  []string{"the significant region is small l, where maintenance costs a few percent of recomputation"},
+	}
+	for _, a := range algs {
+		s := Series{Name: a.name}
+		for _, l := range ls {
+			p := base
+			p.L = l
+			s.X = append(s.X, l)
+			s.Y = append(s.Y, a.fn(p))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Figure9 — Model 3: equal-cost curves (P vs l) between immediate
+// aggregate maintenance and clustered recomputation, one curve per f.
+// Standard processing wins above a curve; maintenance wins below.
+func Figure9(base costmodel.Params) *Figure {
+	fs := []float64{0.01, 0.05, 0.1, 0.5, 1.0}
+	ls := []float64{1, 2, 5, 10, 25, 50, 100, 200, 400, 800}
+	fig := &Figure{
+		ID:     "9",
+		Title:  "Model 3: equal-cost curves of immediate maintenance vs clustered recomputation",
+		XLabel: "l",
+		YLabel: "P at equal cost",
+		Notes:  []string{"recomputation wins above each curve; immediate maintenance wins below"},
+	}
+	for _, f := range fs {
+		p := base
+		p.F = f
+		s := Series{Name: fmt.Sprintf("f=%g", f)}
+		for _, l := range ls {
+			cross, ok := costmodel.EqualCostP(p, l)
+			if !ok {
+				// Maintenance dominates across all P at this l; the
+				// curve sits at P = 1.
+				cross = 1
+			}
+			s.X = append(s.X, l)
+			s.Y = append(s.Y, cross)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// FigureE1 — extension: the Model-1 best-algorithm map with all five
+// strategies, including snapshot (at the given refresh period, buying
+// cost with staleness) and recompute-on-demand. Not in the paper; it
+// answers the natural follow-up question of where the intro's other
+// two mechanisms would win.
+func FigureE1(base costmodel.Params, snapshotEvery float64) *Figure {
+	costs := func(p costmodel.Params) map[costmodel.Algorithm]float64 {
+		return costmodel.Model1CostsExtended(p, snapshotEvery)
+	}
+	fig := regionFigure("E1",
+		fmt.Sprintf("Extension: Model 1 best algorithm with snapshot (every %g txns) and recompute-on-demand", snapshotEvery),
+		base, costs,
+		"snapshot buys its region with staleness of up to its period")
+	return fig
+}
+
+// EmpDeptFigure — the §3.5 special case: a large join view queried one
+// tuple at a time. Reports the cost of each strategy over P and the
+// crossover below which materialization would win.
+func EmpDeptFigure() *Figure {
+	base := costmodel.EmpDept()
+	fig := &Figure{
+		ID:     "empdept",
+		Title:  "§3.5 EMP-DEPT case: large join view, single-tuple queries (f=1, l=1, fv=1/N)",
+		Header: []string{"P", "deferred", "immediate", "loopjoin", "best"},
+	}
+	for _, pv := range []float64{0.02, 0.05, 0.08, 0.1, 0.2, 0.5, 0.9} {
+		p := base.WithP(pv)
+		c := costmodel.Model2Costs(p)
+		best, _ := costmodel.Best(c)
+		fig.Rows = append(fig.Rows, []string{
+			fmt.Sprintf("%.2f", pv),
+			fmt.Sprintf("%.1f", c[costmodel.AlgDeferred]),
+			fmt.Sprintf("%.1f", c[costmodel.AlgImmediate]),
+			fmt.Sprintf("%.1f", c[costmodel.AlgLoopJoin]),
+			string(best),
+		})
+	}
+	if cross, ok := costmodel.CrossoverP(base, costmodel.Model2Costs, costmodel.AlgLoopJoin, costmodel.AlgImmediate, 0.001, 0.5); ok {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("query modification wins for P ≥ %.3f (paper reports ≈ .08)", cross))
+	} else {
+		fig.Notes = append(fig.Notes, "query modification wins for every P in (0,1)")
+	}
+	return fig
+}
+
+// ParamsTable — the §3.1 parameter table with the default settings.
+func ParamsTable(p costmodel.Params) *Figure {
+	fig := &Figure{
+		ID:     "params",
+		Title:  "§3.1 parameters and defaults",
+		Header: []string{"parameter", "definition", "default"},
+	}
+	add := func(name, def string, v float64) {
+		fig.Rows = append(fig.Rows, []string{name, def, fmt.Sprintf("%g", v)})
+	}
+	add("N", "tuples in relation", p.N)
+	add("S", "bytes per tuple", p.S)
+	add("B", "bytes per block", p.B)
+	add("k", "update transactions", p.K)
+	add("l", "tuples modified per transaction", p.L)
+	add("q", "view queries", p.Q)
+	add("n", "bytes per B+-tree index record", p.IdxRec)
+	add("f", "view predicate selectivity", p.F)
+	add("fv", "fraction of view retrieved per query", p.FV)
+	add("fR2", "size of R2 as a fraction of R1", p.FR2)
+	add("C1", "ms to screen a record", p.C1)
+	add("C2", "ms per disk read/write", p.C2)
+	add("C3", "ms per tuple per txn of A/D upkeep", p.C3)
+	add("b", "derived: blocks = NS/B", p.Blocks())
+	add("T", "derived: tuples per page = B/S", p.TuplesPerPage())
+	add("u", "derived: tuples updated per query = kl/q", p.U())
+	add("P", "derived: update probability = k/(k+q)", p.P())
+	return fig
+}
+
+// All regenerates every figure/table at the paper's defaults.
+func All() []*Figure {
+	p := costmodel.Default()
+	return []*Figure{
+		ParamsTable(p),
+		Figure1(p), Figure2(p), Figure3(p), Figure4(p),
+		Figure5(p), Figure6(p), Figure7(p),
+		EmpDeptFigure(),
+		Figure8(p), Figure9(p),
+		FigureE1(p, 10),
+	}
+}
+
+// ByID returns the figure with the given id at default parameters.
+func ByID(id string) (*Figure, error) {
+	for _, f := range All() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("figures: unknown figure %q", id)
+}

@@ -1,0 +1,137 @@
+package figures
+
+import (
+	"testing"
+
+	"viewmat/internal/costmodel"
+)
+
+func TestAllFiguresGenerate(t *testing.T) {
+	figs := All()
+	if len(figs) != 12 {
+		t.Fatalf("All() produced %d figures, want 12", len(figs))
+	}
+	seen := map[string]bool{}
+	for _, f := range figs {
+		if seen[f.ID] {
+			t.Errorf("duplicate figure id %q", f.ID)
+		}
+		seen[f.ID] = true
+		if len(f.Series) == 0 && len(f.Regions) == 0 && len(f.Rows) == 0 {
+			t.Errorf("figure %s has no data", f.ID)
+		}
+	}
+	for _, id := range []string{"params", "1", "2", "3", "4", "5", "6", "7", "8", "9", "empdept", "E1"} {
+		if !seen[id] {
+			t.Errorf("missing figure %q", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	f, err := ByID("5")
+	if err != nil || f.ID != "5" {
+		t.Errorf("ByID(5) = %v, %v", f, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFigure1SeriesShape(t *testing.T) {
+	f := Figure1(costmodel.Default())
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			t.Fatalf("series %s malformed", s.Name)
+		}
+	}
+	// The clustered curve is flat in P; deferred grows with P.
+	var clustered, deferred Series
+	for _, s := range f.Series {
+		switch s.Name {
+		case "clustered":
+			clustered = s
+		case "deferred":
+			deferred = s
+		}
+	}
+	if clustered.Y[0] != clustered.Y[len(clustered.Y)-1] {
+		t.Error("clustered curve should not depend on P")
+	}
+	if deferred.Y[len(deferred.Y)-1] <= deferred.Y[0] {
+		t.Error("deferred curve should grow with P")
+	}
+}
+
+func TestFigure5CrossoverNote(t *testing.T) {
+	f := Figure5(costmodel.Default())
+	if len(f.Notes) == 0 {
+		t.Error("Figure 5 should report the loopjoin crossover")
+	}
+}
+
+func TestFigure8MostSignificantRegion(t *testing.T) {
+	f := Figure8(costmodel.Default())
+	var imm, rec Series
+	for _, s := range f.Series {
+		switch s.Name {
+		case "immediate":
+			imm = s
+		case "clustered (recompute)":
+			rec = s
+		}
+	}
+	// At l=1 maintenance is a small percentage of recomputation.
+	if imm.Y[0] > rec.Y[0]/10 {
+		t.Errorf("at l=1 immediate %v not ≪ recompute %v", imm.Y[0], rec.Y[0])
+	}
+}
+
+func TestFigure9CurvesMonotone(t *testing.T) {
+	f := Figure9(costmodel.Default())
+	if len(f.Series) != 5 {
+		t.Fatalf("curves = %d, want 5", len(f.Series))
+	}
+	for _, s := range f.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+1e-9 {
+				t.Errorf("curve %s not nonincreasing in l at i=%d (%v -> %v)", s.Name, i, s.Y[i-1], s.Y[i])
+			}
+		}
+		for _, y := range s.Y {
+			if y <= 0 || y > 1 {
+				t.Errorf("curve %s has P=%v outside (0,1]", s.Name, y)
+			}
+		}
+	}
+}
+
+func TestEmpDeptFigure(t *testing.T) {
+	f := EmpDeptFigure()
+	if len(f.Rows) == 0 || len(f.Notes) == 0 {
+		t.Fatal("empdept figure incomplete")
+	}
+	// At P ≥ 0.2 the best column must read loopjoin.
+	for _, row := range f.Rows {
+		if row[0] >= "0.20" && row[4] != "loopjoin" {
+			t.Errorf("P=%s best=%s, want loopjoin", row[0], row[4])
+		}
+	}
+}
+
+func TestParamsTableMatchesDefaults(t *testing.T) {
+	f := ParamsTable(costmodel.Default())
+	want := map[string]string{"N": "100000", "C2": "30", "f": "0.1", "b": "2500", "u": "25"}
+	got := map[string]string{}
+	for _, r := range f.Rows {
+		got[r[0]] = r[2]
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("param %s = %q, want %q", k, got[k], v)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package hashidx implements a clustered hashing access method over the
+// simulated disk: a fixed directory of buckets, each a chain of pages
+// holding full tuples whose key column hashes to the bucket.
+//
+// The paper assigns this structure to R2 ("clustered hashing on join
+// field", §3.1) and to the differential file AD ("clustered hashing
+// access method on the key", §2.2.2). Its property of interest is that
+// an update which does not change the key lands on the same page as the
+// old tuple, which is what caps HR maintenance at three I/Os per update
+// (§2.2.2's I/O walkthrough).
+package hashidx
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+const pageHash = 3
+
+// header: [1 type][2 count][4 next+1]
+const pageHeader = 7
+
+// Index is a clustered hash index storing full tuples. Not safe for
+// concurrent use.
+type Index struct {
+	pool    *storage.Pool
+	file    *storage.File
+	keyCol  int
+	buckets []storage.PageNum
+	count   int
+}
+
+// node is a decoded chain page.
+type node struct {
+	next    storage.PageNum
+	hasNext bool
+	tuples  []tuple.Tuple
+}
+
+// Meta is an index's persistent metadata: the primary bucket page
+// numbers and the live tuple count.
+type Meta struct {
+	Buckets []storage.PageNum
+	Count   int
+}
+
+// Meta returns the index's persistent metadata.
+func (ix *Index) Meta() Meta {
+	return Meta{Buckets: append([]storage.PageNum(nil), ix.buckets...), Count: ix.count}
+}
+
+// Open attaches to an existing index stored in file, trusting
+// caller-supplied metadata (from a prior Meta call).
+func Open(pool *storage.Pool, file *storage.File, keyCol int, m Meta) (*Index, error) {
+	if len(m.Buckets) == 0 || m.Count < 0 {
+		return nil, fmt.Errorf("hashidx: invalid metadata %+v", m)
+	}
+	for _, pn := range m.Buckets {
+		if _, err := file.Peek(pn); err != nil {
+			return nil, fmt.Errorf("hashidx: bucket page %d missing: %w", pn, err)
+		}
+	}
+	return &Index{pool: pool, file: file, keyCol: keyCol, buckets: append([]storage.PageNum(nil), m.Buckets...), count: m.Count}, nil
+}
+
+// New creates an index with the given number of primary bucket pages,
+// clustered on keyCol. Primary pages are pre-allocated, matching a
+// statically-hashed file; growth beyond them forms overflow chains.
+func New(pool *storage.Pool, file *storage.File, keyCol, numBuckets int) (*Index, error) {
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+	ix := &Index{pool: pool, file: file, keyCol: keyCol, buckets: make([]storage.PageNum, numBuckets)}
+	for i := range ix.buckets {
+		fr, err := pool.Alloc(file)
+		if err != nil {
+			return nil, err
+		}
+		encodeNode(fr.Data, &node{})
+		fr.MarkDirty()
+		if err := pool.Release(fr); err != nil {
+			return nil, err
+		}
+		ix.buckets[i] = fr.PageNum()
+	}
+	return ix, nil
+}
+
+// Len returns the number of tuples stored.
+func (ix *Index) Len() int { return ix.count }
+
+// Buckets returns the number of primary buckets.
+func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// KeyCol returns the clustering column.
+func (ix *Index) KeyCol() int { return ix.keyCol }
+
+func encodeNode(page []byte, n *node) {
+	page[0] = pageHash
+	putU16(page[1:], uint16(len(n.tuples)))
+	next := uint32(0)
+	if n.hasNext {
+		next = uint32(n.next) + 1
+	}
+	putU32(page[3:], next)
+	off := pageHeader
+	for _, tp := range n.tuples {
+		b := tp.Encode(page[off:off])
+		off += len(b)
+	}
+	for i := off; i < len(page); i++ {
+		page[i] = 0
+	}
+}
+
+func nodeSize(n *node) int {
+	sz := pageHeader
+	for _, tp := range n.tuples {
+		sz += tp.EncodedSize()
+	}
+	return sz
+}
+
+func decodeNode(page []byte) (*node, error) {
+	if page[0] != pageHash {
+		return nil, fmt.Errorf("hashidx: page type %d", page[0])
+	}
+	cnt := int(getU16(page[1:]))
+	rawNext := getU32(page[3:])
+	n := &node{tuples: make([]tuple.Tuple, 0, cnt)}
+	if rawNext != 0 {
+		n.hasNext = true
+		n.next = storage.PageNum(rawNext - 1)
+	}
+	off := pageHeader
+	for i := 0; i < cnt; i++ {
+		tp, used, err := tuple.Decode(page[off:])
+		if err != nil {
+			return nil, fmt.Errorf("hashidx: tuple %d: %w", i, err)
+		}
+		n.tuples = append(n.tuples, tp)
+		off += used
+	}
+	return n, nil
+}
+
+// bucketFor hashes a key value to a bucket.
+func (ix *Index) bucketFor(v tuple.Value) int {
+	h := fnv.New64a()
+	h.Write(tuple.AppendValue(nil, v))
+	return int(h.Sum64() % uint64(len(ix.buckets)))
+}
+
+// Insert adds a tuple, placing it on the first chain page with space
+// (allocating an overflow page if the chain is full). Each chain page
+// inspected costs one metered read; the modified page costs one write.
+func (ix *Index) Insert(tp tuple.Tuple) error {
+	if pageHeader+tp.EncodedSize() > ix.pool.PageSize() {
+		return fmt.Errorf("hashidx: tuple of %d bytes exceeds page capacity", tp.EncodedSize())
+	}
+	pn := ix.buckets[ix.bucketFor(tp.Vals[ix.keyCol])]
+	for {
+		fr, err := ix.pool.Get(ix.file, pn)
+		if err != nil {
+			return err
+		}
+		n, err := decodeNode(fr.Data)
+		if err != nil {
+			ix.pool.Release(fr)
+			return err
+		}
+		n.tuples = append(n.tuples, tp)
+		if nodeSize(n) <= len(fr.Data) {
+			encodeNode(fr.Data, n)
+			fr.MarkDirty()
+			ix.count++
+			return ix.pool.Release(fr)
+		}
+		n.tuples = n.tuples[:len(n.tuples)-1]
+		if n.hasNext {
+			pn = n.next
+			if err := ix.pool.Release(fr); err != nil {
+				return err
+			}
+			continue
+		}
+		// Allocate an overflow page and link it.
+		ofr, err := ix.pool.Alloc(ix.file)
+		if err != nil {
+			ix.pool.Release(fr)
+			return err
+		}
+		encodeNode(ofr.Data, &node{tuples: []tuple.Tuple{tp}})
+		ofr.MarkDirty()
+		n.next, n.hasNext = ofr.PageNum(), true
+		encodeNode(fr.Data, n)
+		fr.MarkDirty()
+		ix.count++
+		if err := ix.pool.Release(ofr); err != nil {
+			ix.pool.Release(fr)
+			return err
+		}
+		return ix.pool.Release(fr)
+	}
+}
+
+// Lookup returns all tuples whose key column equals v, walking the
+// bucket's chain (one metered read per chain page).
+func (ix *Index) Lookup(v tuple.Value) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	pn := ix.buckets[ix.bucketFor(v)]
+	for {
+		fr, err := ix.pool.Get(ix.file, pn)
+		if err != nil {
+			return nil, err
+		}
+		n, err := decodeNode(fr.Data)
+		if err != nil {
+			ix.pool.Release(fr)
+			return nil, err
+		}
+		for _, tp := range n.tuples {
+			if tuple.Equal(tp.Vals[ix.keyCol], v) {
+				out = append(out, tp.Clone())
+			}
+		}
+		hasNext, next := n.hasNext, n.next
+		if err := ix.pool.Release(fr); err != nil {
+			return nil, err
+		}
+		if !hasNext {
+			return out, nil
+		}
+		pn = next
+	}
+}
+
+// Get returns the tuple with key value v and the given id.
+func (ix *Index) Get(v tuple.Value, id uint64) (tuple.Tuple, bool, error) {
+	matches, err := ix.Lookup(v)
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	for _, tp := range matches {
+		if tp.ID == id {
+			return tp, true, nil
+		}
+	}
+	return tuple.Tuple{}, false, nil
+}
+
+// Delete removes the tuple with key value v and the given id,
+// reporting whether it was found.
+func (ix *Index) Delete(v tuple.Value, id uint64) (bool, error) {
+	pn := ix.buckets[ix.bucketFor(v)]
+	for {
+		fr, err := ix.pool.Get(ix.file, pn)
+		if err != nil {
+			return false, err
+		}
+		n, err := decodeNode(fr.Data)
+		if err != nil {
+			ix.pool.Release(fr)
+			return false, err
+		}
+		for i, tp := range n.tuples {
+			if tp.ID == id && tuple.Equal(tp.Vals[ix.keyCol], v) {
+				n.tuples = append(n.tuples[:i], n.tuples[i+1:]...)
+				encodeNode(fr.Data, n)
+				fr.MarkDirty()
+				ix.count--
+				return true, ix.pool.Release(fr)
+			}
+		}
+		hasNext, next := n.hasNext, n.next
+		if err := ix.pool.Release(fr); err != nil {
+			return false, err
+		}
+		if !hasNext {
+			return false, nil
+		}
+		pn = next
+	}
+}
+
+// ScanAll returns every tuple in the index, bucket by bucket (one
+// metered read per page). Order is arbitrary but deterministic.
+func (ix *Index) ScanAll() ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	for _, bpn := range ix.buckets {
+		pn := bpn
+		for {
+			fr, err := ix.pool.Get(ix.file, pn)
+			if err != nil {
+				return nil, err
+			}
+			n, err := decodeNode(fr.Data)
+			if err != nil {
+				ix.pool.Release(fr)
+				return nil, err
+			}
+			for _, tp := range n.tuples {
+				out = append(out, tp.Clone())
+			}
+			hasNext, next := n.hasNext, n.next
+			if err := ix.pool.Release(fr); err != nil {
+				return nil, err
+			}
+			if !hasNext {
+				break
+			}
+			pn = next
+		}
+	}
+	return out, nil
+}
+
+// Pages returns the total chain pages (primary + overflow), unmetered.
+func (ix *Index) Pages() int {
+	total := 0
+	for _, bpn := range ix.buckets {
+		pn := bpn
+		for {
+			total++
+			page, err := ix.file.Peek(pn)
+			if err != nil {
+				return total
+			}
+			n, err := decodeNode(page)
+			if err != nil || !n.hasNext {
+				break
+			}
+			pn = n.next
+		}
+	}
+	return total
+}
+
+// Truncate removes every tuple but keeps the primary buckets, freeing
+// overflow pages. This is the HR reset (A := ∅, D := ∅) fast path.
+func (ix *Index) Truncate() error {
+	for _, bpn := range ix.buckets {
+		fr, err := ix.pool.Get(ix.file, bpn)
+		if err != nil {
+			return err
+		}
+		n, err := decodeNode(fr.Data)
+		if err != nil {
+			ix.pool.Release(fr)
+			return err
+		}
+		overflow := []storage.PageNum{}
+		next, hasNext := n.next, n.hasNext
+		encodeNode(fr.Data, &node{})
+		fr.MarkDirty()
+		if err := ix.pool.Release(fr); err != nil {
+			return err
+		}
+		for hasNext {
+			ofr, err := ix.pool.Get(ix.file, next)
+			if err != nil {
+				return err
+			}
+			on, err := decodeNode(ofr.Data)
+			if err != nil {
+				ix.pool.Release(ofr)
+				return err
+			}
+			overflow = append(overflow, next)
+			next, hasNext = on.next, on.hasNext
+			if err := ix.pool.Release(ofr); err != nil {
+				return err
+			}
+		}
+		for _, pn := range overflow {
+			ix.pool.Discard(ix.file, pn)
+			ix.file.Free(pn)
+		}
+	}
+	ix.count = 0
+	return nil
+}
+
+func putU16(b []byte, v uint16) { b[0] = byte(v >> 8); b[1] = byte(v) }
+func getU16(b []byte) uint16    { return uint16(b[0])<<8 | uint16(b[1]) }
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+func getU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

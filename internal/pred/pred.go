@@ -1,0 +1,464 @@
+// Package pred implements selection and join predicates for the viewmat
+// engine: evaluation against tuples, the substitution-satisfiability
+// test used as the second screening stage of rule indexing (Hanson §1,
+// after [Blak86]), and the index-interval extraction that drives t-lock
+// placement (first screening stage, after [Ston86]).
+//
+// A predicate is a conjunction of atoms. Each atom is either a
+// comparison of one relation's column against a constant, or an
+// equi-join between columns of two relations. This is exactly the class
+// the paper analyzes (select-project-join with simple restrictions), and
+// conjunctions of comparisons admit a complete, cheap satisfiability
+// test by interval intersection.
+package pred
+
+import (
+	"fmt"
+	"strings"
+
+	"viewmat/internal/tuple"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Comparison operators.
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// holds reports whether "a op b" is true under tuple.Compare ordering.
+func (o Op) holds(a, b tuple.Value) bool {
+	c := tuple.Compare(a, b)
+	switch o {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	}
+	return false
+}
+
+// Atom is one conjunct of a predicate.
+type Atom interface {
+	atomString() string
+}
+
+// Cmp compares column Col of relation Rel against the constant Val.
+// Rel is a caller-chosen relation slot (0 for single-relation
+// predicates; 0 and 1 for the two sides of a join view).
+type Cmp struct {
+	Rel int
+	Col int
+	Op  Op
+	Val tuple.Value
+}
+
+func (c Cmp) atomString() string {
+	return fmt.Sprintf("r%d.c%d %s %s", c.Rel, c.Col, c.Op, c.Val)
+}
+
+// JoinEq is an equi-join atom: relation LRel's column LCol equals
+// relation RRel's column RCol.
+type JoinEq struct {
+	LRel, LCol int
+	RRel, RCol int
+}
+
+func (j JoinEq) atomString() string {
+	return fmt.Sprintf("r%d.c%d = r%d.c%d", j.LRel, j.LCol, j.RRel, j.RCol)
+}
+
+// P is a predicate: the conjunction of its atoms. An empty P is true.
+type P struct {
+	Atoms []Atom
+}
+
+// New builds a predicate from atoms.
+func New(atoms ...Atom) *P { return &P{Atoms: atoms} }
+
+// True is the empty (always-true) predicate.
+func True() *P { return &P{} }
+
+// And returns a new predicate with the extra atoms appended.
+func (p *P) And(atoms ...Atom) *P {
+	out := &P{Atoms: make([]Atom, 0, len(p.Atoms)+len(atoms))}
+	out.Atoms = append(out.Atoms, p.Atoms...)
+	out.Atoms = append(out.Atoms, atoms...)
+	return out
+}
+
+// String renders the predicate.
+func (p *P) String() string {
+	if len(p.Atoms) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(p.Atoms))
+	for i, a := range p.Atoms {
+		parts[i] = a.atomString()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// EvalSingle evaluates the predicate against a tuple bound to relation
+// slot rel, considering only comparison atoms on that relation. Join
+// atoms and atoms on other relations are ignored (treated as true).
+// This is the per-tuple restriction test: "does t satisfy the clauses
+// of the view predicate that mention t's relation".
+func (p *P) EvalSingle(rel int, t tuple.Tuple) bool {
+	for _, a := range p.Atoms {
+		c, ok := a.(Cmp)
+		if !ok || c.Rel != rel {
+			continue
+		}
+		if !c.Op.holds(t.Vals[c.Col], c.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates the full predicate given a binding of relation slots
+// to tuples. All atoms must be decidable under the binding; an atom
+// referencing an unbound slot makes Eval return false.
+func (p *P) Eval(binding map[int]tuple.Tuple) bool {
+	for _, a := range p.Atoms {
+		switch at := a.(type) {
+		case Cmp:
+			t, ok := binding[at.Rel]
+			if !ok || !at.Op.holds(t.Vals[at.Col], at.Val) {
+				return false
+			}
+		case JoinEq:
+			l, lok := binding[at.LRel]
+			r, rok := binding[at.RRel]
+			if !lok || !rok || !tuple.Equal(l.Vals[at.LCol], r.Vals[at.RCol]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SatisfiableWith is the second-stage screening test: substitute tuple
+// t for relation slot rel and report whether the residual predicate is
+// still satisfiable. Comparison atoms on rel are decided directly; the
+// residual conjunction over the remaining slots is checked by interval
+// intersection per (relation, column), with join atoms propagating the
+// substituted tuple's value onto the partner column.
+//
+// The test is complete for this atom language: a conjunction of
+// comparisons is satisfiable iff every column's interval is nonempty
+// and no Ne atom pins an Eq-pinned value.
+func (p *P) SatisfiableWith(rel int, t tuple.Tuple) bool {
+	// Stage 1: decide atoms fully bound by t.
+	for _, a := range p.Atoms {
+		if c, ok := a.(Cmp); ok && c.Rel == rel {
+			if !c.Op.holds(t.Vals[c.Col], c.Val) {
+				return false
+			}
+		}
+	}
+	// Stage 2: build intervals for unbound columns. Join atoms against
+	// the bound relation pin the partner column to the tuple's value.
+	type colRef struct{ rel, col int }
+	ranges := map[colRef]*Range{}
+	rangeFor := func(r, c int) *Range {
+		key := colRef{r, c}
+		rg, ok := ranges[key]
+		if !ok {
+			rg = FullRange()
+			ranges[key] = rg
+		}
+		return rg
+	}
+	for _, a := range p.Atoms {
+		switch at := a.(type) {
+		case Cmp:
+			if at.Rel == rel {
+				continue
+			}
+			if !rangeFor(at.Rel, at.Col).Restrict(at.Op, at.Val) {
+				return false
+			}
+		case JoinEq:
+			switch {
+			case at.LRel == rel && at.RRel != rel:
+				if !rangeFor(at.RRel, at.RCol).Restrict(Eq, t.Vals[at.LCol]) {
+					return false
+				}
+			case at.RRel == rel && at.LRel != rel:
+				if !rangeFor(at.LRel, at.LCol).Restrict(Eq, t.Vals[at.RCol]) {
+					return false
+				}
+			case at.LRel == rel && at.RRel == rel:
+				if !tuple.Equal(t.Vals[at.LCol], t.Vals[at.RCol]) {
+					return false
+				}
+			default:
+				// Join between two unbound relations: satisfiable as
+				// long as each side's interval stays nonempty, which
+				// the per-column ranges already track conservatively.
+			}
+		}
+	}
+	return true
+}
+
+// IntervalFor extracts the closed-open value interval implied by the
+// predicate for the given relation slot and column. It is used to place
+// t-locks: the returned range covers every value of (rel, col) that a
+// tuple satisfying the predicate could have. ok is false when the
+// predicate does not constrain the column at all (the t-lock must then
+// cover the whole index).
+func (p *P) IntervalFor(rel, col int) (rg Range, constrained bool) {
+	r := FullRange()
+	for _, a := range p.Atoms {
+		c, ok := a.(Cmp)
+		if !ok || c.Rel != rel || c.Col != col || c.Op == Ne {
+			continue
+		}
+		constrained = true
+		r.Restrict(c.Op, c.Val)
+	}
+	return *r, constrained
+}
+
+// RelationsMentioned returns the set of relation slots referenced.
+func (p *P) RelationsMentioned() map[int]bool {
+	out := map[int]bool{}
+	for _, a := range p.Atoms {
+		switch at := a.(type) {
+		case Cmp:
+			out[at.Rel] = true
+		case JoinEq:
+			out[at.LRel] = true
+			out[at.RRel] = true
+		}
+	}
+	return out
+}
+
+// ColumnsRead returns, for the given relation slot, the set of column
+// positions the predicate reads. This is the compile-time half of the
+// readily-ignorable-update (RIU) test of [Bune79]: a command that
+// writes none of these columns cannot change the view.
+func (p *P) ColumnsRead(rel int) map[int]bool {
+	out := map[int]bool{}
+	for _, a := range p.Atoms {
+		switch at := a.(type) {
+		case Cmp:
+			if at.Rel == rel {
+				out[at.Col] = true
+			}
+		case JoinEq:
+			if at.LRel == rel {
+				out[at.LCol] = true
+			}
+			if at.RRel == rel {
+				out[at.RCol] = true
+			}
+		}
+	}
+	return out
+}
+
+// --- ranges --------------------------------------------------------------
+
+// Range is a (possibly half-open) interval over tuple values, with
+// inclusive/exclusive bounds. A nil bound means unbounded on that side.
+type Range struct {
+	Lo, Hi       *tuple.Value
+	LoInc, HiInc bool
+	// excluded values from Ne atoms matter for emptiness only when the
+	// range is pinned to a single point.
+	excluded []tuple.Value
+}
+
+// FullRange returns the unbounded range.
+func FullRange() *Range { return &Range{LoInc: true, HiInc: true} }
+
+// PointRange returns the range containing exactly v.
+func PointRange(v tuple.Value) *Range {
+	return &Range{Lo: &v, Hi: &v, LoInc: true, HiInc: true}
+}
+
+// NewRange returns the range [lo, hi) or [lo, hi] as requested.
+func NewRange(lo, hi tuple.Value, loInc, hiInc bool) *Range {
+	return &Range{Lo: &lo, Hi: &hi, LoInc: loInc, HiInc: hiInc}
+}
+
+// Restrict narrows the range by "col op v" and reports whether the
+// range is still (possibly) nonempty.
+func (r *Range) Restrict(op Op, v tuple.Value) bool {
+	switch op {
+	case Eq:
+		r.tightenLo(v, true)
+		r.tightenHi(v, true)
+	case Lt:
+		r.tightenHi(v, false)
+	case Le:
+		r.tightenHi(v, true)
+	case Gt:
+		r.tightenLo(v, false)
+	case Ge:
+		r.tightenLo(v, true)
+	case Ne:
+		r.excluded = append(r.excluded, v)
+	}
+	return !r.Empty()
+}
+
+func (r *Range) tightenLo(v tuple.Value, inc bool) {
+	if r.Lo == nil {
+		val := v
+		r.Lo, r.LoInc = &val, inc
+		return
+	}
+	c := tuple.Compare(v, *r.Lo)
+	if c > 0 || (c == 0 && r.LoInc && !inc) {
+		val := v
+		r.Lo, r.LoInc = &val, inc
+	}
+}
+
+func (r *Range) tightenHi(v tuple.Value, inc bool) {
+	if r.Hi == nil {
+		val := v
+		r.Hi, r.HiInc = &val, inc
+		return
+	}
+	c := tuple.Compare(v, *r.Hi)
+	if c < 0 || (c == 0 && r.HiInc && !inc) {
+		val := v
+		r.Hi, r.HiInc = &val, inc
+	}
+}
+
+// Empty reports whether the range provably contains no value.
+func (r *Range) Empty() bool {
+	if r.Lo == nil || r.Hi == nil {
+		return false
+	}
+	c := tuple.Compare(*r.Lo, *r.Hi)
+	if c > 0 {
+		return true
+	}
+	if c == 0 {
+		if !r.LoInc || !r.HiInc {
+			return true
+		}
+		for _, ex := range r.excluded {
+			if tuple.Equal(ex, *r.Lo) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Contains reports whether v lies in the range.
+func (r *Range) Contains(v tuple.Value) bool {
+	if r.Lo != nil {
+		c := tuple.Compare(v, *r.Lo)
+		if c < 0 || (c == 0 && !r.LoInc) {
+			return false
+		}
+	}
+	if r.Hi != nil {
+		c := tuple.Compare(v, *r.Hi)
+		if c > 0 || (c == 0 && !r.HiInc) {
+			return false
+		}
+	}
+	for _, ex := range r.excluded {
+		if tuple.Equal(ex, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether two ranges share at least one point
+// (conservatively: exclusions are ignored unless they empty a point
+// range, which Empty already handles).
+func (r *Range) Overlaps(o *Range) bool {
+	if r.Empty() || o.Empty() {
+		return false
+	}
+	// r ends before o starts?
+	if r.Hi != nil && o.Lo != nil {
+		c := tuple.Compare(*r.Hi, *o.Lo)
+		if c < 0 || (c == 0 && (!r.HiInc || !o.LoInc)) {
+			return false
+		}
+	}
+	// o ends before r starts?
+	if o.Hi != nil && r.Lo != nil {
+		c := tuple.Compare(*o.Hi, *r.Lo)
+		if c < 0 || (c == 0 && (!o.HiInc || !r.LoInc)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the range.
+func (r *Range) String() string {
+	var b strings.Builder
+	if r.LoInc {
+		b.WriteByte('[')
+	} else {
+		b.WriteByte('(')
+	}
+	if r.Lo == nil {
+		b.WriteString("-inf")
+	} else {
+		b.WriteString(r.Lo.String())
+	}
+	b.WriteString(", ")
+	if r.Hi == nil {
+		b.WriteString("+inf")
+	} else {
+		b.WriteString(r.Hi.String())
+	}
+	if r.HiInc {
+		b.WriteByte(']')
+	} else {
+		b.WriteByte(')')
+	}
+	return b.String()
+}

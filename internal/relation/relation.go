@@ -1,0 +1,311 @@
+// Package relation ties an access method to a schema: a Relation is a
+// named, schema-checked clustered store (B+-tree or hash) with optional
+// unclustered secondary indexes.
+//
+// The paper's setup (§3.1) maps directly onto this package: R and R1
+// are relations clustered by B+-tree on the view-predicate field, R2 is
+// clustered by hashing on the join field, and the Model-1 "unclustered"
+// query-modification plan uses a secondary index on a non-clustering
+// column.
+package relation
+
+import (
+	"fmt"
+
+	"viewmat/internal/btree"
+	"viewmat/internal/hashidx"
+	"viewmat/internal/pred"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Kind selects the clustering access method.
+type Kind int
+
+const (
+	// ClusteredBTree clusters tuples in a B+-tree on the key column.
+	ClusteredBTree Kind = iota
+	// ClusteredHash clusters tuples by hashing on the key column.
+	ClusteredHash
+)
+
+// Relation is a stored relation. Not safe for concurrent use.
+type Relation struct {
+	name   string
+	schema *tuple.Schema
+	keyCol int
+	kind   Kind
+
+	bt *btree.Tree
+	hx *hashidx.Index
+
+	pool        *storage.Pool
+	disk        *storage.Disk
+	secondaries map[int]*Secondary
+}
+
+// Secondary is an unclustered index: a B+-tree of pointer entries
+// (indexed value, primary key value, tuple id). A lookup finds pointer
+// entries by indexed value and then fetches each tuple through the
+// clustering index — the random-page behaviour the paper prices with
+// y(N, b, ·) for the unclustered plan.
+type Secondary struct {
+	col int
+	bt  *btree.Tree
+}
+
+// NewBTree creates a relation clustered by B+-tree on keyCol.
+func NewBTree(disk *storage.Disk, pool *storage.Pool, name string, schema *tuple.Schema, keyCol int) (*Relation, error) {
+	if keyCol < 0 || keyCol >= len(schema.Cols) {
+		return nil, fmt.Errorf("relation %s: key column %d out of range", name, keyCol)
+	}
+	bt, err := btree.New(pool, disk.Open(name+".btree"), keyCol)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{
+		name: name, schema: schema, keyCol: keyCol, kind: ClusteredBTree,
+		bt: bt, pool: pool, disk: disk, secondaries: map[int]*Secondary{},
+	}, nil
+}
+
+// NewHash creates a relation clustered by hashing on keyCol with the
+// given number of primary bucket pages.
+func NewHash(disk *storage.Disk, pool *storage.Pool, name string, schema *tuple.Schema, keyCol, buckets int) (*Relation, error) {
+	if keyCol < 0 || keyCol >= len(schema.Cols) {
+		return nil, fmt.Errorf("relation %s: key column %d out of range", name, keyCol)
+	}
+	hx, err := hashidx.New(pool, disk.Open(name+".hash"), keyCol, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{
+		name: name, schema: schema, keyCol: keyCol, kind: ClusteredHash,
+		hx: hx, pool: pool, disk: disk, secondaries: map[int]*Secondary{},
+	}, nil
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation schema.
+func (r *Relation) Schema() *tuple.Schema { return r.schema }
+
+// KeyCol returns the clustering column.
+func (r *Relation) KeyCol() int { return r.keyCol }
+
+// Kind returns the clustering access method.
+func (r *Relation) Kind() Kind { return r.kind }
+
+// Len returns the number of stored tuples.
+func (r *Relation) Len() int {
+	if r.kind == ClusteredBTree {
+		return r.bt.Len()
+	}
+	return r.hx.Len()
+}
+
+// Pages returns the data pages occupied (leaf pages for a B+-tree,
+// chain pages for hashing); unmetered.
+func (r *Relation) Pages() int {
+	if r.kind == ClusteredBTree {
+		return r.bt.LeafPages()
+	}
+	return r.hx.Pages()
+}
+
+// IndexHeight returns the B+-tree height above the leaves (the paper's
+// Hvi); 1 is reported for hash clustering (one directory probe).
+func (r *Relation) IndexHeight() int {
+	if r.kind == ClusteredBTree {
+		return r.bt.Height() - 1
+	}
+	return 1
+}
+
+// Insert adds a tuple after schema validation, maintaining secondaries.
+func (r *Relation) Insert(tp tuple.Tuple) error {
+	if err := r.schema.Validate(tp.Vals); err != nil {
+		return fmt.Errorf("relation %s: %w", r.name, err)
+	}
+	var err error
+	if r.kind == ClusteredBTree {
+		err = r.bt.Insert(tp)
+	} else {
+		err = r.hx.Insert(tp)
+	}
+	if err != nil {
+		return err
+	}
+	for _, sec := range r.secondaries {
+		if err := sec.bt.Insert(pointerEntry(tp, sec.col, r.keyCol)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the tuple with the clustering-key value and id. The
+// full tuple is returned so callers (HR, views) can record what was
+// deleted.
+func (r *Relation) Delete(keyVal tuple.Value, id uint64) (tuple.Tuple, bool, error) {
+	tp, ok, err := r.Get(keyVal, id)
+	if err != nil || !ok {
+		return tuple.Tuple{}, ok, err
+	}
+	if r.kind == ClusteredBTree {
+		_, err = r.bt.Delete(keyVal, id)
+	} else {
+		_, err = r.hx.Delete(keyVal, id)
+	}
+	if err != nil {
+		return tuple.Tuple{}, false, err
+	}
+	for _, sec := range r.secondaries {
+		if _, err := sec.bt.Delete(tp.Vals[sec.col], id); err != nil {
+			return tuple.Tuple{}, false, err
+		}
+	}
+	return tp, true, nil
+}
+
+// Get fetches the tuple with the clustering-key value and id.
+func (r *Relation) Get(keyVal tuple.Value, id uint64) (tuple.Tuple, bool, error) {
+	if r.kind == ClusteredBTree {
+		return r.bt.Get(keyVal, id)
+	}
+	return r.hx.Get(keyVal, id)
+}
+
+// LookupKey returns all tuples whose clustering key equals v.
+func (r *Relation) LookupKey(v tuple.Value) ([]tuple.Tuple, error) {
+	if r.kind == ClusteredHash {
+		return r.hx.Lookup(v)
+	}
+	it, err := r.bt.Scan(pred.PointRange(v))
+	if err != nil {
+		return nil, err
+	}
+	return drain(it)
+}
+
+// Scan returns tuples whose clustering-key value lies in rg, in key
+// order. Only B+-tree relations support range scans.
+func (r *Relation) Scan(rg *pred.Range) ([]tuple.Tuple, error) {
+	if r.kind != ClusteredBTree {
+		return nil, fmt.Errorf("relation %s: range scan requires B+-tree clustering", r.name)
+	}
+	it, err := r.bt.Scan(rg)
+	if err != nil {
+		return nil, err
+	}
+	return drain(it)
+}
+
+// Iter returns a streaming iterator over the clustering range (B+-tree
+// only); rg nil means everything.
+func (r *Relation) Iter(rg *pred.Range) (*btree.Iterator, error) {
+	if r.kind != ClusteredBTree {
+		return nil, fmt.Errorf("relation %s: iterator requires B+-tree clustering", r.name)
+	}
+	return r.bt.Scan(rg)
+}
+
+// ScanAll returns every tuple (sequential scan: every data page read).
+func (r *Relation) ScanAll() ([]tuple.Tuple, error) {
+	if r.kind == ClusteredBTree {
+		it, err := r.bt.ScanAll()
+		if err != nil {
+			return nil, err
+		}
+		return drain(it)
+	}
+	return r.hx.ScanAll()
+}
+
+// --- secondary indexes ----------------------------------------------------
+
+// pointerEntry builds the secondary-index entry for tp: (indexed value,
+// primary key value, id), with the entry's own id equal to the tuple's.
+func pointerEntry(tp tuple.Tuple, col, keyCol int) tuple.Tuple {
+	return tuple.New(tp.ID, tp.Vals[col], tp.Vals[keyCol])
+}
+
+// AddSecondary builds an unclustered index on col from the current
+// contents. It is an error to index the clustering column (use the
+// clustered index) or to index a column twice.
+func (r *Relation) AddSecondary(col int) error {
+	if col == r.keyCol {
+		return fmt.Errorf("relation %s: column %d is the clustering key", r.name, col)
+	}
+	if _, dup := r.secondaries[col]; dup {
+		return fmt.Errorf("relation %s: column %d already has a secondary index", r.name, col)
+	}
+	bt, err := btree.New(r.pool, r.disk.Open(fmt.Sprintf("%s.sec%d", r.name, col)), 0)
+	if err != nil {
+		return err
+	}
+	sec := &Secondary{col: col, bt: bt}
+	all, err := r.ScanAll()
+	if err != nil {
+		return err
+	}
+	for _, tp := range all {
+		if err := bt.Insert(pointerEntry(tp, col, r.keyCol)); err != nil {
+			return err
+		}
+	}
+	r.secondaries[col] = sec
+	return nil
+}
+
+// HasSecondary reports whether col has a secondary index.
+func (r *Relation) HasSecondary(col int) bool {
+	_, ok := r.secondaries[col]
+	return ok
+}
+
+// LookupSecondary finds tuples whose col value lies in rg via the
+// unclustered index: a range scan of pointer entries followed by one
+// clustered fetch per pointer — the per-tuple random I/O the paper's
+// unclustered plan pays.
+func (r *Relation) LookupSecondary(col int, rg *pred.Range) ([]tuple.Tuple, error) {
+	sec, ok := r.secondaries[col]
+	if !ok {
+		return nil, fmt.Errorf("relation %s: no secondary index on column %d", r.name, col)
+	}
+	it, err := sec.bt.Scan(rg)
+	if err != nil {
+		return nil, err
+	}
+	ptrs, err := drain(it)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tuple.Tuple, 0, len(ptrs))
+	for _, ptr := range ptrs {
+		tp, found, err := r.Get(ptr.Vals[1], ptr.ID)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return nil, fmt.Errorf("relation %s: dangling secondary pointer id %d", r.name, ptr.ID)
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+func drain(it *btree.Iterator) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	for {
+		tp, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, tp)
+	}
+}

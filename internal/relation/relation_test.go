@@ -1,0 +1,240 @@
+package relation
+
+import (
+	"testing"
+
+	"viewmat/internal/pred"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+func testEnv(t testing.TB) (*storage.Disk, *storage.Pool, *storage.Meter) {
+	t.Helper()
+	d := storage.NewDisk(256)
+	m := storage.NewMeter()
+	return d, storage.NewPool(d, m, 128), m
+}
+
+func empSchema() *tuple.Schema {
+	return tuple.NewSchema(tuple.Col("dept", tuple.Int), tuple.Col("name", tuple.String), tuple.Col("salary", tuple.Int))
+}
+
+func emp(id uint64, dept int64, name string, sal int64) tuple.Tuple {
+	return tuple.New(id, tuple.I(dept), tuple.S(name), tuple.I(sal))
+}
+
+func TestBTreeRelationCRUD(t *testing.T) {
+	d, p, _ := testEnv(t)
+	r, err := NewBTree(d, p, "emp", empSchema(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 30; i++ {
+		if err := r.Insert(emp(uint64(i+1), i%5, "e", 1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 30 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	got, err := r.Scan(pred.PointRange(tuple.I(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Errorf("dept 3 scan = %d tuples, want 6", len(got))
+	}
+	tp, ok, err := r.Delete(tuple.I(2), 3)
+	if err != nil || !ok {
+		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	}
+	if tp.Vals[2].Int() != 1002 {
+		t.Errorf("deleted tuple = %v", tp)
+	}
+	if _, ok, _ := r.Get(tuple.I(2), 3); ok {
+		t.Error("deleted tuple still present")
+	}
+	if r.Len() != 29 {
+		t.Errorf("Len after delete = %d", r.Len())
+	}
+}
+
+func TestSchemaValidationOnInsert(t *testing.T) {
+	d, p, _ := testEnv(t)
+	r, _ := NewBTree(d, p, "emp", empSchema(), 0)
+	if err := r.Insert(tuple.New(1, tuple.I(1))); err == nil {
+		t.Error("wrong-arity tuple accepted")
+	}
+	if err := r.Insert(tuple.New(1, tuple.S("x"), tuple.S("y"), tuple.I(3))); err == nil {
+		t.Error("wrong-typed tuple accepted")
+	}
+}
+
+func TestHashRelationCRUD(t *testing.T) {
+	d, p, _ := testEnv(t)
+	r, err := NewHash(d, p, "dept", empSchema(), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 20; i++ {
+		if err := r.Insert(emp(uint64(i+1), i, "d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r.LookupKey(tuple.I(7))
+	if err != nil || len(got) != 1 || got[0].ID != 8 {
+		t.Errorf("LookupKey(7) = %v err=%v", got, err)
+	}
+	if _, err := r.Scan(pred.FullRange()); err == nil {
+		t.Error("range scan on hash relation should error")
+	}
+	all, err := r.ScanAll()
+	if err != nil || len(all) != 20 {
+		t.Errorf("ScanAll = %d tuples err=%v", len(all), err)
+	}
+}
+
+func TestKeyColValidation(t *testing.T) {
+	d, p, _ := testEnv(t)
+	if _, err := NewBTree(d, p, "x", empSchema(), 9); err == nil {
+		t.Error("out-of-range key column accepted")
+	}
+	if _, err := NewHash(d, p, "y", empSchema(), -1, 4); err == nil {
+		t.Error("negative key column accepted")
+	}
+}
+
+func TestSecondaryIndexLookup(t *testing.T) {
+	d, p, _ := testEnv(t)
+	r, _ := NewBTree(d, p, "emp", empSchema(), 0) // clustered on dept
+	for i := int64(0); i < 40; i++ {
+		if err := r.Insert(emp(uint64(i+1), i%4, "e", 1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.AddSecondary(2); err != nil { // salary
+		t.Fatal(err)
+	}
+	if !r.HasSecondary(2) {
+		t.Error("HasSecondary(2) = false")
+	}
+	got, err := r.LookupSecondary(2, pred.NewRange(tuple.I(1010), tuple.I(1019), true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("secondary lookup found %d, want 10", len(got))
+	}
+	for _, tp := range got {
+		s := tp.Vals[2].Int()
+		if s < 1010 || s > 1019 {
+			t.Errorf("out-of-range salary %d", s)
+		}
+	}
+}
+
+func TestSecondaryMaintainedByInsertDelete(t *testing.T) {
+	d, p, _ := testEnv(t)
+	r, _ := NewBTree(d, p, "emp", empSchema(), 0)
+	if err := r.AddSecondary(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		if err := r.Insert(emp(uint64(i+1), i, "e", 100*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, err := r.Delete(tuple.I(5), 6); err != nil || !ok {
+		t.Fatal("delete failed")
+	}
+	got, err := r.LookupSecondary(2, pred.PointRange(tuple.I(500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("secondary still finds deleted tuple: %v", got)
+	}
+	got, _ = r.LookupSecondary(2, pred.PointRange(tuple.I(300)))
+	if len(got) != 1 || got[0].ID != 4 {
+		t.Errorf("secondary lookup = %v", got)
+	}
+}
+
+func TestSecondaryErrors(t *testing.T) {
+	d, p, _ := testEnv(t)
+	r, _ := NewBTree(d, p, "emp", empSchema(), 0)
+	if err := r.AddSecondary(0); err == nil {
+		t.Error("secondary on clustering column accepted")
+	}
+	if err := r.AddSecondary(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSecondary(2); err == nil {
+		t.Error("duplicate secondary accepted")
+	}
+	if _, err := r.LookupSecondary(1, pred.FullRange()); err == nil {
+		t.Error("lookup on missing secondary succeeded")
+	}
+}
+
+func TestIndexHeightAndPages(t *testing.T) {
+	d, p, _ := testEnv(t)
+	r, _ := NewBTree(d, p, "emp", empSchema(), 0)
+	for i := int64(0); i < 500; i++ {
+		if err := r.Insert(emp(uint64(i+1), i, "e", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.IndexHeight() < 1 {
+		t.Errorf("IndexHeight = %d", r.IndexHeight())
+	}
+	if r.Pages() < 10 {
+		t.Errorf("Pages = %d, want many for 500 tuples on 256-byte pages", r.Pages())
+	}
+}
+
+func TestUnclusteredCostsMoreThanClustered(t *testing.T) {
+	// The structural fact behind Figure 1's clustered-vs-unclustered
+	// gap: fetching a key range via a secondary index touches ~1 page
+	// per tuple; the clustered scan touches ~1 page per T tuples.
+	d := storage.NewDisk(512)
+	m := storage.NewMeter()
+	p := storage.NewPool(d, m, 4) // tiny pool: per-fetch descents stay cold
+	r, err := NewBTree(d, p, "emp", empSchema(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustered on dept; salary correlates inversely so a salary range
+	// is scattered across dept order.
+	for i := int64(0); i < 400; i++ {
+		if err := r.Insert(emp(uint64(i+1), i, "e", (i*797)%400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.AddSecondary(2); err != nil {
+		t.Fatal(err)
+	}
+
+	p.EvictAll()
+	before := m.Snapshot()
+	cl, err := r.Scan(pred.NewRange(tuple.I(100), tuple.I(199), true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusteredReads := m.Snapshot().Sub(before).Reads
+
+	p.EvictAll()
+	before = m.Snapshot()
+	un, err := r.LookupSecondary(2, pred.NewRange(tuple.I(100), tuple.I(199), true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unclusteredReads := m.Snapshot().Sub(before).Reads
+
+	if len(cl) != 100 || len(un) != 100 {
+		t.Fatalf("result sizes: clustered %d unclustered %d", len(cl), len(un))
+	}
+	if unclusteredReads < 2*clusteredReads {
+		t.Errorf("expected unclustered (%d reads) ≫ clustered (%d reads)", unclusteredReads, clusteredReads)
+	}
+}

@@ -1,0 +1,242 @@
+// Package report renders figures and tables as aligned text, CSV, and
+// ASCII region maps for terminal consumption by cmd/figures and the
+// benchmark harness.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"viewmat/internal/costmodel"
+	"viewmat/internal/figures"
+	"viewmat/internal/storage"
+)
+
+// Table renders rows under a header with aligned columns.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SeriesTable renders a figure's series as one table: the x column
+// followed by one column per series.
+func SeriesTable(fig *figures.Figure) string {
+	if len(fig.Series) == 0 {
+		return ""
+	}
+	header := append([]string{fig.XLabel}, seriesNames(fig)...)
+	n := len(fig.Series[0].X)
+	rows := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("%g", fig.Series[0].X[i])}
+		for _, s := range fig.Series {
+			row = append(row, fmt.Sprintf("%.1f", s.Y[i]))
+		}
+		rows = append(rows, row)
+	}
+	return Table(header, rows)
+}
+
+func seriesNames(fig *figures.Figure) []string {
+	out := make([]string, len(fig.Series))
+	for i, s := range fig.Series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// regionGlyphs maps algorithms to single-character map glyphs.
+var regionGlyphs = map[costmodel.Algorithm]byte{
+	costmodel.AlgDeferred:          'D',
+	costmodel.AlgImmediate:         'I',
+	costmodel.AlgClustered:         'C',
+	costmodel.AlgUnclustered:       'U',
+	costmodel.AlgSequential:        'S',
+	costmodel.AlgLoopJoin:          'J',
+	costmodel.AlgSnapshot:          'N',
+	costmodel.AlgRecomputeOnDemand: 'R',
+}
+
+// RegionMap renders a best-algorithm region map as an ASCII grid:
+// f increases upward, P increases rightward.
+func RegionMap(points []costmodel.RegionPoint) string {
+	if len(points) == 0 {
+		return ""
+	}
+	fs := sortedUnique(points, func(p costmodel.RegionPoint) float64 { return p.F })
+	ps := sortedUnique(points, func(p costmodel.RegionPoint) float64 { return p.P })
+	grid := map[[2]float64]costmodel.Algorithm{}
+	used := map[costmodel.Algorithm]bool{}
+	for _, pt := range points {
+		grid[[2]float64{pt.F, pt.P}] = pt.Best
+		used[pt.Best] = true
+	}
+	var b strings.Builder
+	for i := len(fs) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "f=%-5.2f |", fs[i])
+		for _, pv := range ps {
+			if alg, ok := grid[[2]float64{fs[i], pv}]; ok {
+				b.WriteByte(regionGlyphs[alg])
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", len(ps)))
+	b.WriteString("\n         P: ")
+	fmt.Fprintf(&b, "%.2f .. %.2f\n", ps[0], ps[len(ps)-1])
+	b.WriteString("legend: ")
+	var algs []string
+	for alg := range used {
+		algs = append(algs, fmt.Sprintf("%c=%s", regionGlyphs[alg], alg))
+	}
+	sort.Strings(algs)
+	b.WriteString(strings.Join(algs, " "))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func sortedUnique(points []costmodel.RegionPoint, get func(costmodel.RegionPoint) float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range points {
+		v := get(p)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Render renders a full figure: title, body (series table, region map
+// or rows), and notes.
+func Render(fig *figures.Figure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Figure %s: %s ==\n", fig.ID, fig.Title)
+	switch {
+	case len(fig.Series) > 0:
+		b.WriteString(SeriesTable(fig))
+	case len(fig.Regions) > 0:
+		b.WriteString(RegionMap(fig.Regions))
+	case len(fig.Rows) > 0:
+		b.WriteString(Table(fig.Header, fig.Rows))
+	}
+	for _, n := range fig.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Breakdown renders a per-phase cost attribution table: one row per
+// phase with operation counts and the phase's priced cost, plus a
+// totals row. Phases map onto the cost model's components (C_query,
+// C_def-refresh, C_screen, C_ADread, …); see core's Phase constants.
+func Breakdown(phases map[string]storage.Stats, c1, c2, c3 float64) string {
+	names := make([]string, 0, len(phases))
+	for n := range phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rows := make([][]string, 0, len(names)+1)
+	var total storage.Stats
+	for _, n := range names {
+		s := phases[n]
+		rows = append(rows, []string{
+			n,
+			fmt.Sprintf("%d", s.Reads),
+			fmt.Sprintf("%d", s.Writes),
+			fmt.Sprintf("%d", s.Screens),
+			fmt.Sprintf("%d", s.ADTouches),
+			fmt.Sprintf("%.1f", s.Cost(c1, c2, c3)),
+		})
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.Screens += s.Screens
+		total.ADTouches += s.ADTouches
+	}
+	rows = append(rows, []string{
+		"TOTAL",
+		fmt.Sprintf("%d", total.Reads),
+		fmt.Sprintf("%d", total.Writes),
+		fmt.Sprintf("%d", total.Screens),
+		fmt.Sprintf("%d", total.ADTouches),
+		fmt.Sprintf("%.1f", total.Cost(c1, c2, c3)),
+	})
+	return Table([]string{"phase", "reads", "writes", "screens", "adTouches", "cost (ms)"}, rows)
+}
+
+// CSV renders a figure's data as CSV (series, regions, or rows).
+func CSV(fig *figures.Figure) string {
+	var b strings.Builder
+	switch {
+	case len(fig.Series) > 0:
+		b.WriteString("x")
+		for _, s := range fig.Series {
+			b.WriteString("," + csvEscape(s.Name))
+		}
+		b.WriteByte('\n')
+		for i := range fig.Series[0].X {
+			fmt.Fprintf(&b, "%g", fig.Series[0].X[i])
+			for _, s := range fig.Series {
+				fmt.Fprintf(&b, ",%g", s.Y[i])
+			}
+			b.WriteByte('\n')
+		}
+	case len(fig.Regions) > 0:
+		b.WriteString("P,f,best\n")
+		for _, pt := range fig.Regions {
+			fmt.Fprintf(&b, "%g,%g,%s\n", pt.P, pt.F, pt.Best)
+		}
+	case len(fig.Rows) > 0:
+		b.WriteString(strings.Join(fig.Header, ",") + "\n")
+		for _, r := range fig.Rows {
+			cells := make([]string, len(r))
+			for i, c := range r {
+				cells[i] = csvEscape(c)
+			}
+			b.WriteString(strings.Join(cells, ",") + "\n")
+		}
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"viewmat/internal/costmodel"
+	"viewmat/internal/figures"
+	"viewmat/internal/storage"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	width := len(lines[0])
+	for i, l := range lines {
+		if len(l) > width+2 {
+			t.Errorf("line %d much wider than header: %q", i, l)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Errorf("separator line missing: %q", lines[1])
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	fig := figures.Figure1(costmodel.Default())
+	out := SeriesTable(fig)
+	if !strings.Contains(out, "deferred") || !strings.Contains(out, "clustered") {
+		t.Error("series table missing algorithm columns")
+	}
+	if len(strings.Split(out, "\n")) < 10 {
+		t.Error("series table suspiciously short")
+	}
+}
+
+func TestRegionMapRendering(t *testing.T) {
+	fig := figures.Figure2(costmodel.Default())
+	out := RegionMap(fig.Regions)
+	if !strings.Contains(out, "legend:") {
+		t.Error("region map missing legend")
+	}
+	if !strings.Contains(out, "C=clustered") {
+		t.Errorf("region map legend missing clustered: %s", out)
+	}
+	if !strings.Contains(out, "f=") {
+		t.Error("region map missing f axis labels")
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	for _, fig := range figures.All() {
+		out := Render(fig)
+		if !strings.Contains(out, fig.Title) {
+			t.Errorf("figure %s: render missing title", fig.ID)
+		}
+		if len(out) < 80 {
+			t.Errorf("figure %s: render suspiciously short (%d bytes)", fig.ID, len(out))
+		}
+	}
+}
+
+func TestCSVFormats(t *testing.T) {
+	series := CSV(figures.Figure1(costmodel.Default()))
+	if !strings.HasPrefix(series, "x,deferred,immediate,clustered,unclustered\n") {
+		t.Errorf("series CSV header wrong: %q", strings.SplitN(series, "\n", 2)[0])
+	}
+	region := CSV(figures.Figure2(costmodel.Default()))
+	if !strings.HasPrefix(region, "P,f,best\n") {
+		t.Error("region CSV header wrong")
+	}
+	table := CSV(figures.ParamsTable(costmodel.Default()))
+	if !strings.HasPrefix(table, "parameter,definition,default\n") {
+		t.Error("table CSV header wrong")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	if got := csvEscape(`a,"b"`); got != `"a,""b"""` {
+		t.Errorf("csvEscape = %q", got)
+	}
+	if got := csvEscape("plain"); got != "plain" {
+		t.Errorf("csvEscape(plain) = %q", got)
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	phases := map[string]storage.Stats{
+		"query":   {Reads: 10, Screens: 100},
+		"refresh": {Reads: 2, Writes: 3},
+	}
+	out := Breakdown(phases, 1, 30, 1)
+	if !strings.Contains(out, "TOTAL") {
+		t.Error("missing totals row")
+	}
+	if !strings.Contains(out, "query") || !strings.Contains(out, "refresh") {
+		t.Error("missing phase rows")
+	}
+	// query cost = 10*30 + 100 = 400; refresh = 5*30 = 150; total 550.
+	if !strings.Contains(out, "400.0") || !strings.Contains(out, "150.0") || !strings.Contains(out, "550.0") {
+		t.Errorf("costs wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,161 @@
+// Package rules implements rule indexing for view-maintenance
+// screening (Hanson §1, after the rule wake-up scheme of [Ston86]).
+//
+// For each materialized view, the index intervals covered by the view
+// predicate's clauses on a relation's indexed column are locked with
+// trigger-locks (t-locks). Screening an inserted or deleted tuple is a
+// two-stage test:
+//
+//	stage 1 (free):  does the tuple disturb a t-locked index interval?
+//	stage 2 (C1):    is the view predicate, with the tuple substituted,
+//	                 still satisfiable?
+//
+// A tuple that passes both stages is marked for the view and must be
+// used to refresh it; a tuple failing either stage provably cannot
+// change the view. Stage 1 can produce false drops (the interval is a
+// superset of the predicate), which is exactly why stage 2 exists.
+//
+// The package also implements the compile-time readily-ignorable-update
+// (RIU) test of [Bune79]: a command that writes no column read by the
+// view definition cannot affect the view, at per-transaction rather
+// than per-tuple cost.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"viewmat/internal/pred"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Lock is one t-lock: it guards the index interval rg on column col of
+// a named relation, on behalf of a view.
+type Lock struct {
+	View     string
+	Relation string
+	RelSlot  int // the view predicate's slot for this relation
+	Col      int // indexed column guarded
+	Rg       pred.Range
+	Pred     *pred.P
+	// readCols caches the predicate's column footprint for the RIU test.
+	readCols map[int]bool
+	// targetCols are columns the view's target list projects; writes to
+	// them also defeat the RIU test even if the predicate ignores them.
+	targetCols map[int]bool
+}
+
+// Table holds every registered t-lock, bucketed by relation name.
+// Stage-2 tests are charged to the meter at C1 apiece.
+type Table struct {
+	meter *storage.Meter
+	locks map[string][]*Lock
+}
+
+// NewTable creates an empty t-lock table charging the meter.
+func NewTable(meter *storage.Meter) *Table {
+	return &Table{meter: meter, locks: map[string][]*Lock{}}
+}
+
+// Register places a t-lock for view on (relation, col), deriving the
+// guarded interval from the predicate's restriction of relSlot.col. An
+// unconstrained column yields a whole-index lock (every tuple disturbs
+// it). targetCols lists the columns of relSlot that the view's target
+// list projects.
+func (t *Table) Register(view, relName string, relSlot, col int, p *pred.P, targetCols []int) {
+	rg, constrained := p.IntervalFor(relSlot, col)
+	if !constrained {
+		rg = *pred.FullRange()
+	}
+	tc := map[int]bool{}
+	for _, c := range targetCols {
+		tc[c] = true
+	}
+	t.locks[relName] = append(t.locks[relName], &Lock{
+		View:       view,
+		Relation:   relName,
+		RelSlot:    relSlot,
+		Col:        col,
+		Rg:         rg,
+		Pred:       p,
+		readCols:   p.ColumnsRead(relSlot),
+		targetCols: tc,
+	})
+}
+
+// Unregister removes every t-lock held by the view.
+func (t *Table) Unregister(view string) {
+	for rel, locks := range t.locks {
+		kept := locks[:0]
+		for _, l := range locks {
+			if l.View != view {
+				kept = append(kept, l)
+			}
+		}
+		if len(kept) == 0 {
+			delete(t.locks, rel)
+		} else {
+			t.locks[rel] = kept
+		}
+	}
+}
+
+// LocksOn returns the number of t-locks on a relation.
+func (t *Table) LocksOn(relName string) int { return len(t.locks[relName]) }
+
+// Views returns the sorted set of views holding locks anywhere.
+func (t *Table) Views() []string {
+	seen := map[string]bool{}
+	for _, locks := range t.locks {
+		for _, l := range locks {
+			seen[l.View] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Screen runs the two-stage test for a tuple inserted into or deleted
+// from relName, returning the names of views the tuple may affect
+// (its "markers", in the paper's terms). Stage 1 is free; each stage-2
+// satisfiability test charges one C1 unit.
+func (t *Table) Screen(relName string, tp tuple.Tuple) []string {
+	var hits []string
+	for _, l := range t.locks[relName] {
+		// Stage 1: does the tuple disturb the locked interval?
+		if !l.Rg.Contains(tp.Vals[l.Col]) {
+			continue
+		}
+		// Stage 2: substitution + satisfiability, at C1.
+		t.meter.Screen(1)
+		if l.Pred.SatisfiableWith(l.RelSlot, tp) {
+			hits = append(hits, l.View)
+		}
+	}
+	return hits
+}
+
+// IsRIU reports whether a command writing the given columns of relName
+// is a readily ignorable update for the view: none of the written
+// columns is read by the view's predicate or projected by its target
+// list. This is the per-transaction compile-time screen of [Bune79];
+// it charges nothing.
+func (t *Table) IsRIU(view, relName string, writtenCols []int) (bool, error) {
+	for _, l := range t.locks[relName] {
+		if l.View != view {
+			continue
+		}
+		for _, c := range writtenCols {
+			if l.readCols[c] || l.targetCols[c] {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("rules: view %q holds no lock on %q", view, relName)
+}

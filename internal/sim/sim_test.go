@@ -1,0 +1,375 @@
+package sim
+
+import (
+	"testing"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/core"
+	"viewmat/internal/costmodel"
+)
+
+// smallParams scales the paper's setup down ~20× so measured runs stay
+// fast; ratios (f, fv, fR2, k/q) match the defaults.
+func smallParams() costmodel.Params {
+	p := costmodel.Default()
+	p.N = 5000
+	p.K, p.Q, p.L = 20, 20, 10
+	return p
+}
+
+func TestModel1RunProducesCosts(t *testing.T) {
+	for _, st := range []core.Strategy{core.QueryModification, core.Immediate, core.Deferred} {
+		res, err := Run(Config{Model: Model1, Strategy: st, Params: smallParams(), Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if res.Queries != 20 || res.Commits < 20 {
+			t.Errorf("%v: queries=%d commits=%d", st, res.Queries, res.Commits)
+		}
+		if res.AvgPerQuery <= 0 {
+			t.Errorf("%v: avg cost %v", st, res.AvgPerQuery)
+		}
+		if res.Model <= 0 {
+			t.Errorf("%v: model prediction %v", st, res.Model)
+		}
+	}
+}
+
+func TestModel1MeasuredOrderingMatchesModelShape(t *testing.T) {
+	// At the defaults' P = 0.5 scaled down, the model predicts
+	// clustered < immediate ≈ deferred; the measured engine should
+	// agree on the winner.
+	cmp, err := Compare(Model1, smallParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Comparison{}
+	for _, c := range cmp {
+		byName[c.Strategy] = c
+	}
+	qm := byName["query-modification"]
+	if qm.Measured >= byName["immediate"].Measured || qm.Measured >= byName["deferred"].Measured {
+		t.Errorf("measured ordering disagrees with model: %+v", cmp)
+	}
+	// Deferred and immediate stay within 2x of each other.
+	d, i := byName["deferred"].Measured, byName["immediate"].Measured
+	if d > 2*i || i > 2*d {
+		t.Errorf("deferred %v and immediate %v diverge more than 2x", d, i)
+	}
+}
+
+func TestModel2MaterializationBeatsLoopJoin(t *testing.T) {
+	// Figure 5's point at moderate P: join views favor materialization.
+	p := smallParams()
+	cmp, err := Compare(Model2, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Comparison{}
+	for _, c := range cmp {
+		byName[c.Strategy] = c
+	}
+	if byName["immediate"].ModelScope >= byName["query-modification"].ModelScope {
+		t.Errorf("immediate (%v) should beat loopjoin (%v) at P=0.5",
+			byName["immediate"].ModelScope, byName["query-modification"].ModelScope)
+	}
+	if byName["deferred"].ModelScope >= byName["query-modification"].ModelScope {
+		t.Errorf("deferred (%v) should beat loopjoin (%v) at P=0.5",
+			byName["deferred"].ModelScope, byName["query-modification"].ModelScope)
+	}
+}
+
+func TestModel3MaintenanceBeatsRecompute(t *testing.T) {
+	// Figure 8's point: for small l, maintaining the aggregate costs a
+	// small fraction of recomputation.
+	p := smallParams()
+	p.L = 5
+	cmp, err := Compare(Model3, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Comparison{}
+	for _, c := range cmp {
+		byName[c.Strategy] = c
+	}
+	rec := byName["query-modification"].ModelScope
+	for _, st := range []string{"immediate", "deferred"} {
+		if byName[st].ModelScope > rec/2 {
+			t.Errorf("%s (%v) not ≪ recompute (%v)", st, byName[st].ModelScope, rec)
+		}
+	}
+}
+
+func TestModel3AggKinds(t *testing.T) {
+	p := smallParams()
+	p.K, p.Q = 5, 5
+	for _, kind := range []agg.Kind{agg.Sum, agg.Count, agg.Avg, agg.Min, agg.Max} {
+		if _, err := Run(Config{Model: Model3, Strategy: core.Immediate, Params: p, Seed: 1, AggKind: kind}); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+func TestHighPFavorsQueryModification(t *testing.T) {
+	// As P grows the maintenance overhead dominates; QM's flat cost
+	// wins (Figure 1/5 right-hand side).
+	p := smallParams()
+	p.K, p.Q = 80, 5 // P ≈ 0.94
+	cmp, err := Compare(Model1, p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Comparison{}
+	for _, c := range cmp {
+		byName[c.Strategy] = c
+	}
+	qm := byName["query-modification"].Measured
+	if qm >= byName["immediate"].Measured || qm >= byName["deferred"].Measured {
+		t.Errorf("at high P query modification should win: %+v", cmp)
+	}
+}
+
+func TestDeferredBreakdownHasExpectedPhases(t *testing.T) {
+	res, err := Run(Config{Model: Model1, Strategy: core.Deferred, Params: smallParams(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []core.Phase{core.PhaseADRead, core.PhaseDefRefresh, core.PhaseFold, core.PhaseQuery, core.PhaseScreen} {
+		if res.Breakdown[phase].IOs()+res.Breakdown[phase].Screens == 0 {
+			t.Errorf("phase %s unexpectedly empty", phase)
+		}
+	}
+	if res.Breakdown[core.PhaseImmRefresh].IOs() != 0 {
+		t.Error("deferred run charged immediate-refresh I/O")
+	}
+}
+
+func TestImmediateBreakdownHasExpectedPhases(t *testing.T) {
+	res, err := Run(Config{Model: Model1, Strategy: core.Immediate, Params: smallParams(), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown[core.PhaseImmRefresh].IOs() == 0 {
+		t.Error("immediate run charged no refresh I/O")
+	}
+	if res.Breakdown[core.PhaseImmRefresh].ADTouches == 0 {
+		t.Error("immediate run charged no C3 overhead")
+	}
+	for _, phase := range []core.Phase{core.PhaseADRead, core.PhaseDefRefresh, core.PhaseFold} {
+		if res.Breakdown[phase].IOs() != 0 {
+			t.Errorf("immediate run charged deferred phase %s", phase)
+		}
+	}
+}
+
+func TestPredictMatchesCostmodel(t *testing.T) {
+	p := costmodel.Default()
+	cases := []struct {
+		cfg  Config
+		want float64
+	}{
+		{Config{Model: Model1, Strategy: core.Deferred, Params: p}, costmodel.TotalDeferred1(p)},
+		{Config{Model: Model1, Strategy: core.QueryModification, Plan: core.PlanSequential, Params: p}, costmodel.TotalSequential(p)},
+		{Config{Model: Model2, Strategy: core.Immediate, Params: p}, costmodel.TotalImmediate2(p)},
+		{Config{Model: Model3, Strategy: core.QueryModification, Params: p}, costmodel.TotalRecompute3(p)},
+	}
+	for _, c := range cases {
+		if got := Predict(c.cfg); got != c.want {
+			t.Errorf("Predict(%+v) = %v, want %v", c.cfg.Strategy, got, c.want)
+		}
+	}
+}
+
+func TestInvalidParamsRejected(t *testing.T) {
+	p := smallParams()
+	p.FV = 0
+	if _, err := Run(Config{Model: Model1, Strategy: core.Immediate, Params: p}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestSweepPOrderingFlips(t *testing.T) {
+	// Engine-side Figure 1: materialization wins at low P, query
+	// modification at high P, with the flip visible in scope terms.
+	p := smallParams()
+	points, err := SweepP(Model1, p, []float64{0.1, 0.9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := points[0], points[1]
+	if low.Measured["immediate"] >= low.Measured["query-modification"] {
+		t.Errorf("at P=0.1 immediate (%v) should beat QM (%v)",
+			low.Measured["immediate"], low.Measured["query-modification"])
+	}
+	if high.Measured["query-modification"] >= high.Measured["immediate"] {
+		t.Errorf("at P=0.9 QM (%v) should beat immediate (%v)",
+			high.Measured["query-modification"], high.Measured["immediate"])
+	}
+	for _, pt := range points {
+		if pt.QueriesRun == 0 || len(pt.Model) != 3 || len(pt.WholeSys) != 3 {
+			t.Errorf("sweep point incomplete: %+v", pt)
+		}
+	}
+}
+
+func TestSweepLMaintenanceFlat(t *testing.T) {
+	// Engine-side Figure 8: the recompute cost is flat in l while
+	// immediate maintenance stays far below it for small l.
+	p := smallParams()
+	p.K, p.Q = 10, 10
+	points, err := SweepL(p, []float64{2, 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.Measured["immediate"] > pt.Measured["query-modification"]/2 {
+			t.Errorf("l=%v: immediate (%v) not ≪ recompute (%v)",
+				pt.P, pt.Measured["immediate"], pt.Measured["query-modification"])
+		}
+	}
+}
+
+func TestMeasuredFigure(t *testing.T) {
+	p := smallParams()
+	p.K, p.Q = 5, 5
+	points, err := SweepP(Model1, p, []float64{0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := MeasuredFigure("m1", "measured", "P", points)
+	if len(fig.Series) != 6 {
+		t.Errorf("series = %d, want 6 (3 measured + 3 model)", len(fig.Series))
+	}
+	empty := MeasuredFigure("e", "empty", "P", nil)
+	if len(empty.Series) != 0 {
+		t.Error("empty sweep should yield no series")
+	}
+}
+
+func TestSkewedWorkloadRuns(t *testing.T) {
+	// Skewed updates hammer a hot set; all strategies must stay
+	// correct, and deferred's batched refresh should close (or invert)
+	// its gap with immediate relative to the uniform run.
+	p := smallParams()
+	p.K, p.Q = 40, 10 // update-heavy, where refresh batching matters
+	gap := func(skew float64) float64 {
+		var imm, def float64
+		for _, st := range []core.Strategy{core.Immediate, core.Deferred} {
+			res, err := Run(Config{Model: Model1, Strategy: st, Params: p, Seed: 4, Skew: skew})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st == core.Immediate {
+				imm = res.ModelScopeAvg
+			} else {
+				def = res.ModelScopeAvg
+			}
+		}
+		return def - imm
+	}
+	uniformGap := gap(0)
+	skewedGap := gap(2.0)
+	if skewedGap >= uniformGap {
+		t.Errorf("skew did not help deferred: gap %v (uniform) -> %v (skewed)", uniformGap, skewedGap)
+	}
+}
+
+// TestMeasuredWithinFactorOfModel pins the calibration between the
+// engine and the analytic model: the scope-measured average stays
+// within a factor of 4 of the model's TOTAL at the same (scaled)
+// parameters, for every model and strategy. The model rounds page
+// counts, ignores index splits and uses Yao expectations, and the
+// engine's HR write path is metered in full rather than as "extra"
+// I/O, so equality is not expected — but an order-of-magnitude drift
+// would mean the engine stopped implementing the costed algorithms.
+func TestMeasuredWithinFactorOfModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	const factor = 4.0
+	for _, model := range []Model{Model1, Model2, Model3} {
+		cmp, err := Compare(model, smallParams(), 13)
+		if err != nil {
+			t.Fatalf("model %d: %v", model, err)
+		}
+		for _, c := range cmp {
+			bound := factor
+			if model == Model3 && c.Strategy == "query-modification" {
+				// The paper prices recomputation with the fv-scaled
+				// TOTAL_clustered; a real recomputation reads every
+				// qualifying tuple (fv = 1) — a documented 1/fv gap.
+				bound = factor / smallParams().FV
+			}
+			ratio := c.ModelScope / c.Model
+			if ratio > bound || ratio < 1/factor {
+				t.Errorf("model %d %s: measured %.1f vs model %.1f (ratio %.2f, bound %.1f)",
+					model, c.Strategy, c.ModelScope, c.Model, ratio, bound)
+			}
+		}
+	}
+}
+
+func TestCompareAllFiveStrategies(t *testing.T) {
+	p := smallParams()
+	p.K, p.Q = 10, 10
+	cmp, err := CompareAll(Model1, p, 21, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp) != 5 {
+		t.Fatalf("strategies = %d, want 5", len(cmp))
+	}
+	byName := map[string]Comparison{}
+	for _, c := range cmp {
+		if c.Measured <= 0 || c.Model <= 0 {
+			t.Errorf("%s: measured %v model %v", c.Strategy, c.Measured, c.Model)
+		}
+		byName[c.Strategy] = c
+	}
+	// Snapshot skips screening and most refreshes: its scope cost sits
+	// at or below recompute-on-demand's on the same workload.
+	if byName["snapshot"].ModelScope > byName["recompute-on-demand"].ModelScope {
+		t.Errorf("snapshot (%v) should not exceed recompute-on-demand (%v)",
+			byName["snapshot"].ModelScope, byName["recompute-on-demand"].ModelScope)
+	}
+}
+
+func TestSnapshotStrategyRunsStale(t *testing.T) {
+	// A long snapshot period means almost no refresh I/O — the run is
+	// cheap precisely because reads are stale.
+	p := smallParams()
+	p.K, p.Q = 10, 10
+	long, err := Run(Config{Model: Model1, Strategy: core.Snapshot, Params: p, Seed: 3, SnapshotEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(Config{Model: Model1, Strategy: core.Snapshot, Params: p, Seed: 3, SnapshotEvery: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.ModelScopeAvg >= fresh.ModelScopeAvg {
+		t.Errorf("long-period snapshot (%v) should be cheaper than per-read refresh (%v)",
+			long.ModelScopeAvg, fresh.ModelScopeAvg)
+	}
+}
+
+func TestExtensionStrategiesWithinFactorOfModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	p := smallParams()
+	p.K, p.Q = 10, 10
+	cmp, err := CompareAll(Model1, p, 17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmp {
+		if c.Strategy != "snapshot" && c.Strategy != "recompute-on-demand" {
+			continue
+		}
+		ratio := c.ModelScope / c.Model
+		if ratio > 4 || ratio < 0.25 {
+			t.Errorf("%s: measured %.1f vs model %.1f (ratio %.2f)", c.Strategy, c.ModelScope, c.Model, ratio)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultPageSize is the paper's block size B = 4000 bytes.
+const DefaultPageSize = 4000
+
+// PageNum identifies a page within a file.
+type PageNum uint32
+
+// Disk is a simulated disk: a set of named files of fixed-size pages.
+// Reads and writes are charged to the attached Meter by the buffer
+// pool, not by the Disk itself — the Disk is the "platter".
+type Disk struct {
+	pageSize int
+	files    map[string]*File
+}
+
+// NewDisk creates a disk with the given page size (the paper's B).
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Disk{pageSize: pageSize, files: map[string]*File{}}
+}
+
+// PageSize returns the disk's page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// Open returns the named file, creating it if needed.
+func (d *Disk) Open(name string) *File {
+	f, ok := d.files[name]
+	if !ok {
+		f = &File{name: name, disk: d}
+		d.files[name] = f
+	}
+	return f
+}
+
+// Remove deletes a file and its pages.
+func (d *Disk) Remove(name string) { delete(d.files, name) }
+
+// FileNames returns the names of all files, sorted.
+func (d *Disk) FileNames() []string {
+	out := make([]string, 0, len(d.files))
+	for n := range d.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalPages returns the number of allocated pages across all files.
+func (d *Disk) TotalPages() int {
+	n := 0
+	for _, f := range d.files {
+		n += f.NumPages()
+	}
+	return n
+}
+
+// File is a growable array of pages on a Disk.
+type File struct {
+	name  string
+	disk  *Disk
+	pages [][]byte
+	free  []PageNum // freed page numbers available for reuse
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// NumPages returns the number of allocated (non-freed) pages.
+func (f *File) NumPages() int { return len(f.pages) - len(f.free) }
+
+// Extent returns the highest allocated page number + 1 (the file's
+// physical extent, including freed holes).
+func (f *File) Extent() PageNum { return PageNum(len(f.pages)) }
+
+// Alloc allocates a zeroed page and returns its number.
+func (f *File) Alloc() PageNum {
+	if n := len(f.free); n > 0 {
+		pn := f.free[n-1]
+		f.free = f.free[:n-1]
+		f.pages[pn] = make([]byte, f.disk.pageSize)
+		return pn
+	}
+	f.pages = append(f.pages, make([]byte, f.disk.pageSize))
+	return PageNum(len(f.pages) - 1)
+}
+
+// Free releases a page for reuse.
+func (f *File) Free(pn PageNum) {
+	if int(pn) >= len(f.pages) || f.pages[pn] == nil {
+		return
+	}
+	f.pages[pn] = nil
+	f.free = append(f.free, pn)
+}
+
+// Peek returns a copy of the page's on-disk bytes without charging the
+// meter. It exists for statistics walks (page counts, invariant checks)
+// that must not pollute measured costs; query paths go through the
+// buffer pool. With a write-back pool the image may lag dirty frames,
+// so callers flush first when exactness matters.
+func (f *File) Peek(pn PageNum) ([]byte, error) {
+	b, err := f.readPage(pn)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// readPage returns the raw page bytes (no copy, no charge); only the
+// buffer pool calls this.
+func (f *File) readPage(pn PageNum) ([]byte, error) {
+	if int(pn) >= len(f.pages) || f.pages[pn] == nil {
+		return nil, fmt.Errorf("storage: file %q has no page %d", f.name, pn)
+	}
+	return f.pages[pn], nil
+}
+
+// writePage stores page bytes (no charge); only the buffer pool calls
+// this.
+func (f *File) writePage(pn PageNum, data []byte) error {
+	if int(pn) >= len(f.pages) || f.pages[pn] == nil {
+		return fmt.Errorf("storage: file %q has no page %d", f.name, pn)
+	}
+	if len(data) != f.disk.pageSize {
+		return fmt.Errorf("storage: page size %d != %d", len(data), f.disk.pageSize)
+	}
+	copy(f.pages[pn], data)
+	return nil
+}

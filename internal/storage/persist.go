@@ -1,0 +1,76 @@
+package storage
+
+import "fmt"
+
+// DiskImage is the serializable form of a Disk: page size plus every
+// file's pages and free list. All fields are exported so the image can
+// travel through encoding/gob; page contents are copied, never
+// aliased.
+type DiskImage struct {
+	PageSize int
+	Files    []FileImage
+}
+
+// FileImage is one file's serializable form. Pages holds the physical
+// extent in order; freed holes are nil entries, and Free lists their
+// page numbers for allocator reuse.
+type FileImage struct {
+	Name  string
+	Pages [][]byte
+	Free  []PageNum
+}
+
+// Snapshot captures the disk's current on-disk state. Callers that
+// need dirty buffer-pool contents included must FlushAll first.
+func (d *Disk) Snapshot() *DiskImage {
+	img := &DiskImage{PageSize: d.pageSize}
+	for _, name := range d.FileNames() {
+		f := d.files[name]
+		fi := FileImage{Name: name, Pages: make([][]byte, len(f.pages)), Free: append([]PageNum(nil), f.free...)}
+		for i, p := range f.pages {
+			if p != nil {
+				fi.Pages[i] = append([]byte(nil), p...)
+			}
+		}
+		img.Files = append(img.Files, fi)
+	}
+	return img
+}
+
+// RestoreDisk rebuilds a Disk from an image, validating page sizes.
+func RestoreDisk(img *DiskImage) (*Disk, error) {
+	if img.PageSize <= 0 {
+		return nil, fmt.Errorf("storage: image has page size %d", img.PageSize)
+	}
+	d := NewDisk(img.PageSize)
+	for _, fi := range img.Files {
+		f := d.Open(fi.Name)
+		f.pages = make([][]byte, len(fi.Pages))
+		for i, p := range fi.Pages {
+			if p == nil {
+				continue
+			}
+			if len(p) != img.PageSize {
+				return nil, fmt.Errorf("storage: file %q page %d has %d bytes, want %d", fi.Name, i, len(p), img.PageSize)
+			}
+			f.pages[i] = append([]byte(nil), p...)
+		}
+		f.free = append([]PageNum(nil), fi.Free...)
+		for _, pn := range f.free {
+			if int(pn) >= len(f.pages) || f.pages[pn] != nil {
+				return nil, fmt.Errorf("storage: file %q free list names live page %d", fi.Name, pn)
+			}
+		}
+		// Non-free nil pages are corruption.
+		freeSet := map[PageNum]bool{}
+		for _, pn := range f.free {
+			freeSet[pn] = true
+		}
+		for i, p := range f.pages {
+			if p == nil && !freeSet[PageNum(i)] {
+				return nil, fmt.Errorf("storage: file %q page %d missing and not freed", fi.Name, i)
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Pool is an LRU buffer pool with pinning. All page access in the
+// engine goes through a Pool, which charges the Meter: one read per
+// miss, one write per dirty page written back.
+//
+// Cost-model fidelity: Hanson's formulas count *distinct* pages touched
+// per operation (that is what the Yao function estimates) and assume
+// pages read for one phase of an operation stay resident for the rest
+// of it (e.g. R2's pages persist across the A-join and D-join of a
+// refresh, §3.4.1). A buffer pool that caches within an operation and
+// is evicted between operations reproduces exactly that accounting; the
+// engine calls EvictAll at operation boundaries.
+type Pool struct {
+	disk         *Disk
+	meter        *Meter
+	capacity     int
+	writeThrough bool
+	frames       map[frameKey]*list.Element
+	lru          *list.List // front = most recently used
+}
+
+type frameKey struct {
+	file string
+	pn   PageNum
+}
+
+// Frame is a page resident in the pool. Data is the mutable page
+// image; callers that modify it must call MarkDirty and must keep the
+// frame pinned while using it.
+type Frame struct {
+	key   frameKey
+	file  *File
+	Data  []byte
+	dirty bool
+	pins  int
+}
+
+// DefaultPoolCapacity is the default number of resident frames: with
+// 4000-byte pages this is ~1 MB, the paper's "very large main memory"
+// that holds R2 during a nested-loop join (§3.4.3).
+const DefaultPoolCapacity = 256
+
+// NewPool creates a pool over the disk charging the meter. capacity
+// ≤ 0 selects DefaultPoolCapacity. The pool starts in write-through
+// mode: a dirty frame is written back when its last pin is released,
+// matching the model's read+write charge per updated page.
+func NewPool(disk *Disk, meter *Meter, capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultPoolCapacity
+	}
+	return &Pool{
+		disk:         disk,
+		meter:        meter,
+		capacity:     capacity,
+		writeThrough: true,
+		frames:       map[frameKey]*list.Element{},
+		lru:          list.New(),
+	}
+}
+
+// SetWriteThrough toggles write-through (true: dirty pages are written
+// when unpinned) versus write-back (dirty pages are written at eviction
+// or FlushAll). Write-back is the §4 "idle disk time" ablation.
+func (p *Pool) SetWriteThrough(on bool) { p.writeThrough = on }
+
+// Capacity returns the pool's frame capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// PageSize returns the underlying disk's page size.
+func (p *Pool) PageSize() int { return p.disk.PageSize() }
+
+// Resident returns the number of frames currently in the pool.
+func (p *Pool) Resident() int { return p.lru.Len() }
+
+// Get pins and returns the frame for (file, pn), reading it from disk
+// (one metered read) on a miss.
+func (p *Pool) Get(f *File, pn PageNum) (*Frame, error) {
+	key := frameKey{f.Name(), pn}
+	if el, ok := p.frames[key]; ok {
+		p.lru.MoveToFront(el)
+		fr := el.Value.(*Frame)
+		fr.pins++
+		return fr, nil
+	}
+	src, err := f.readPage(pn)
+	if err != nil {
+		return nil, err
+	}
+	p.meter.Read(1)
+	fr := &Frame{key: key, file: f, Data: append([]byte(nil), src...), pins: 1}
+	p.frames[key] = p.lru.PushFront(fr)
+	if err := p.evictOverflow(); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// Alloc allocates a fresh page in the file and returns it pinned. The
+// page is born dirty (it must eventually be written) but its first
+// write is charged like any other: on unpin (write-through) or
+// eviction (write-back). No read is charged for a newborn page.
+func (p *Pool) Alloc(f *File) (*Frame, error) {
+	pn := f.Alloc()
+	key := frameKey{f.Name(), pn}
+	fr := &Frame{key: key, file: f, Data: make([]byte, p.disk.PageSize()), pins: 1, dirty: true}
+	p.frames[key] = p.lru.PushFront(fr)
+	if err := p.evictOverflow(); err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// PageNum returns the page number of the frame.
+func (fr *Frame) PageNum() PageNum { return fr.key.pn }
+
+// MarkDirty records that the frame's data has been modified.
+func (fr *Frame) MarkDirty() { fr.dirty = true }
+
+// Release unpins a frame obtained from Get or Alloc. In write-through
+// mode the final unpin of a dirty frame writes it back (one metered
+// write).
+func (p *Pool) Release(fr *Frame) error {
+	if fr.pins <= 0 {
+		return fmt.Errorf("storage: release of unpinned frame %v", fr.key)
+	}
+	fr.pins--
+	if fr.pins == 0 && fr.dirty && p.writeThrough {
+		if err := p.writeBack(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBack flushes a dirty frame to disk, charging one write.
+func (p *Pool) writeBack(fr *Frame) error {
+	if err := fr.file.writePage(fr.key.pn, fr.Data); err != nil {
+		return err
+	}
+	p.meter.Write(1)
+	fr.dirty = false
+	return nil
+}
+
+// evictOverflow evicts least-recently-used unpinned frames until the
+// pool is within capacity.
+func (p *Pool) evictOverflow() error {
+	for p.lru.Len() > p.capacity {
+		el := p.lru.Back()
+		evicted := false
+		for el != nil {
+			fr := el.Value.(*Frame)
+			if fr.pins == 0 {
+				if fr.dirty {
+					if err := p.writeBack(fr); err != nil {
+						return err
+					}
+				}
+				prev := el.Prev()
+				p.lru.Remove(el)
+				delete(p.frames, fr.key)
+				evicted = true
+				_ = prev
+				break
+			}
+			el = el.Prev()
+		}
+		if !evicted {
+			return fmt.Errorf("storage: buffer pool full of pinned frames (capacity %d)", p.capacity)
+		}
+	}
+	return nil
+}
+
+// Discard drops the frame for (file, pn) without flushing, regardless
+// of dirtiness. Callers use it immediately before freeing a page on
+// disk, so a stale dirty frame can never be written to a reallocated
+// page. Discarding a pinned frame is a programming error and panics.
+func (p *Pool) Discard(f *File, pn PageNum) {
+	key := frameKey{f.Name(), pn}
+	el, ok := p.frames[key]
+	if !ok {
+		return
+	}
+	if fr := el.Value.(*Frame); fr.pins > 0 {
+		panic(fmt.Sprintf("storage: Discard of pinned frame %v", fr.key))
+	}
+	p.lru.Remove(el)
+	delete(p.frames, key)
+}
+
+// FlushAll writes back every dirty frame (charging writes) without
+// evicting.
+func (p *Pool) FlushAll() error {
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*Frame)
+		if fr.dirty {
+			if err := p.writeBack(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EvictAll flushes and drops every frame. The engine calls this at
+// operation boundaries so each query/transaction starts cold, matching
+// the model's per-operation page accounting. Pinned frames are an
+// error: no operation should hold pins across a boundary.
+func (p *Pool) EvictAll() error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		if fr := el.Value.(*Frame); fr.pins > 0 {
+			return fmt.Errorf("storage: EvictAll with pinned frame %v", fr.key)
+		}
+	}
+	p.frames = map[frameKey]*list.Element{}
+	p.lru.Init()
+	return nil
+}

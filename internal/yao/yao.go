@@ -1,0 +1,138 @@
+// Package yao implements the Yao function, the expected number of disk
+// blocks touched when accessing k out of n records stored on m blocks
+// (Yao, CACM 1977), together with the Cardenas approximation
+// m·(1−(1−1/m)^k) (Cardenas, CACM 1975).
+//
+// The function is the workhorse of the cost model in Hanson's "A
+// Performance Analysis of View Materialization Strategies" (Appendix B):
+// every refresh-cost formula estimates touched view pages, touched AD
+// pages, or touched inner-relation pages with y(n, m, k).
+//
+// The paper's analysis evaluates y at fractional k (e.g. k = 2·f·u with
+// f < 1), so all entry points accept float64 arguments. Exact evaluates
+// the combinatorial form and therefore requires integral arguments; Y
+// dispatches between the exact form and the Cardenas approximation the
+// way the paper does (approximation when the blocking factor n/m exceeds
+// 10, or when the arguments are fractional).
+package yao
+
+import "math"
+
+// ApproxThreshold is the blocking factor n/m above which the Cardenas
+// approximation is considered "very close" to the exact Yao function
+// (Appendix B cites n/m > 10).
+const ApproxThreshold = 10
+
+// Approx returns the Cardenas approximation m·(1−(1−1/m)^k) to the Yao
+// function. It is defined for fractional n, m and k, which the paper's
+// cost formulas rely on (k is often 2·f·u with f < 1).
+//
+// Out-of-range arguments are clamped the way the cost model needs them
+// to be: k is clamped to [0, n], and the result never exceeds m or k.
+func Approx(n, m, k float64) float64 {
+	n, m, k = clamp(n, m, k)
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	if m <= 1 {
+		// A single (possibly fractional) block: everything lives on it.
+		return m
+	}
+	blocks := m * (1 - math.Pow(1-1/m, k))
+	// Touched blocks can exceed neither the number of blocks nor the
+	// number of records accessed.
+	return math.Min(blocks, math.Min(m, k))
+}
+
+// Exact returns the exact Yao expectation for integral n, m, k:
+//
+//	y(n, m, k) = m · (1 − C(n−p, k) / C(n, k))      with p = n/m
+//
+// i.e. each block holds p = n/m records and a block is untouched exactly
+// when none of its p records are among the k selected. The quotient is
+// evaluated as a product of ratios to avoid overflow.
+//
+// When n is not divisible by m, the records-per-block p is treated as
+// the real number n/m and the quotient is evaluated with the
+// gamma-function generalization of the binomial coefficient, which
+// degrades gracefully to the classic formula for integral p.
+func Exact(n, m, k int) float64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	if k >= n {
+		// Accessing every record touches every nonempty block; there
+		// are at most min(m, n) of those.
+		return math.Min(float64(m), float64(n))
+	}
+	if m == 1 {
+		return 1
+	}
+	limit := math.Min(float64(n), math.Min(float64(m), float64(k)))
+	p := float64(n) / float64(m)
+	if p == math.Trunc(p) {
+		// Classic product form:
+		// C(n−p, k)/C(n, k) = Π_{i=0}^{k−1} (n−p−i)/(n−i)
+		prob := 1.0 // probability a given block is untouched
+		for i := 0; i < k; i++ {
+			num := float64(n) - p - float64(i)
+			den := float64(n) - float64(i)
+			if num <= 0 {
+				prob = 0
+				break
+			}
+			prob *= num / den
+		}
+		return math.Min(float64(m)*(1-prob), limit)
+	}
+	// Fractional records-per-block: use lgamma for the generalized
+	// binomial ratio C(n−p, k)/C(n, k).
+	logProb := lchoose(float64(n)-p, float64(k)) - lchoose(float64(n), float64(k))
+	return math.Min(float64(m)*(1-math.Exp(logProb)), limit)
+}
+
+// Y evaluates the Yao function the way the paper's cost model does: the
+// exact combinatorial form when the arguments are integral and the
+// blocking factor is small, and the Cardenas approximation otherwise.
+// All cost formulas in internal/costmodel call this entry point.
+func Y(n, m, k float64) float64 {
+	n, m, k = clamp(n, m, k)
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	integral := n == math.Trunc(n) && m == math.Trunc(m) && k == math.Trunc(k)
+	if integral && n/m <= ApproxThreshold && n < 1e7 {
+		return Exact(int(n), int(m), int(k))
+	}
+	return Approx(n, m, k)
+}
+
+// lchoose returns log C(a, b) via the log-gamma function, valid for real
+// a ≥ b ≥ 0.
+func lchoose(a, b float64) float64 {
+	if b < 0 || a < b {
+		return math.Inf(-1)
+	}
+	la, _ := math.Lgamma(a + 1)
+	lb, _ := math.Lgamma(b + 1)
+	lab, _ := math.Lgamma(a - b + 1)
+	return la - lb - lab
+}
+
+// clamp normalizes arguments: negative values go to zero and k may not
+// exceed n (one cannot access more records than exist).
+func clamp(n, m, k float64) (float64, float64, float64) {
+	if n < 0 {
+		n = 0
+	}
+	if m < 0 {
+		m = 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return n, m, k
+}

@@ -1,0 +1,199 @@
+package yao
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactSmallCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		n, m, k int
+		want    float64
+	}{
+		{"one record one block", 1, 1, 1, 1},
+		{"all records", 100, 10, 100, 10},
+		{"more than all records", 100, 10, 1000, 10},
+		{"single block", 50, 1, 3, 1},
+		{"zero k", 100, 10, 0, 0},
+		{"zero n", 0, 10, 5, 0},
+		{"zero m", 10, 0, 5, 0},
+		// 2 records on 2 blocks, pick 1: exactly one block touched.
+		{"two blocks pick one", 2, 2, 1, 1},
+		// 4 records on 2 blocks, pick 2: 1 − C(2,2)/C(4,2) = 1 − 1/6
+		// untouched per block → 2·(1 − 1/6) = 5/3.
+		{"four records two blocks", 4, 2, 2, 5.0 / 3.0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Exact(tc.n, tc.m, tc.k)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("Exact(%d,%d,%d) = %v, want %v", tc.n, tc.m, tc.k, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExactMatchesBruteForceExpectation(t *testing.T) {
+	// Monte-Carlo check of the expectation for one nontrivial case.
+	const n, m, k = 40, 8, 10
+	const trials = 200000
+	rng := rand.New(rand.NewSource(1))
+	perBlock := n / m
+	var sum float64
+	records := make([]int, n)
+	for i := range records {
+		records[i] = i
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng.Shuffle(n, func(i, j int) { records[i], records[j] = records[j], records[i] })
+		touched := map[int]bool{}
+		for i := 0; i < k; i++ {
+			touched[records[i]/perBlock] = true
+		}
+		sum += float64(len(touched))
+	}
+	want := Exact(n, m, k)
+	got := sum / trials
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("Monte-Carlo %v vs Exact %v differ by more than tolerance", got, want)
+	}
+}
+
+func TestApproxCloseToExactForLargeBlockingFactor(t *testing.T) {
+	// Appendix B: the approximation is very close when n/m > 10.
+	cases := []struct{ n, m, k int }{
+		{10000, 250, 5},
+		{10000, 250, 100},
+		{100000, 2500, 50},
+		{100000, 2500, 5000},
+		{2000, 100, 30},
+	}
+	for _, c := range cases {
+		exact := Exact(c.n, c.m, c.k)
+		approx := Approx(float64(c.n), float64(c.m), float64(c.k))
+		if exact == 0 {
+			t.Fatalf("unexpected zero exact value for %+v", c)
+		}
+		rel := math.Abs(exact-approx) / exact
+		if rel > 0.01 {
+			t.Errorf("n=%d m=%d k=%d: exact %v approx %v rel err %v", c.n, c.m, c.k, exact, approx, rel)
+		}
+	}
+}
+
+func TestYDispatch(t *testing.T) {
+	// Fractional arguments must route to the approximation without NaN.
+	got := Y(10000, 250, 0.17)
+	if math.IsNaN(got) || got <= 0 || got > 0.17+1e-9 {
+		t.Errorf("Y with fractional k = %v, want small positive ≤ k", got)
+	}
+	// Integral small blocking factor routes to Exact.
+	if got := Y(4, 2, 2); math.Abs(got-5.0/3.0) > 1e-9 {
+		t.Errorf("Y(4,2,2) = %v, want 5/3", got)
+	}
+}
+
+func TestApproxBounds(t *testing.T) {
+	if got := Approx(100, 10, 3); got > 3 {
+		t.Errorf("touched blocks %v exceeds records accessed", got)
+	}
+	if got := Approx(100, 10, 1000); got > 10 {
+		t.Errorf("touched blocks %v exceeds total blocks", got)
+	}
+	if got := Approx(50, 2, 50); math.Abs(got-2) > 1e-9 {
+		t.Errorf("accessing everything should touch all blocks, got %v", got)
+	}
+}
+
+// Property: y is monotone nondecreasing in k.
+func TestPropertyMonotoneInK(t *testing.T) {
+	f := func(nSeed, mSeed, kSeed uint16) bool {
+		n := float64(nSeed%5000) + 1
+		m := float64(mSeed%200) + 1
+		k1 := float64(kSeed % uint16(n))
+		k2 := k1 + 1
+		return Approx(n, m, k2)+1e-12 >= Approx(n, m, k1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the triangle inequality y(n,m,a+b) ≤ y(n,m,a) + y(n,m,b)
+// holds; it is the paper's §4 justification that refreshing a view once
+// for a batch of changes never costs more I/O than refreshing per
+// sub-batch.
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(nSeed, mSeed, aSeed, bSeed uint16) bool {
+		n := float64(nSeed%10000) + 2
+		m := float64(mSeed%500) + 1
+		a := float64(aSeed%1000) * n / 1000
+		b := float64(bSeed%1000) * n / 1000
+		lhs := Approx(n, m, a+b)
+		rhs := Approx(n, m, a) + Approx(n, m, b)
+		return lhs <= rhs+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exact and approximate forms agree within 2% whenever the
+// blocking factor exceeds the documented threshold.
+func TestPropertyApproxAccuracy(t *testing.T) {
+	f := func(mSeed, pSeed, kSeed uint16) bool {
+		m := int(mSeed%300) + 1
+		p := int(pSeed%40) + ApproxThreshold + 1 // records per block > 10
+		n := m * p
+		k := int(kSeed) % n
+		if k == 0 {
+			return true
+		}
+		exact := Exact(n, m, k)
+		approx := Approx(float64(n), float64(m), float64(k))
+		if exact == 0 {
+			return approx < 1e-9
+		}
+		// The with-replacement (Cardenas) model drifts from the exact
+		// hypergeometric expectation as k/n grows; 5% covers the worst
+		// case over the whole range for blocking factors above the
+		// threshold (the ~1% figure in Appendix B assumes small k/n).
+		return math.Abs(exact-approx)/exact < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: y never exceeds min(m, k) and is never negative.
+func TestPropertyBounds(t *testing.T) {
+	f := func(nSeed, mSeed, kSeed uint32) bool {
+		n := float64(nSeed % 100000)
+		m := float64(mSeed % 5000)
+		k := float64(kSeed % 200000)
+		got := Y(n, m, k)
+		if got < 0 {
+			return false
+		}
+		limit := math.Min(m, math.Min(k, n))
+		return got <= limit+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Exact(10000, 250, 500)
+	}
+}
+
+func BenchmarkApprox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Approx(10000, 250, 500)
+	}
+}

@@ -1,0 +1,248 @@
+package viewmat_test
+
+import (
+	"bytes"
+	"testing"
+
+	"viewmat"
+)
+
+// TestFacadeQuickstart exercises the doc-comment example end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	db := viewmat.Open(viewmat.Options{})
+	if _, err := db.CreateRelationBTree("emp", viewmat.NewSchema(
+		viewmat.Col("dept", viewmat.Int),
+		viewmat.Col("name", viewmat.String),
+	), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView(viewmat.Def{
+		Name:      "eng",
+		Kind:      viewmat.SelectProject,
+		Relations: []string{"emp"},
+		Pred:      viewmat.Where(viewmat.ColEq(0, 0, viewmat.I(7))),
+		Project:   [][]int{{0, 1}},
+	}, viewmat.Deferred); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := tx.Insert("emp", viewmat.I(7), viewmat.S("ada")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("emp", viewmat.I(3), viewmat.S("bob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryView("eng", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Vals[1].Str() != "ada" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	rg := viewmat.KeyRange(viewmat.I(5), viewmat.I(10))
+	if !rg.Contains(viewmat.I(5)) || !rg.Contains(viewmat.I(10)) || rg.Contains(viewmat.I(11)) {
+		t.Error("KeyRange bounds wrong")
+	}
+	pt := viewmat.KeyPoint(viewmat.I(3))
+	if !pt.Contains(viewmat.I(3)) || pt.Contains(viewmat.I(4)) {
+		t.Error("KeyPoint wrong")
+	}
+	atoms := viewmat.ColRange(0, 2, viewmat.I(1), viewmat.I(9))
+	if len(atoms) != 2 {
+		t.Error("ColRange should emit two atoms")
+	}
+	p := viewmat.DefaultParams()
+	if p.N != 100000 {
+		t.Errorf("DefaultParams N = %v", p.N)
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	p := viewmat.DefaultParams().WithP(0.7)
+	rec, err := viewmat.Advise(viewmat.SelectProject, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != "clustered" {
+		t.Errorf("at P=0.7 best = %q, want clustered", rec.Best)
+	}
+	if viewmat.StrategyFor(rec) != viewmat.QueryModification {
+		t.Error("clustered should map to QueryModification")
+	}
+	if len(rec.Costs) != 5 || rec.Rationale == "" {
+		t.Errorf("recommendation incomplete: %+v", rec)
+	}
+
+	low := viewmat.DefaultParams().WithP(0.05)
+	rec, err = viewmat.Advise(viewmat.SelectProject, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != "immediate" {
+		t.Errorf("at P=0.05 best = %q, want immediate", rec.Best)
+	}
+	if viewmat.StrategyFor(rec) != viewmat.Immediate {
+		t.Error("immediate verdict should map to Immediate")
+	}
+
+	aggRec, err := viewmat.Advise(viewmat.Aggregate, viewmat.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggRec.Best != "immediate" && aggRec.Best != "deferred" {
+		t.Errorf("aggregates should favor maintenance: %q", aggRec.Best)
+	}
+
+	bad := viewmat.DefaultParams()
+	bad.F = -1
+	if _, err := viewmat.Advise(viewmat.SelectProject, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestAdviseExtended(t *testing.T) {
+	// Long-period snapshots undercut everything when staleness is
+	// acceptable.
+	rec, err := viewmat.AdviseExtended(viewmat.DefaultParams().WithP(0.5), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != "snapshot" {
+		t.Errorf("long-period snapshot not recommended: %q", rec.Best)
+	}
+	if viewmat.StrategyFor(rec) != viewmat.Snapshot {
+		t.Error("snapshot verdict should map to Snapshot")
+	}
+	if len(rec.Costs) != 7 {
+		t.Errorf("extended costs = %d entries, want 7", len(rec.Costs))
+	}
+	bad := viewmat.DefaultParams()
+	bad.N = 0
+	if _, err := viewmat.AdviseExtended(bad, 10); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestFacadeSnapshotStrategy(t *testing.T) {
+	db := viewmat.Open(viewmat.Options{})
+	if _, err := db.CreateRelationBTree("t", viewmat.NewSchema(
+		viewmat.Col("k", viewmat.Int), viewmat.Col("v", viewmat.Int),
+	), 0); err != nil {
+		t.Fatal(err)
+	}
+	def := viewmat.Def{
+		Name:      "snap",
+		Kind:      viewmat.SelectProject,
+		Relations: []string{"t"},
+		Pred:      viewmat.Where(),
+		Project:   [][]int{{0, 1}},
+	}
+	if err := db.CreateView(def, viewmat.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetSnapshotInterval("snap", 100); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := tx.Insert("t", viewmat.I(1), viewmat.I(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryView("snap", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("stale snapshot rows = %d, want 0", len(rows))
+	}
+	if err := db.RefreshSnapshot("snap"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.QueryView("snap", nil)
+	if len(rows) != 1 {
+		t.Errorf("refreshed snapshot rows = %d, want 1", len(rows))
+	}
+}
+
+func TestFacadeExplain(t *testing.T) {
+	db := viewmat.Open(viewmat.Options{})
+	if _, err := db.CreateRelationBTree("t", viewmat.NewSchema(
+		viewmat.Col("k", viewmat.Int), viewmat.Col("v", viewmat.Int),
+	), 0); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := int64(0); i < 50; i++ {
+		if _, err := tx.Insert("t", viewmat.I(i), viewmat.I(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	def := viewmat.Def{
+		Name:      "small",
+		Kind:      viewmat.SelectProject,
+		Relations: []string{"t"},
+		Pred:      viewmat.Where(viewmat.ColRange(0, 0, viewmat.I(0), viewmat.I(10))...),
+		Project:   [][]int{{0, 1}},
+	}
+	if err := db.CreateView(def, viewmat.Immediate); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := db.Explain("small", viewmat.WorkloadHints{UpdateTxns: 10, Queries: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Params.N != 50 || ex.Params.F != 0.2 {
+		t.Errorf("profiled N=%v f=%v", ex.Params.N, ex.Params.F)
+	}
+	if ex.Cheapest == "" || len(ex.Costs) == 0 {
+		t.Errorf("explanation incomplete: %+v", ex)
+	}
+}
+
+func TestFacadeSaveLoad(t *testing.T) {
+	db := viewmat.Open(viewmat.Options{})
+	if _, err := db.CreateRelationBTree("t", viewmat.NewSchema(
+		viewmat.Col("k", viewmat.Int), viewmat.Col("v", viewmat.String),
+	), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView(viewmat.Def{
+		Name:      "all",
+		Kind:      viewmat.SelectProject,
+		Relations: []string{"t"},
+		Pred:      viewmat.Where(),
+		Project:   [][]int{{0, 1}},
+	}, viewmat.Deferred); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := tx.Insert("t", viewmat.I(1), viewmat.S("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := viewmat.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := restored.QueryView("all", nil)
+	if err != nil || len(rows) != 1 || rows[0].Vals[1].Str() != "persisted" {
+		t.Errorf("restored rows = %v, err %v", rows, err)
+	}
+}
