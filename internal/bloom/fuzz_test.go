@@ -1,0 +1,59 @@
+package bloom
+
+import "testing"
+
+// FuzzBloom feeds arbitrary add/test sequences to the filter and
+// enforces its one hard guarantee: no false negatives. A key that was
+// added since the last Reset must always test positive, no matter what
+// else was added, how small the filter is, or how many hash functions
+// it uses.
+func FuzzBloom(f *testing.F) {
+	f.Add([]byte("\x00ab\x02cd\x05efgh"), uint16(64), uint8(3))
+	f.Add([]byte("\xff\xff\xff\xff"), uint16(0), uint8(0))
+	f.Add([]byte("\x01k\x02k\x01k"), uint16(9), uint8(200))
+	f.Fuzz(func(t *testing.T, data []byte, m uint16, k uint8) {
+		fl := New(uint64(m)%4096+1, int(k)%16+1)
+		added := map[string]bool{}
+		adds := 0
+		for len(data) > 1 {
+			op := data[0]
+			data = data[1:]
+			n := 1 + int(op>>4)
+			if n > len(data) {
+				n = len(data)
+			}
+			key := string(data[:n])
+			data = data[n:]
+			switch op % 3 {
+			case 0, 1:
+				fl.Add(key)
+				added[key] = true
+				adds++
+			case 2:
+				if added[key] && !fl.MayContain(key) {
+					t.Fatalf("false negative for %q mid-sequence", key)
+				}
+			}
+			if added[key] && !fl.MayContain(key) {
+				t.Fatalf("false negative for %q immediately after ops", key)
+			}
+		}
+		for key := range added {
+			if !fl.MayContain(key) {
+				t.Fatalf("false negative for %q after the whole sequence", key)
+			}
+		}
+		if fl.Len() != adds {
+			t.Fatalf("Len = %d after %d adds", fl.Len(), adds)
+		}
+		fl.Reset()
+		if fl.Len() != 0 {
+			t.Fatalf("Len = %d after Reset", fl.Len())
+		}
+		// The reset filter is a working filter.
+		fl.Add("post-reset")
+		if !fl.MayContain("post-reset") {
+			t.Fatal("false negative after Reset")
+		}
+	})
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file implements the engine's concurrency machinery beyond the
+// plain reader/writer lock in Database.mu:
+//
+//   - viewStale: the read-path staleness test that decides whether a
+//     query can stay on the shared lock or must upgrade to a refresh,
+//   - refreshStale: a per-view single-flight latch, so N queries
+//     arriving at the same stale deferred view trigger exactly one
+//     differential refresh while the other N−1 wait for its result,
+//   - RefreshAll: the §4 "idle time" refresh generalized to the whole
+//     catalog, with independent stale views refreshed in parallel by a
+//     bounded worker pool (Options.MaxRefreshWorkers).
+//
+// The paper's deferred strategy wins precisely when many update
+// transactions interleave with occasional view reads; these pieces are
+// what let that regime actually run concurrently instead of being
+// simulated one operation at a time.
+
+// refreshFlight is one in-flight single-flight refresh: the leader
+// closes done after storing err; waiters block on done and share err.
+type refreshFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// viewStale reports whether reading the view requires mutating work
+// first (a refresh or an HR fold). Caller holds db.mu (read or write).
+func (db *Database) viewStale(vs *viewState) bool {
+	switch vs.strategy {
+	case Deferred:
+		for _, rn := range vs.def.Relations {
+			if h, ok := db.hrs[rn]; ok && h.ADLen() > 0 {
+				return true
+			}
+		}
+	case Snapshot:
+		return vs.staleCommits > vs.snapshotEvery
+	case RecomputeOnDemand:
+		return vs.dirty
+	case QueryModification:
+		// A QM join view folds pending HR changes (left by deferred
+		// siblings over the same relations) into the base files before
+		// its nested-loop scan, which mutates; route it through the
+		// write path. Select-project and aggregate QM reads overlay
+		// pending changes read-only instead.
+		if vs.def.Kind == Join {
+			for _, rn := range vs.def.Relations {
+				if h, ok := db.hrs[rn]; ok && h.ADLen() > 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// acquireFresh returns the view with the engine read lock held,
+// refreshing it first (through the single-flight path) if it is stale.
+// On success the caller holds db.mu's read lock and must release it.
+// The bool reports whether a refresh ran on the way in: the leader
+// evicted the pool before refreshing, so the query then reads the warm
+// frames the refresh left behind — the same accounting the serial
+// engine produced with its evict-refresh-read sequence.
+func (db *Database) acquireFresh(name string) (*viewState, bool, error) {
+	refreshed := false
+	for {
+		db.mu.RLock()
+		vs, ok := db.views[name]
+		if !ok {
+			db.mu.RUnlock()
+			return nil, false, fmt.Errorf("core: unknown view %q", name)
+		}
+		if !db.viewStale(vs) {
+			return vs, refreshed, nil
+		}
+		db.mu.RUnlock()
+		if err := db.refreshStale(name); err != nil {
+			return nil, false, err
+		}
+		refreshed = true
+	}
+}
+
+// refreshStale brings the named view current under the engine write
+// lock, coalescing concurrent callers: the first caller becomes the
+// leader and performs the refresh; callers arriving while it runs wait
+// on its latch and share its error instead of queueing for the write
+// lock to redo work that is already done.
+func (db *Database) refreshStale(name string) error {
+	db.flightMu.Lock()
+	if fl, ok := db.inflight[name]; ok {
+		db.flightMu.Unlock()
+		db.flightWaiters.Add(1)
+		<-fl.done
+		return fl.err
+	}
+	fl := &refreshFlight{done: make(chan struct{})}
+	db.inflight[name] = fl
+	db.flightMu.Unlock()
+	db.flightLeaders.Add(1)
+
+	fl.err = db.leaderRefresh(name)
+
+	db.flightMu.Lock()
+	delete(db.inflight, name)
+	db.flightMu.Unlock()
+	close(fl.done)
+	return fl.err
+}
+
+// leaderRefresh is the single-flight leader's work: take the write
+// lock, re-check staleness (a commit-time periodic refresh or an
+// earlier leader may have run meanwhile), and refresh. The pool is
+// evicted first so the refresh is charged from a cold cache, the same
+// accounting posture the serial engine had.
+func (db *Database) leaderRefresh(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	vs, ok := db.views[name]
+	if !ok {
+		return fmt.Errorf("core: unknown view %q", name)
+	}
+	if !db.viewStale(vs) {
+		return nil
+	}
+	if err := db.pool.EvictAll(); err != nil {
+		return err
+	}
+	return db.refreshStaleLocked(vs)
+}
+
+// refreshStaleLocked dispatches the strategy-appropriate refresh.
+// Caller holds the engine write lock.
+func (db *Database) refreshStaleLocked(vs *viewState) error {
+	switch vs.strategy {
+	case Deferred:
+		return db.refreshDeferred(vs)
+	case Snapshot, RecomputeOnDemand:
+		return db.maybeRefreshExtra(vs)
+	case QueryModification:
+		return db.foldRelationsForQM(vs.def.Relations)
+	}
+	return nil
+}
+
+// RefreshAll brings every stale materialized view current — the §4
+// idle-time refresh for the whole catalog, so subsequent queries find
+// their views fresh and pay only the read. Independent stale views
+// (views sharing no base relation, directly or transitively) are
+// refreshed in parallel by up to MaxRefreshWorkers workers; deferred
+// views connected through shared hypothetical relations refresh
+// together as one unit, exactly as a query-triggered refresh would.
+func (db *Database) RefreshAll() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	units := db.staleUnitsLocked()
+	if len(units) == 0 {
+		return nil
+	}
+	if err := db.pool.EvictAll(); err != nil {
+		return err
+	}
+	workers := db.maxRefreshWorkers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, vs := range units {
+			if err := db.refreshStaleLocked(vs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan *viewState)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for vs := range jobs {
+				if errs[w] != nil {
+					continue // drain remaining jobs after a failure
+				}
+				errs[w] = db.refreshStaleLocked(vs)
+			}
+		}(w)
+	}
+	for _, vs := range units {
+		jobs <- vs
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// staleUnitsLocked returns one representative viewState per independent
+// stale refresh unit: each connected component of deferred views (over
+// shared relations) with pending HR changes, plus each stale snapshot /
+// recompute-on-demand view. Units touch disjoint base files — deferred
+// components by construction, snapshot recomputes because CreateView
+// rejects base-file readers sharing a relation with deferred views —
+// so they are safe to refresh in parallel. Caller holds the write lock.
+func (db *Database) staleUnitsLocked() []*viewState {
+	names := db.viewNamesLocked()
+	relToViews := map[string][]*viewState{}
+	for _, n := range names {
+		vs := db.views[n]
+		if vs.strategy != Deferred {
+			continue
+		}
+		for _, rn := range vs.def.Relations {
+			relToViews[rn] = append(relToViews[rn], vs)
+		}
+	}
+	var units []*viewState
+	seen := map[string]bool{}
+	for _, n := range names {
+		vs := db.views[n]
+		switch vs.strategy {
+		case Deferred:
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stale := false
+			queue := []*viewState{vs}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for _, rn := range cur.def.Relations {
+					if h, ok := db.hrs[rn]; ok && h.ADLen() > 0 {
+						stale = true
+					}
+					for _, other := range relToViews[rn] {
+						if !seen[other.def.Name] {
+							seen[other.def.Name] = true
+							queue = append(queue, other)
+						}
+					}
+				}
+			}
+			if stale {
+				units = append(units, vs)
+			}
+		case Snapshot, RecomputeOnDemand:
+			if db.viewStale(vs) {
+				units = append(units, vs)
+			}
+		}
+	}
+	return units
+}
+
+// SetMaxRefreshWorkers rebounds RefreshAll's worker pool (≤ 1 =
+// serial); see Options.MaxRefreshWorkers.
+func (db *Database) SetMaxRefreshWorkers(n int) {
+	db.mu.Lock()
+	db.maxRefreshWorkers = n
+	db.mu.Unlock()
+}
+
+// MaxRefreshWorkers returns the configured RefreshAll worker bound.
+func (db *Database) MaxRefreshWorkers() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.maxRefreshWorkers
+}
+
+// ViewIsStale reports whether a query against the view would trigger
+// refresh work right now.
+func (db *Database) ViewIsStale(name string) (bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	vs, ok := db.views[name]
+	if !ok {
+		return false, fmt.Errorf("core: unknown view %q", name)
+	}
+	return db.viewStale(vs), nil
+}
+
+// ViewRefreshes returns how many materialization refreshes (deferred
+// differential refreshes or full recomputes) the view has undergone;
+// tests use it to assert single-flight coalescing.
+func (db *Database) ViewRefreshes(name string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	vs, ok := db.views[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown view %q", name)
+	}
+	return vs.refreshes, nil
+}
+
+// RefreshFlightStats returns how many single-flight refreshes this
+// engine led and how many callers joined an in-flight refresh instead
+// of starting their own.
+func (db *Database) RefreshFlightStats() (leaders, waiters int64) {
+	return db.flightLeaders.Load(), db.flightWaiters.Load()
+}

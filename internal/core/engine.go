@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"viewmat/internal/agg"
 	"viewmat/internal/hr"
@@ -49,24 +52,53 @@ const (
 )
 
 // Database is the viewmat engine: relations, views, strategies, t-lock
-// screening and cost accounting over one simulated disk. Not safe for
-// concurrent use (the paper's model is single-user).
+// screening and cost accounting over one simulated disk.
+//
+// A Database is safe for concurrent use. Concurrency follows the
+// paper's read/write asymmetry: view queries that only read (query
+// modification without pending join folds, and materialized views that
+// are already fresh) run concurrently under a shared lock, while update
+// transactions and refreshes hold the lock exclusively. A query that
+// finds its view stale upgrades through a per-view single-flight latch
+// (see refreshStale), so many readers hitting the same stale deferred
+// view trigger exactly one differential refresh. RefreshAll refreshes
+// independent stale views in parallel with up to MaxRefreshWorkers
+// workers. One Tx must not be shared between goroutines.
 type Database struct {
 	disk  *storage.Disk
 	pool  *storage.Pool
 	meter *storage.Meter
 	locks *rules.Table
 
-	clock    uint64
+	// mu is the engine lock: RLock for read-only query paths, Lock for
+	// transactions, catalog changes and every refresh.
+	mu sync.RWMutex
+
+	clock    atomic.Uint64
 	rels     map[string]*relation.Relation
 	hrs      map[string]*hr.HR
 	views    map[string]*viewState
 	hrConfig hr.Config
 
-	breakdown map[Phase]storage.Stats
-	phase     Phase
+	// maxRefreshWorkers bounds RefreshAll's worker pool (≤1 = serial).
+	maxRefreshWorkers int
 
-	// Queries and Commits count operations for averaging.
+	// statsMu guards breakdown and the operation counters, which are
+	// bumped from concurrent readers. Phase attribution windows overlap
+	// when operations run concurrently, so Breakdown is exact in serial
+	// runs and approximate under concurrent load.
+	statsMu   sync.Mutex
+	breakdown map[Phase]storage.Stats
+
+	// flightMu guards inflight, the per-view single-flight refresh
+	// latches.
+	flightMu      sync.Mutex
+	inflight      map[string]*refreshFlight
+	flightLeaders atomic.Int64
+	flightWaiters atomic.Int64
+
+	// Queries and Commits count operations for averaging; guarded by
+	// statsMu while operations are in flight.
 	Queries int
 	Commits int
 }
@@ -101,6 +133,11 @@ type viewState struct {
 	// dirty marks a RecomputeOnDemand view whose next read must
 	// rebuild ([Bune79]).
 	dirty bool
+
+	// refreshes counts completed materialization refreshes (deferred
+	// differential refreshes and full recomputes). Written under the
+	// engine write lock; tests use it to assert single-flight behavior.
+	refreshes int
 }
 
 // SetJoinVariantBlakeley switches a join view's refresh between the
@@ -108,6 +145,8 @@ type viewState struct {
 // original expansion, which Appendix A shows can over-decrement
 // duplicate counts. It exists to reproduce that demonstration.
 func (db *Database) SetJoinVariantBlakeley(view string, on bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	vs, ok := db.views[view]
 	if !ok {
 		return fmt.Errorf("core: unknown view %q", view)
@@ -129,6 +168,17 @@ type Options struct {
 	PoolFrames int
 	// HR sizes the hypothetical relations created for deferred views.
 	HR hr.Config
+	// MaxRefreshWorkers bounds the worker pool RefreshAll uses to
+	// refresh independent stale views in parallel. Values ≤ 1 select
+	// serial refresh (the default); the single-view refresh triggered
+	// by a query is unaffected.
+	MaxRefreshWorkers int
+	// SimulatedIOLatency, when non-zero, is slept per physical page
+	// transfer (outside the buffer-pool lock), turning metered I/O
+	// counts into wall-clock time. Parallel refresh workers then
+	// overlap their I/O waits as they would on a real device. Zero
+	// (the default) leaves all operations CPU-bound.
+	SimulatedIOLatency time.Duration
 }
 
 // NewDatabase creates an empty engine.
@@ -145,8 +195,11 @@ func NewDatabase(opts Options) *Database {
 		hrs:       map[string]*hr.HR{},
 		views:     map[string]*viewState{},
 		breakdown: map[Phase]storage.Stats{},
+		inflight:  map[string]*refreshFlight{},
 	}
 	db.hrConfig = opts.HR
+	db.maxRefreshWorkers = opts.MaxRefreshWorkers
+	disk.SetIOLatency(opts.SimulatedIOLatency)
 	return db
 }
 
@@ -159,8 +212,12 @@ func (db *Database) Pool() *storage.Pool { return db.pool }
 // Disk exposes the simulated disk.
 func (db *Database) Disk() *storage.Disk { return db.disk }
 
-// Breakdown returns a copy of per-phase cost attribution.
+// Breakdown returns a copy of per-phase cost attribution. Attribution
+// windows overlap when operations run concurrently, so the breakdown is
+// exact for serial runs and approximate under concurrent load.
 func (db *Database) Breakdown() map[Phase]storage.Stats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
 	out := make(map[Phase]storage.Stats, len(db.breakdown))
 	for k, v := range db.breakdown {
 		out[k] = v
@@ -172,25 +229,41 @@ func (db *Database) Breakdown() map[Phase]storage.Stats {
 // experiments call it after loading data so measurements exclude setup.
 func (db *Database) ResetStats() {
 	db.meter.Reset()
+	db.statsMu.Lock()
 	db.breakdown = map[Phase]storage.Stats{}
 	db.Queries = 0
 	db.Commits = 0
+	db.statsMu.Unlock()
+}
+
+// bumpQueries increments the query counter (called from concurrent
+// read paths).
+func (db *Database) bumpQueries() {
+	db.statsMu.Lock()
+	db.Queries++
+	db.statsMu.Unlock()
+}
+
+// bumpCommits increments the commit counter.
+func (db *Database) bumpCommits() {
+	db.statsMu.Lock()
+	db.Commits++
+	db.statsMu.Unlock()
 }
 
 // nextID returns a fresh monotone tuple id (the HR scheme's clock).
 func (db *Database) nextID() uint64 {
-	db.clock++
-	return db.clock
+	return db.clock.Add(1)
 }
 
 // inPhase runs fn and attributes its metered cost to the phase.
 func (db *Database) inPhase(p Phase, fn func() error) error {
-	prevPhase := db.phase
-	db.phase = p
 	before := db.meter.Snapshot()
 	err := fn()
-	db.breakdown[p] = db.breakdown[p].Add(db.meter.Snapshot().Sub(before))
-	db.phase = prevPhase
+	delta := db.meter.Snapshot().Sub(before)
+	db.statsMu.Lock()
+	db.breakdown[p] = db.breakdown[p].Add(delta)
+	db.statsMu.Unlock()
 	return err
 }
 
@@ -199,6 +272,8 @@ func (db *Database) inPhase(p Phase, fn func() error) error {
 // CreateRelationBTree creates a base relation clustered by B+-tree on
 // keyCol.
 func (db *Database) CreateRelationBTree(name string, schema *tuple.Schema, keyCol int) (*relation.Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.rels[name]; dup {
 		return nil, fmt.Errorf("core: relation %q exists", name)
 	}
@@ -213,6 +288,8 @@ func (db *Database) CreateRelationBTree(name string, schema *tuple.Schema, keyCo
 // CreateRelationHash creates a base relation clustered by hashing on
 // keyCol with the given primary bucket count.
 func (db *Database) CreateRelationHash(name string, schema *tuple.Schema, keyCol, buckets int) (*relation.Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.rels[name]; dup {
 		return nil, fmt.Errorf("core: relation %q exists", name)
 	}
@@ -226,12 +303,16 @@ func (db *Database) CreateRelationHash(name string, schema *tuple.Schema, keyCol
 
 // Relation returns a base relation by name.
 func (db *Database) Relation(name string) (*relation.Relation, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	r, ok := db.rels[name]
 	return r, ok
 }
 
 // HR returns the hypothetical relation wrapping name, if any.
 func (db *Database) HR(name string) (*hr.HR, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	h, ok := db.hrs[name]
 	return h, ok
 }
@@ -242,6 +323,8 @@ func (db *Database) HR(name string) (*hr.HR, bool) {
 // views over the same base relation is rejected: the two strategies
 // disagree about when the base files reflect pending changes.
 func (db *Database) CreateView(def Def, strategy Strategy) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.views[def.Name]; dup {
 		return fmt.Errorf("core: view %q exists", def.Name)
 	}
@@ -351,6 +434,8 @@ func dependsOn(vs *viewState, rel string) bool {
 
 // View returns a view's definition and strategy.
 func (db *Database) View(name string) (Def, Strategy, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	vs, ok := db.views[name]
 	if !ok {
 		return Def{}, 0, false
@@ -360,6 +445,13 @@ func (db *Database) View(name string) (Def, Strategy, bool) {
 
 // ViewNames returns all view names, sorted.
 func (db *Database) ViewNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.viewNamesLocked()
+}
+
+// viewNamesLocked is ViewNames for callers already holding db.mu.
+func (db *Database) viewNamesLocked() []string {
 	out := make([]string, 0, len(db.views))
 	for n := range db.views {
 		out = append(out, n)
@@ -370,6 +462,8 @@ func (db *Database) ViewNames() []string {
 
 // SetDefaultPlan sets the default query-modification plan for a view.
 func (db *Database) SetDefaultPlan(view string, plan QueryPlan) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	vs, ok := db.views[view]
 	if !ok {
 		return fmt.Errorf("core: unknown view %q", view)
@@ -381,6 +475,8 @@ func (db *Database) SetDefaultPlan(view string, plan QueryPlan) error {
 // DropView removes a view, its t-locks and its materialization. Base
 // relations and HRs (possibly shared) are left in place.
 func (db *Database) DropView(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	vs, ok := db.views[name]
 	if !ok {
 		return fmt.Errorf("core: unknown view %q", name)

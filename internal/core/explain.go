@@ -32,6 +32,14 @@ type WorkloadHints struct {
 // callers profiling inside a measured experiment should ResetStats
 // afterwards.
 func (db *Database) ProfileView(view string, hints WorkloadHints) (costmodel.Params, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.profileViewLocked(view, hints)
+}
+
+// profileViewLocked is ProfileView under a caller-held engine lock, so
+// Explain can profile without re-entering the non-reentrant RWMutex.
+func (db *Database) profileViewLocked(view string, hints WorkloadHints) (costmodel.Params, error) {
 	vs, ok := db.views[view]
 	if !ok {
 		return costmodel.Params{}, fmt.Errorf("core: unknown view %q", view)
@@ -111,11 +119,13 @@ type Explanation struct {
 // covers for its kind, so an operator can see whether the configured
 // strategy matches the model's recommendation.
 func (db *Database) Explain(view string, hints WorkloadHints) (*Explanation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	vs, ok := db.views[view]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown view %q", view)
 	}
-	p, err := db.ProfileView(view, hints)
+	p, err := db.profileViewLocked(view, hints)
 	if err != nil {
 		return nil, err
 	}

@@ -42,6 +42,8 @@ const (
 // making it a full-recompute analogue of deferred maintenance).
 // Applies only to Snapshot views.
 func (db *Database) SetSnapshotInterval(view string, commits int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	vs, ok := db.views[view]
 	if !ok {
 		return fmt.Errorf("core: unknown view %q", view)
@@ -59,6 +61,8 @@ func (db *Database) SetSnapshotInterval(view string, commits int) error {
 // RefreshSnapshot forces an immediate full recomputation of a snapshot
 // view (the DBA's "refresh snapshot" command of [Lind86]).
 func (db *Database) RefreshSnapshot(view string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	vs, ok := db.views[view]
 	if !ok {
 		return fmt.Errorf("core: unknown view %q", view)
@@ -75,6 +79,8 @@ func (db *Database) RefreshSnapshot(view string) error {
 // SnapshotStaleness returns how many commits have modified the
 // snapshot view's base relations since its last refresh.
 func (db *Database) SnapshotStaleness(view string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	vs, ok := db.views[view]
 	if !ok {
 		return 0, fmt.Errorf("core: unknown view %q", view)
@@ -86,14 +92,15 @@ func (db *Database) SnapshotStaleness(view string) (int, error) {
 // flushes once at the end, so a rebuild that touches each page many
 // times (one row insert at a time) is charged one write per dirty
 // page — the page-level accounting the cost model's rebuild terms
-// assume (f·b/2 writes, not one write per row).
+// assume (f·b/2 writes, not one write per row). Bulk mode nests and is
+// counted, not toggled, so parallel refresh workers can overlap.
 func (db *Database) bulkWrite(fn func() error) error {
-	db.pool.SetWriteThrough(false)
+	db.pool.BeginBulk()
 	err := fn()
 	if flushErr := db.pool.FlushAll(); err == nil {
 		err = flushErr
 	}
-	db.pool.SetWriteThrough(true)
+	db.pool.EndBulk()
 	return err
 }
 
@@ -102,6 +109,7 @@ func (db *Database) bulkWrite(fn func() error) error {
 // old copy is dropped and the new copy written out, which is exactly
 // the "completely recomputed" cost profile of [Bune79].
 func (db *Database) recomputeView(vs *viewState) error {
+	defer func() { vs.refreshes++ }()
 	if vs.def.Kind == Aggregate {
 		if err := db.rebuildAggregate(vs); err != nil {
 			return err

@@ -252,31 +252,23 @@ func (db *Database) fillGroupStore(vs *viewState, r *relation.Relation) error {
 // QueryGroups answers a grouped-aggregate query restricted to a group
 // range (nil = every group), refreshing per the view's strategy.
 func (db *Database) QueryGroups(name string, rg *pred.Range) ([]GroupRow, error) {
-	vs, ok := db.views[name]
-	if !ok {
-		return nil, fmt.Errorf("core: unknown view %q", name)
+	vs, refreshed, err := db.acquireFresh(name)
+	if err != nil {
+		return nil, err
 	}
+	defer db.mu.RUnlock()
 	if vs.def.Kind != GroupedAggregate {
 		return nil, fmt.Errorf("core: view %q is not a grouped aggregate", name)
 	}
-	if err := db.pool.EvictAll(); err != nil {
-		return nil, err
-	}
-	db.Queries++
-
-	switch vs.strategy {
-	case Deferred:
-		if err := db.refreshDeferred(vs); err != nil {
-			return nil, err
-		}
-	case Snapshot, RecomputeOnDemand:
-		if err := db.maybeRefreshExtra(vs); err != nil {
+	if !refreshed {
+		if err := db.pool.EvictAll(); err != nil {
 			return nil, err
 		}
 	}
+	db.bumpQueries()
 
 	var rows []GroupRow
-	err := db.inPhase(PhaseQuery, func() error {
+	err = db.inPhase(PhaseQuery, func() error {
 		if vs.strategy == QueryModification {
 			var err error
 			rows, err = db.groupsFromBase(vs, rg)

@@ -21,6 +21,8 @@ import (
 // Load answers every query identically and continues from the same
 // tuple-id clock.
 func (db *Database) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -29,7 +31,7 @@ func (db *Database) Save(w io.Writer) error {
 		PageSize:   db.disk.PageSize(),
 		PoolFrames: db.pool.Capacity(),
 		HRConfig:   db.hrConfig,
-		Clock:      db.clock,
+		Clock:      db.clock.Load(),
 		Disk:       db.disk.Snapshot(),
 	}
 	relNames := make([]string, 0, len(db.rels))
@@ -45,7 +47,7 @@ func (db *Database) Save(w io.Writer) error {
 			Meta:   r.Meta(),
 		})
 	}
-	for _, n := range db.ViewNames() {
+	for _, n := range db.viewNamesLocked() {
 		vs := db.views[n]
 		dto := viewDTO{
 			Def:           defToDTO(vs.def),
@@ -106,9 +108,10 @@ func Load(r io.Reader) (*Database, error) {
 		hrs:       map[string]*hr.HR{},
 		views:     map[string]*viewState{},
 		hrConfig:  snap.HRConfig,
-		clock:     snap.Clock,
 		breakdown: map[Phase]storage.Stats{},
+		inflight:  map[string]*refreshFlight{},
 	}
+	db.clock.Store(snap.Clock)
 
 	for _, rd := range snap.Relations {
 		rel, err := relation.Open(disk, db.pool, rd.Name, schemaFromDTO(rd.Schema), rd.Meta)

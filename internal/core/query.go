@@ -58,44 +58,40 @@ type ResultRow struct {
 // view's clustering column (nil = whole view), using the view's default
 // plan for query modification.
 func (db *Database) QueryView(name string, rg *pred.Range) ([]ResultRow, error) {
+	db.mu.RLock()
 	vs, ok := db.views[name]
 	if !ok {
+		db.mu.RUnlock()
 		return nil, fmt.Errorf("core: unknown view %q", name)
 	}
-	return db.QueryViewPlan(name, rg, vs.plan)
+	plan := vs.plan
+	db.mu.RUnlock()
+	return db.QueryViewPlan(name, rg, plan)
 }
 
 // QueryViewPlan is QueryView with an explicit query-modification plan
 // (ignored for materialized strategies).
 func (db *Database) QueryViewPlan(name string, rg *pred.Range, plan QueryPlan) ([]ResultRow, error) {
-	vs, ok := db.views[name]
-	if !ok {
-		return nil, fmt.Errorf("core: unknown view %q", name)
+	vs, refreshed, err := db.acquireFresh(name)
+	if err != nil {
+		return nil, err
 	}
+	defer db.mu.RUnlock()
 	if vs.def.Kind == Aggregate {
 		return nil, fmt.Errorf("core: view %q is an aggregate; use QueryAggregate", name)
 	}
 	if vs.def.Kind == GroupedAggregate {
 		return nil, fmt.Errorf("core: view %q is a grouped aggregate; use QueryGroups", name)
 	}
-	if err := db.pool.EvictAll(); err != nil {
-		return nil, err
-	}
-	db.Queries++
-
-	switch vs.strategy {
-	case Deferred:
-		if err := db.refreshDeferred(vs); err != nil {
-			return nil, err
-		}
-	case Snapshot, RecomputeOnDemand:
-		if err := db.maybeRefreshExtra(vs); err != nil {
+	if !refreshed {
+		if err := db.pool.EvictAll(); err != nil {
 			return nil, err
 		}
 	}
+	db.bumpQueries()
 
 	var rows []ResultRow
-	err := db.inPhase(PhaseQuery, func() error {
+	err = db.inPhase(PhaseQuery, func() error {
 		var err error
 		switch vs.strategy {
 		case QueryModification:
@@ -111,28 +107,21 @@ func (db *Database) QueryViewPlan(name string, rg *pred.Range, plan QueryPlan) (
 // QueryAggregate returns the current value of an aggregate view; ok is
 // false when the aggregate is undefined (empty set for AVG/MIN/MAX).
 func (db *Database) QueryAggregate(name string) (value float64, ok bool, err error) {
-	vs, found := db.views[name]
-	if !found {
-		return 0, false, fmt.Errorf("core: unknown view %q", name)
+	vs, refreshed, err := db.acquireFresh(name)
+	if err != nil {
+		return 0, false, err
 	}
+	defer db.mu.RUnlock()
 	if vs.def.Kind != Aggregate {
 		return 0, false, fmt.Errorf("core: view %q is not an aggregate", name)
 	}
-	if err := db.pool.EvictAll(); err != nil {
-		return 0, false, err
+	if !refreshed {
+		if err := db.pool.EvictAll(); err != nil {
+			return 0, false, err
+		}
 	}
-	db.Queries++
+	db.bumpQueries()
 
-	switch vs.strategy {
-	case Deferred:
-		if err := db.refreshDeferred(vs); err != nil {
-			return 0, false, err
-		}
-	case Snapshot, RecomputeOnDemand:
-		if err := db.maybeRefreshExtra(vs); err != nil {
-			return 0, false, err
-		}
-	}
 	err = db.inPhase(PhaseQuery, func() error {
 		switch vs.strategy {
 		case QueryModification:
@@ -243,6 +232,7 @@ func (db *Database) refreshDeferred(root *viewState) error {
 			if err := db.refreshView(vs, slots); err != nil {
 				return err
 			}
+			vs.refreshes++
 		}
 		return nil
 	})

@@ -19,6 +19,8 @@ import "fmt"
 // refresh) and exists mostly for the ablation benchmarks; small n > 1
 // trades extra refresh I/O for bounded AD size and faster queries.
 func (db *Database) SetDeferredRefreshEvery(view string, n int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	vs, ok := db.views[view]
 	if !ok {
 		return fmt.Errorf("core: unknown view %q", view)
@@ -38,6 +40,8 @@ func (db *Database) SetDeferredRefreshEvery(view string, n int) error {
 // arriving after an idle-time refresh finds the view current and pays
 // only the read.
 func (db *Database) RefreshDeferredNow(view string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	vs, ok := db.views[view]
 	if !ok {
 		return fmt.Errorf("core: unknown view %q", view)

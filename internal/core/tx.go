@@ -39,7 +39,9 @@ func (db *Database) Begin() *Tx { return &Tx{db: db} }
 // Insert queues an insertion and returns the id the new tuple will
 // carry.
 func (tx *Tx) Insert(rel string, vals ...tuple.Value) (uint64, error) {
+	tx.db.mu.RLock()
 	r, ok := tx.db.rels[rel]
+	tx.db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("core: unknown relation %q", rel)
 	}
@@ -54,7 +56,10 @@ func (tx *Tx) Insert(rel string, vals ...tuple.Value) (uint64, error) {
 // Delete queues the deletion of the tuple with the given clustering-key
 // value and id.
 func (tx *Tx) Delete(rel string, key tuple.Value, id uint64) error {
-	if _, ok := tx.db.rels[rel]; !ok {
+	tx.db.mu.RLock()
+	_, ok := tx.db.rels[rel]
+	tx.db.mu.RUnlock()
+	if !ok {
 		return fmt.Errorf("core: unknown relation %q", rel)
 	}
 	tx.ops = append(tx.ops, txOp{kind: opDelete, rel: rel, key: key, id: id})
@@ -64,7 +69,9 @@ func (tx *Tx) Delete(rel string, key tuple.Value, id uint64) error {
 // Update queues the replacement of the tuple (key, id) with new values;
 // the replacement receives a fresh id, which is returned.
 func (tx *Tx) Update(rel string, key tuple.Value, id uint64, vals ...tuple.Value) (uint64, error) {
+	tx.db.mu.RLock()
 	r, ok := tx.db.rels[rel]
+	tx.db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("core: unknown relation %q", rel)
 	}
@@ -94,10 +101,12 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	db := tx.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.pool.EvictAll(); err != nil {
 		return err
 	}
-	db.Commits++
+	db.bumpCommits()
 
 	perRel := map[string]*deltas{}
 	record := func(rel string, add *tuple.Tuple, del *tuple.Tuple) {

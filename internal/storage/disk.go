@@ -3,6 +3,9 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DefaultPageSize is the paper's block size B = 4000 bytes.
@@ -14,9 +17,20 @@ type PageNum uint32
 // Disk is a simulated disk: a set of named files of fixed-size pages.
 // Reads and writes are charged to the attached Meter by the buffer
 // pool, not by the Disk itself — the Disk is the "platter".
+//
+// The file table and each file's page array are mutex-guarded so
+// parallel refresh workers (which create, remove and grow different
+// files concurrently) and statistics walks are safe. Page *contents*
+// are still single-writer per file, enforced by the engine lock.
 type Disk struct {
 	pageSize int
-	files    map[string]*File
+	// latencyNs, when non-zero, is slept per physical page transfer
+	// (by the buffer pool, outside its lock), turning the metered
+	// counts into wall-clock time so concurrent operations overlap
+	// their I/O waits the way they would on a real device.
+	latencyNs atomic.Int64
+	mu        sync.RWMutex
+	files     map[string]*File
 }
 
 // NewDisk creates a disk with the given page size (the paper's B).
@@ -30,8 +44,18 @@ func NewDisk(pageSize int) *Disk {
 // PageSize returns the disk's page size in bytes.
 func (d *Disk) PageSize() int { return d.pageSize }
 
+// SetIOLatency sets the simulated per-page transfer time (0 disables,
+// the default). Metered costs are unaffected; only wall-clock behavior
+// changes.
+func (d *Disk) SetIOLatency(lat time.Duration) { d.latencyNs.Store(int64(lat)) }
+
+// IOLatency returns the simulated per-page transfer time.
+func (d *Disk) IOLatency() time.Duration { return time.Duration(d.latencyNs.Load()) }
+
 // Open returns the named file, creating it if needed.
 func (d *Disk) Open(name string) *File {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	f, ok := d.files[name]
 	if !ok {
 		f = &File{name: name, disk: d}
@@ -41,10 +65,16 @@ func (d *Disk) Open(name string) *File {
 }
 
 // Remove deletes a file and its pages.
-func (d *Disk) Remove(name string) { delete(d.files, name) }
+func (d *Disk) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
 
 // FileNames returns the names of all files, sorted.
 func (d *Disk) FileNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, 0, len(d.files))
 	for n := range d.files {
 		out = append(out, n)
@@ -53,8 +83,17 @@ func (d *Disk) FileNames() []string {
 	return out
 }
 
+// file returns the named file or nil.
+func (d *Disk) file(name string) *File {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.files[name]
+}
+
 // TotalPages returns the number of allocated pages across all files.
 func (d *Disk) TotalPages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n := 0
 	for _, f := range d.files {
 		n += f.NumPages()
@@ -66,6 +105,7 @@ func (d *Disk) TotalPages() int {
 type File struct {
 	name  string
 	disk  *Disk
+	mu    sync.RWMutex
 	pages [][]byte
 	free  []PageNum // freed page numbers available for reuse
 }
@@ -74,14 +114,24 @@ type File struct {
 func (f *File) Name() string { return f.name }
 
 // NumPages returns the number of allocated (non-freed) pages.
-func (f *File) NumPages() int { return len(f.pages) - len(f.free) }
+func (f *File) NumPages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.pages) - len(f.free)
+}
 
 // Extent returns the highest allocated page number + 1 (the file's
 // physical extent, including freed holes).
-func (f *File) Extent() PageNum { return PageNum(len(f.pages)) }
+func (f *File) Extent() PageNum {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return PageNum(len(f.pages))
+}
 
 // Alloc allocates a zeroed page and returns its number.
 func (f *File) Alloc() PageNum {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if n := len(f.free); n > 0 {
 		pn := f.free[n-1]
 		f.free = f.free[:n-1]
@@ -94,6 +144,8 @@ func (f *File) Alloc() PageNum {
 
 // Free releases a page for reuse.
 func (f *File) Free(pn PageNum) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if int(pn) >= len(f.pages) || f.pages[pn] == nil {
 		return
 	}
@@ -107,16 +159,19 @@ func (f *File) Free(pn PageNum) {
 // buffer pool. With a write-back pool the image may lag dirty frames,
 // so callers flush first when exactness matters.
 func (f *File) Peek(pn PageNum) ([]byte, error) {
-	b, err := f.readPage(pn)
-	if err != nil {
-		return nil, err
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if int(pn) >= len(f.pages) || f.pages[pn] == nil {
+		return nil, fmt.Errorf("storage: file %q has no page %d", f.name, pn)
 	}
-	return append([]byte(nil), b...), nil
+	return append([]byte(nil), f.pages[pn]...), nil
 }
 
 // readPage returns the raw page bytes (no copy, no charge); only the
 // buffer pool calls this.
 func (f *File) readPage(pn PageNum) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if int(pn) >= len(f.pages) || f.pages[pn] == nil {
 		return nil, fmt.Errorf("storage: file %q has no page %d", f.name, pn)
 	}
@@ -126,6 +181,8 @@ func (f *File) readPage(pn PageNum) ([]byte, error) {
 // writePage stores page bytes (no charge); only the buffer pool calls
 // this.
 func (f *File) writePage(pn PageNum, data []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if int(pn) >= len(f.pages) || f.pages[pn] == nil {
 		return fmt.Errorf("storage: file %q has no page %d", f.name, pn)
 	}

@@ -12,7 +12,10 @@
 // testbed (see DESIGN.md §2).
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Stats is a snapshot of metered operation counts.
 type Stats struct {
@@ -60,29 +63,49 @@ func (s Stats) String() string {
 // Meter accumulates operation counts. All storage-layer operations
 // charge through a Meter; higher layers take snapshots around phases to
 // attribute costs (query vs. refresh vs. screening vs. HR upkeep).
+//
+// Counters are atomic, so a Meter may be charged from concurrent
+// goroutines (parallel refresh workers, concurrent readers) without a
+// lock. A Snapshot taken while operations are in flight is a consistent
+// point-in-time lower bound per counter, not a transactional cut.
 type Meter struct {
-	stats Stats
+	reads     atomic.Int64
+	writes    atomic.Int64
+	screens   atomic.Int64
+	adTouches atomic.Int64
 }
 
 // NewMeter returns a zeroed meter.
 func NewMeter() *Meter { return &Meter{} }
 
 // Read charges n page reads.
-func (m *Meter) Read(n int64) { m.stats.Reads += n }
+func (m *Meter) Read(n int64) { m.reads.Add(n) }
 
 // Write charges n page writes.
-func (m *Meter) Write(n int64) { m.stats.Writes += n }
+func (m *Meter) Write(n int64) { m.writes.Add(n) }
 
 // Screen charges n C1-unit CPU operations (predicate tests,
 // satisfiability checks, per-tuple join handling).
-func (m *Meter) Screen(n int64) { m.stats.Screens += n }
+func (m *Meter) Screen(n int64) { m.screens.Add(n) }
 
 // ADTouch charges n C3-unit A/D bookkeeping operations (the immediate
 // algorithm's in-transaction maintenance of the inserted/deleted sets).
-func (m *Meter) ADTouch(n int64) { m.stats.ADTouches += n }
+func (m *Meter) ADTouch(n int64) { m.adTouches.Add(n) }
 
 // Snapshot returns the current counts.
-func (m *Meter) Snapshot() Stats { return m.stats }
+func (m *Meter) Snapshot() Stats {
+	return Stats{
+		Reads:     m.reads.Load(),
+		Writes:    m.writes.Load(),
+		Screens:   m.screens.Load(),
+		ADTouches: m.adTouches.Load(),
+	}
+}
 
 // Reset zeroes the counters.
-func (m *Meter) Reset() { m.stats = Stats{} }
+func (m *Meter) Reset() {
+	m.reads.Store(0)
+	m.writes.Store(0)
+	m.screens.Store(0)
+	m.adTouches.Store(0)
+}

@@ -25,13 +25,18 @@ type FileImage struct {
 func (d *Disk) Snapshot() *DiskImage {
 	img := &DiskImage{PageSize: d.pageSize}
 	for _, name := range d.FileNames() {
-		f := d.files[name]
+		f := d.file(name)
+		if f == nil {
+			continue
+		}
+		f.mu.RLock()
 		fi := FileImage{Name: name, Pages: make([][]byte, len(f.pages)), Free: append([]PageNum(nil), f.free...)}
 		for i, p := range f.pages {
 			if p != nil {
 				fi.Pages[i] = append([]byte(nil), p...)
 			}
 		}
+		f.mu.RUnlock()
 		img.Files = append(img.Files, fi)
 	}
 	return img

@@ -3,6 +3,9 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Pool is an LRU buffer pool with pinning. All page access in the
@@ -16,11 +19,20 @@ import (
 // refresh, §3.4.1). A buffer pool that caches within an operation and
 // is evicted between operations reproduces exactly that accounting; the
 // engine calls EvictAll at operation boundaries.
+//
+// Concurrency: the pool's bookkeeping (frame table, LRU list, pin
+// counts) is guarded by an internal mutex, so concurrent readers and
+// parallel refresh workers may Get/Release frames safely. Frame *data*
+// is not guarded here: the engine's reader/writer lock guarantees that
+// a frame's bytes are only mutated while its file is owned by exactly
+// one writer goroutine.
 type Pool struct {
 	disk         *Disk
 	meter        *Meter
 	capacity     int
+	mu           sync.Mutex
 	writeThrough bool
+	bulkDepth    int // >0 suspends write-through (nested bulk writes)
 	frames       map[frameKey]*list.Element
 	lru          *list.List // front = most recently used
 }
@@ -37,8 +49,8 @@ type Frame struct {
 	key   frameKey
 	file  *File
 	Data  []byte
-	dirty bool
-	pins  int
+	dirty atomic.Bool
+	pins  int // guarded by the pool mutex
 }
 
 // DefaultPoolCapacity is the default number of resident frames: with
@@ -67,7 +79,37 @@ func NewPool(disk *Disk, meter *Meter, capacity int) *Pool {
 // SetWriteThrough toggles write-through (true: dirty pages are written
 // when unpinned) versus write-back (dirty pages are written at eviction
 // or FlushAll). Write-back is the §4 "idle disk time" ablation.
-func (p *Pool) SetWriteThrough(on bool) { p.writeThrough = on }
+func (p *Pool) SetWriteThrough(on bool) {
+	p.mu.Lock()
+	p.writeThrough = on
+	p.mu.Unlock()
+}
+
+// BeginBulk suspends write-through until the matching EndBulk, so a
+// rebuild that touches each page many times is charged one write per
+// dirty page at the closing flush. Calls nest; concurrent bulk writers
+// (parallel refresh workers) each hold the suspension without toggling
+// each other's mode — the reason this is a depth counter rather than
+// SetWriteThrough(false).
+func (p *Pool) BeginBulk() {
+	p.mu.Lock()
+	p.bulkDepth++
+	p.mu.Unlock()
+}
+
+// EndBulk closes a BeginBulk. The caller is expected to FlushAll (or
+// let eviction flush) afterwards; EndBulk itself writes nothing.
+func (p *Pool) EndBulk() {
+	p.mu.Lock()
+	if p.bulkDepth > 0 {
+		p.bulkDepth--
+	}
+	p.mu.Unlock()
+}
+
+// effectiveWriteThrough reports whether a final unpin should write back
+// immediately. Caller holds p.mu.
+func (p *Pool) effectiveWriteThrough() bool { return p.writeThrough && p.bulkDepth == 0 }
 
 // Capacity returns the pool's frame capacity.
 func (p *Pool) Capacity() int { return p.capacity }
@@ -76,28 +118,50 @@ func (p *Pool) Capacity() int { return p.capacity }
 func (p *Pool) PageSize() int { return p.disk.PageSize() }
 
 // Resident returns the number of frames currently in the pool.
-func (p *Pool) Resident() int { return p.lru.Len() }
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// sleepIO simulates the wall-clock cost of n physical page transfers.
+// Callers invoke it after releasing the pool mutex, so concurrent
+// operations overlap their I/O waits instead of queueing on the lock.
+func (p *Pool) sleepIO(n int) {
+	if n <= 0 {
+		return
+	}
+	if d := p.disk.IOLatency(); d > 0 {
+		time.Sleep(time.Duration(n) * d)
+	}
+}
 
 // Get pins and returns the frame for (file, pn), reading it from disk
 // (one metered read) on a miss.
 func (p *Pool) Get(f *File, pn PageNum) (*Frame, error) {
+	p.mu.Lock()
 	key := frameKey{f.Name(), pn}
 	if el, ok := p.frames[key]; ok {
 		p.lru.MoveToFront(el)
 		fr := el.Value.(*Frame)
 		fr.pins++
+		p.mu.Unlock()
 		return fr, nil
 	}
 	src, err := f.readPage(pn)
 	if err != nil {
+		p.mu.Unlock()
 		return nil, err
 	}
 	p.meter.Read(1)
 	fr := &Frame{key: key, file: f, Data: append([]byte(nil), src...), pins: 1}
 	p.frames[key] = p.lru.PushFront(fr)
-	if err := p.evictOverflow(); err != nil {
+	evicted, err := p.evictOverflow()
+	p.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
+	p.sleepIO(1 + evicted)
 	return fr, nil
 }
 
@@ -106,13 +170,18 @@ func (p *Pool) Get(f *File, pn PageNum) (*Frame, error) {
 // write is charged like any other: on unpin (write-through) or
 // eviction (write-back). No read is charged for a newborn page.
 func (p *Pool) Alloc(f *File) (*Frame, error) {
+	p.mu.Lock()
 	pn := f.Alloc()
 	key := frameKey{f.Name(), pn}
-	fr := &Frame{key: key, file: f, Data: make([]byte, p.disk.PageSize()), pins: 1, dirty: true}
+	fr := &Frame{key: key, file: f, Data: make([]byte, p.disk.PageSize()), pins: 1}
+	fr.dirty.Store(true)
 	p.frames[key] = p.lru.PushFront(fr)
-	if err := p.evictOverflow(); err != nil {
+	evicted, err := p.evictOverflow()
+	p.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
+	p.sleepIO(evicted)
 	return fr, nil
 }
 
@@ -120,62 +189,73 @@ func (p *Pool) Alloc(f *File) (*Frame, error) {
 func (fr *Frame) PageNum() PageNum { return fr.key.pn }
 
 // MarkDirty records that the frame's data has been modified.
-func (fr *Frame) MarkDirty() { fr.dirty = true }
+func (fr *Frame) MarkDirty() { fr.dirty.Store(true) }
 
 // Release unpins a frame obtained from Get or Alloc. In write-through
 // mode the final unpin of a dirty frame writes it back (one metered
 // write).
 func (p *Pool) Release(fr *Frame) error {
+	p.mu.Lock()
 	if fr.pins <= 0 {
+		p.mu.Unlock()
 		return fmt.Errorf("storage: release of unpinned frame %v", fr.key)
 	}
 	fr.pins--
-	if fr.pins == 0 && fr.dirty && p.writeThrough {
+	wrote := 0
+	if fr.pins == 0 && fr.dirty.Load() && p.effectiveWriteThrough() {
 		if err := p.writeBack(fr); err != nil {
+			p.mu.Unlock()
 			return err
 		}
+		wrote = 1
 	}
+	p.mu.Unlock()
+	p.sleepIO(wrote)
 	return nil
 }
 
-// writeBack flushes a dirty frame to disk, charging one write.
+// writeBack flushes a dirty frame to disk, charging one write. Caller
+// holds p.mu and guarantees the frame is not being mutated (unpinned,
+// or pinned by the calling goroutine itself).
 func (p *Pool) writeBack(fr *Frame) error {
 	if err := fr.file.writePage(fr.key.pn, fr.Data); err != nil {
 		return err
 	}
 	p.meter.Write(1)
-	fr.dirty = false
+	fr.dirty.Store(false)
 	return nil
 }
 
 // evictOverflow evicts least-recently-used unpinned frames until the
-// pool is within capacity.
-func (p *Pool) evictOverflow() error {
+// pool is within capacity, returning how many dirty pages it wrote
+// back (the caller charges their latency after unlocking). Caller
+// holds p.mu.
+func (p *Pool) evictOverflow() (int, error) {
+	wrote := 0
 	for p.lru.Len() > p.capacity {
 		el := p.lru.Back()
 		evicted := false
 		for el != nil {
 			fr := el.Value.(*Frame)
 			if fr.pins == 0 {
-				if fr.dirty {
+				if fr.dirty.Load() {
 					if err := p.writeBack(fr); err != nil {
-						return err
+						return wrote, err
 					}
+					wrote++
 				}
-				prev := el.Prev()
 				p.lru.Remove(el)
 				delete(p.frames, fr.key)
 				evicted = true
-				_ = prev
 				break
 			}
 			el = el.Prev()
 		}
 		if !evicted {
-			return fmt.Errorf("storage: buffer pool full of pinned frames (capacity %d)", p.capacity)
+			return wrote, fmt.Errorf("storage: buffer pool full of pinned frames (capacity %d)", p.capacity)
 		}
 	}
-	return nil
+	return wrote, nil
 }
 
 // Discard drops the frame for (file, pn) without flushing, regardless
@@ -183,6 +263,8 @@ func (p *Pool) evictOverflow() error {
 // disk, so a stale dirty frame can never be written to a reallocated
 // page. Discarding a pinned frame is a programming error and panics.
 func (p *Pool) Discard(f *File, pn PageNum) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	key := frameKey{f.Name(), pn}
 	el, ok := p.frames[key]
 	if !ok {
@@ -195,12 +277,20 @@ func (p *Pool) Discard(f *File, pn PageNum) {
 	delete(p.frames, key)
 }
 
-// FlushAll writes back every dirty frame (charging writes) without
-// evicting.
+// FlushAll writes back every dirty unpinned frame (charging writes)
+// without evicting. Pinned dirty frames are skipped: their owner is
+// still mutating them and will trigger the write-back at release or
+// eviction.
 func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushAllLocked()
+}
+
+func (p *Pool) flushAllLocked() error {
 	for el := p.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*Frame)
-		if fr.dirty {
+		if fr.pins == 0 && fr.dirty.Load() {
 			if err := p.writeBack(fr); err != nil {
 				return err
 			}
@@ -209,20 +299,27 @@ func (p *Pool) FlushAll() error {
 	return nil
 }
 
-// EvictAll flushes and drops every frame. The engine calls this at
-// operation boundaries so each query/transaction starts cold, matching
-// the model's per-operation page accounting. Pinned frames are an
-// error: no operation should hold pins across a boundary.
+// EvictAll flushes and drops every unpinned frame. The engine calls
+// this at operation boundaries so each query/transaction starts cold,
+// matching the model's per-operation page accounting. Frames pinned by
+// a concurrent operation stay resident — under concurrent load the
+// cold-cache posture is necessarily approximate, and evicting an
+// in-use page would be unsound.
 func (p *Pool) EvictAll() error {
-	if err := p.FlushAll(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushAllLocked(); err != nil {
 		return err
 	}
-	for el := p.lru.Front(); el != nil; el = el.Next() {
-		if fr := el.Value.(*Frame); fr.pins > 0 {
-			return fmt.Errorf("storage: EvictAll with pinned frame %v", fr.key)
+	var next *list.Element
+	for el := p.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		fr := el.Value.(*Frame)
+		if fr.pins > 0 {
+			continue
 		}
+		p.lru.Remove(el)
+		delete(p.frames, fr.key)
 	}
-	p.frames = map[frameKey]*list.Element{}
-	p.lru.Init()
 	return nil
 }

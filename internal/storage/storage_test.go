@@ -290,15 +290,26 @@ func TestPoolEvictAll(t *testing.T) {
 	}
 }
 
-func TestPoolEvictAllWithPinnedFrameErrors(t *testing.T) {
+func TestPoolEvictAllKeepsPinnedFrames(t *testing.T) {
 	d := NewDisk(64)
 	p := NewPool(d, NewMeter(), 8)
 	f := d.Open("r")
 	fr, _ := p.Get(f, f.Alloc())
-	if err := p.EvictAll(); err == nil {
-		t.Error("EvictAll succeeded with a pinned frame")
+	// A frame pinned by a concurrent operation must survive the
+	// boundary eviction rather than fail it.
+	if err := p.EvictAll(); err != nil {
+		t.Fatalf("EvictAll with a pinned frame: %v", err)
+	}
+	if p.Resident() != 1 {
+		t.Errorf("resident after EvictAll = %d, want the pinned frame", p.Resident())
 	}
 	p.Release(fr)
+	if err := p.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Resident() != 0 {
+		t.Errorf("resident after unpinned EvictAll = %d, want 0", p.Resident())
+	}
 }
 
 func TestReleaseUnpinnedErrors(t *testing.T) {
