@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -40,6 +41,7 @@ func main() {
 	aggName := flag.String("agg", "sum", "model-3 aggregate: count, sum, avg, min, max")
 	sweep := flag.String("sweep", "", "comma-separated P values: measure all strategies at each (engine-side Figure 1/5)")
 	verbose := flag.Bool("v", false, "print the per-phase cost breakdown for each strategy")
+	plans := flag.Bool("plans", false, "print each strategy's last executed operator trees (query/refresh/populate)")
 	allStrategies := flag.Bool("all-strategies", false, "also measure snapshot and recompute-on-demand")
 	snapEvery := flag.Int("snapshot-every", 5, "snapshot refresh period in commits (with -all-strategies)")
 	flag.Parse()
@@ -97,19 +99,32 @@ func main() {
 	fmt.Print(report.Table([]string{"strategy", "measured ms/query", "scope ms/query", "model ms/query"}, rows))
 	fmt.Println("\nscope = measured minus base-update phases (commit-write, fold); compare to model.")
 
-	if *verbose {
+	if *verbose || *plans {
 		for _, st := range []core.Strategy{core.QueryModification, core.Immediate, core.Deferred} {
 			res, err := sim.Run(sim.Config{Model: sim.Model(*model), Strategy: st, Params: p, Seed: *seed, AggKind: kind})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			phases := map[string]storage.Stats{}
-			for ph, s := range res.Breakdown {
-				phases[string(ph)] = s
+			if *verbose {
+				phases := map[string]storage.Stats{}
+				for ph, s := range res.Breakdown {
+					phases[string(ph)] = s
+				}
+				fmt.Printf("\n%s breakdown:\n", st)
+				fmt.Print(report.Breakdown(phases, p.C1, p.C2, p.C3))
 			}
-			fmt.Printf("\n%s breakdown:\n", st)
-			fmt.Print(report.Breakdown(phases, p.C1, p.C2, p.C3))
+			if *plans {
+				fmt.Printf("\n%s operator trees:\n", st)
+				paths := make([]string, 0, len(res.PlanTrees))
+				for path := range res.PlanTrees {
+					paths = append(paths, path)
+				}
+				sort.Strings(paths)
+				for _, path := range paths {
+					fmt.Printf("[%s]\n%s", path, res.PlanTrees[path])
+				}
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"viewmat/internal/agg"
+	"viewmat/internal/exec"
 	"viewmat/internal/hr"
 	"viewmat/internal/pred"
 	"viewmat/internal/relation"
@@ -90,6 +91,10 @@ type Database struct {
 	statsMu   sync.Mutex
 	breakdown map[Phase]storage.Stats
 
+	// planObserver, when set, is invoked after every operator-tree
+	// execution with the captured plan; guarded by statsMu.
+	planObserver func(view, path string, root *exec.PlanNode, delta storage.Stats)
+
 	// flightMu guards inflight, the per-view single-flight refresh
 	// latches.
 	flightMu      sync.Mutex
@@ -138,6 +143,11 @@ type viewState struct {
 	// differential refreshes and full recomputes). Written under the
 	// engine write lock; tests use it to assert single-flight behavior.
 	refreshes int
+
+	// plans retains the last executed operator tree per path ("query",
+	// "refresh", "populate"); guarded by Database.statsMu because query
+	// paths record under the engine read lock.
+	plans map[string]*PlanCapture
 }
 
 // SetJoinVariantBlakeley switches a join view's refresh between the
@@ -500,57 +510,25 @@ func (db *Database) DropView(name string) error {
 func (db *Database) populateView(vs *viewState) error {
 	switch vs.def.Kind {
 	case SelectProject:
-		r := db.rels[vs.def.Relations[0]]
-		all, err := db.scanRestricted(vs, r)
-		if err != nil {
-			return err
-		}
-		for _, tp := range all {
-			if vs.def.Pred.EvalSingle(0, tp) {
-				if err := vs.mat.InsertDelta(vs.def.ProjectValues(map[int]tuple.Tuple{0: tp}), db.nextID()); err != nil {
-					return err
-				}
-			}
-		}
+		filt := exec.NewFilter(db.meter, vs.def.Name, db.baseSource(vs, 0), singlePred(vs), false)
+		proj := exec.NewProject(vs.def.Name, filt, projectSP(vs))
+		return db.runPlan(vs, PlanPathPopulate, db.matInsert(vs, proj))
 	case Join:
-		r1 := db.rels[vs.def.Relations[0]]
-		r2 := db.rels[vs.def.Relations[1]]
-		ja, _ := vs.def.JoinAtom()
-		all, err := db.scanRestricted(vs, r1)
+		c, err := db.joinCtx(vs)
 		if err != nil {
 			return err
 		}
-		for _, t1 := range all {
-			if !vs.def.Pred.EvalSingle(0, t1) {
-				continue
-			}
-			matches, err := r2.LookupKey(t1.Vals[joinCol(ja, 0)])
-			if err != nil {
-				return err
-			}
-			for _, t2 := range matches {
-				b := map[int]tuple.Tuple{0: t1, 1: t2}
-				if vs.def.Pred.Eval(b) {
-					if err := vs.mat.InsertDelta(vs.def.ProjectValues(b), db.nextID()); err != nil {
-						return err
-					}
-				}
-			}
-		}
+		outer := exec.NewFilter(db.meter, vs.def.Name+".outer", db.baseSource(vs, 0), singlePred(vs), false)
+		join := exec.NewLoopJoin(db.meter, exec.LoopJoinSpec{
+			Input:   outer,
+			Inner:   c.r2,
+			JoinVal: c.outerVal,
+			On:      c.onFull,
+		})
+		proj := exec.NewProject(vs.def.Name, join, c.projectJoin)
+		return db.runPlan(vs, PlanPathPopulate, db.matInsert(vs, proj))
 	}
 	return nil
-}
-
-// scanRestricted reads a view's slot-0 base tuples, narrowing to the
-// view predicate's interval on the clustering column when one exists
-// (the cost model's rebuild term reads f·b pages, not b).
-func (db *Database) scanRestricted(vs *viewState, r *relation.Relation) ([]tuple.Tuple, error) {
-	if r.Kind() == relation.ClusteredBTree {
-		if rg, constrained := vs.def.Pred.IntervalFor(0, r.KeyCol()); constrained {
-			return r.Scan(&rg)
-		}
-	}
-	return r.ScanAll()
 }
 
 // joinCol returns the join atom's column for the given relation slot.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"viewmat/internal/costmodel"
+	"viewmat/internal/exec"
 )
 
 // WorkloadHints carries what the engine cannot observe from stored
@@ -113,6 +114,14 @@ type Explanation struct {
 	Costs      map[string]float64
 	Cheapest   string
 	CurrentKey string // the cost-table key the current strategy maps to
+
+	// PlanTrees renders the most recently executed physical operator
+	// tree per path ("query", "refresh", "populate") with per-operator
+	// measured costs priced at the profiled unit costs, annotated with
+	// the model's per-execution prediction where one exists (query-path
+	// operators; refresh formulas are per-query averages and are not
+	// comparable to one execution). Empty until the path has executed.
+	PlanTrees map[string]string
 }
 
 // Explain profiles a view and prices every strategy the cost model
@@ -136,7 +145,7 @@ func (db *Database) Explain(view string, hints WorkloadHints) (*Explanation, err
 	case Aggregate:
 		costs = costmodel.Model3Costs(p)
 	default:
-		costs = costmodel.Model1CostsExtended(p, float64(maxInt(vs.snapshotEvery, 1)))
+		costs = costmodel.Model1CostsExtended(p, float64(max(vs.snapshotEvery, 1)))
 	}
 	best, _ := costmodel.Best(costs)
 	ex := &Explanation{
@@ -150,7 +159,37 @@ func (db *Database) Explain(view string, hints WorkloadHints) (*Explanation, err
 	for alg, c := range costs {
 		ex.Costs[string(alg)] = c
 	}
+
+	ex.PlanTrees = map[string]string{}
+	db.statsMu.Lock()
+	captures := make(map[string]*PlanCapture, len(vs.plans))
+	for path, pc := range vs.plans {
+		captures[path] = &PlanCapture{Root: copyPlanNode(pc.Root), Meter: pc.Meter}
+	}
+	db.statsMu.Unlock()
+	for path, pc := range captures {
+		if path == PlanPathQuery {
+			annotatePredictions(pc.Root, p)
+		}
+		ex.PlanTrees[path] = exec.Render(pc.Root, p.C1, p.C2, p.C3)
+	}
 	return ex, nil
+}
+
+// annotatePredictions walks a captured query plan and attaches the
+// cost model's per-execution estimate to each operator the model has a
+// term for.
+func annotatePredictions(n *exec.PlanNode, p costmodel.Params) {
+	child := ""
+	if len(n.Children) > 0 {
+		child = n.Children[0].Name
+	}
+	if est, ok := costmodel.OperatorEstimate(n.Name, child, p); ok {
+		n.Predicted = est
+	}
+	for _, c := range n.Children {
+		annotatePredictions(c, p)
+	}
 }
 
 // strategyCostKey maps an engine strategy to its cost-table row for
@@ -171,11 +210,4 @@ func strategyCostKey(s Strategy, k Kind) string {
 		}
 		return string(costmodel.AlgClustered)
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"viewmat/internal/agg"
+	"viewmat/internal/exec"
 	"viewmat/internal/pred"
 	"viewmat/internal/relation"
 	"viewmat/internal/storage"
@@ -101,54 +102,52 @@ type GroupRow struct {
 
 // --- engine integration -----------------------------------------------------
 
-// refreshGroupAgg applies Model-3 deltas per group.
+// refreshGroupAgg applies Model-3 deltas per group through a
+// DeltaSource→Filter→DeltaApply pipeline whose sink updates exactly
+// the affected group's row (a MIN/MAX extreme delete recomputes that
+// group from the base relation inside the sink's bracket).
 func (db *Database) refreshGroupAgg(vs *viewState, d *deltas) error {
 	kind := vs.def.AggKind
-	for _, tp := range d.adds {
-		if !vs.def.Pred.EvalSingle(0, tp) {
-			continue
-		}
-		group := tp.Vals[vs.def.GroupBy]
-		row, found, err := vs.groups.get(group)
-		if err != nil {
-			return err
-		}
-		var s *agg.State
-		var oldRow *tuple.Tuple
-		if found {
-			s = stateOf(kind, row)
-			oldRow = &row
-		} else {
-			s = agg.NewState(kind)
-		}
-		s.Insert(tp.Vals[vs.def.AggCol].AsFloat())
-		if err := vs.groups.put(group, s, oldRow, db.nextID()); err != nil {
-			return err
-		}
-	}
-	for _, tp := range d.dels {
-		if !vs.def.Pred.EvalSingle(0, tp) {
-			continue
-		}
-		group := tp.Vals[vs.def.GroupBy]
-		row, found, err := vs.groups.get(group)
-		if err != nil {
-			return err
-		}
-		if !found {
-			return fmt.Errorf("core: delete for unknown group %v in %q", group, vs.def.Name)
-		}
-		s := stateOf(kind, row)
-		if s.Delete(tp.Vals[vs.def.AggCol].AsFloat()) {
-			if err := db.recomputeGroup(vs, group, s); err != nil {
+	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
+	apply := exec.NewDeltaApply(db.meter, vs.def.Name+".groups", filt,
+		func(row exec.Row) error {
+			tp := row.T0
+			group := tp.Vals[vs.def.GroupBy]
+			stored, found, err := vs.groups.get(group)
+			if err != nil {
 				return err
 			}
-		}
-		if err := vs.groups.put(group, s, &row, 0); err != nil {
-			return err
-		}
-	}
-	return nil
+			var s *agg.State
+			var oldRow *tuple.Tuple
+			if found {
+				s = stateOf(kind, stored)
+				oldRow = &stored
+			} else {
+				s = agg.NewState(kind)
+			}
+			s.Insert(tp.Vals[vs.def.AggCol].AsFloat())
+			return vs.groups.put(group, s, oldRow, db.nextID())
+		},
+		func(row exec.Row) error {
+			tp := row.T0
+			group := tp.Vals[vs.def.GroupBy]
+			stored, found, err := vs.groups.get(group)
+			if err != nil {
+				return err
+			}
+			if !found {
+				return fmt.Errorf("core: delete for unknown group %v in %q", group, vs.def.Name)
+			}
+			s := stateOf(kind, stored)
+			if s.Delete(tp.Vals[vs.def.AggCol].AsFloat()) {
+				if err := db.recomputeGroup(vs, group, s); err != nil {
+					return err
+				}
+			}
+			return vs.groups.put(group, s, &stored, 0)
+		})
+	return db.runPlan(vs, PlanPathRefresh, apply)
 }
 
 // recomputeGroup rebuilds one group's state from the base relation (a
@@ -216,22 +215,16 @@ func (db *Database) rebuildGroupAgg(vs *viewState) error {
 	return db.bulkWrite(func() error { return db.fillGroupStore(vs, r) })
 }
 
-// fillGroupStore scans the base relation and writes every group's
-// state into a fresh group store.
+// fillGroupStore scans the base relation, folds every group's state,
+// and flushes the group rows into a fresh group store.
 func (db *Database) fillGroupStore(vs *viewState, r *relation.Relation) error {
 	gs := vs.groups
-	all, err := r.ScanAll()
-	if err != nil {
-		return err
-	}
 	states := map[string]*agg.State{}
 	groups := map[string]tuple.Value{}
-	for _, tp := range all {
-		db.meter.Screen(1)
-		if !vs.def.Pred.EvalSingle(0, tp) {
-			continue
-		}
-		g := tp.Vals[vs.def.GroupBy]
+	scan := exec.NewSeqScan(db.meter, r)
+	filt := exec.NewFilter(db.meter, vs.def.Name, scan, singlePred(vs), true)
+	fold := exec.NewAggFold(vs.def.Name+".groups", filt, func(row exec.Row) {
+		g := row.T0.Vals[vs.def.GroupBy]
 		key := g.String()
 		s, ok := states[key]
 		if !ok {
@@ -239,14 +232,17 @@ func (db *Database) fillGroupStore(vs *viewState, r *relation.Relation) error {
 			states[key] = s
 			groups[key] = g
 		}
-		s.Insert(tp.Vals[vs.def.AggCol].AsFloat())
-	}
-	for key, s := range states {
-		if err := gs.put(groups[key], s, nil, db.nextID()); err != nil {
-			return err
+		s.Insert(row.T0.Vals[vs.def.AggCol].AsFloat())
+	})
+	flush := exec.NewStateWrite(db.meter, vs.def.Name+".groups", func() error {
+		for key, s := range states {
+			if err := gs.put(groups[key], s, nil, db.nextID()); err != nil {
+				return err
+			}
 		}
-	}
-	return nil
+		return nil
+	})
+	return db.runPlan(vs, PlanPathRefresh, exec.NewSeq("rebuild-groups("+vs.def.Name+")", fold, flush))
 }
 
 // QueryGroups answers a grouped-aggregate query restricted to a group
@@ -274,55 +270,65 @@ func (db *Database) QueryGroups(name string, rg *pred.Range) ([]GroupRow, error)
 			rows, err = db.groupsFromBase(vs, rg)
 			return err
 		}
-		stored, err := vs.groups.rel.Scan(orFull(rg))
+		scan := exec.NewScan(db.meter, vs.groups.rel, orFull(rg))
+		screen := exec.NewFilter(db.meter, vs.def.Name+".groups", scan, nil, true)
+		node, delta, stored, err := db.runTree(screen, true)
+		db.recordPlan(vs, PlanPathQuery, node, delta)
 		if err != nil {
 			return err
 		}
 		for _, row := range stored {
-			db.meter.Screen(1)
-			s := stateOf(vs.def.AggKind, row)
+			s := stateOf(vs.def.AggKind, row.T0)
 			v, ok := s.Value()
 			if !ok {
 				continue
 			}
-			rows = append(rows, GroupRow{Group: row.Vals[0], Value: v, Count: s.Count()})
+			rows = append(rows, GroupRow{Group: row.T0.Vals[0], Value: v, Count: s.Count()})
 		}
 		return nil
 	})
 	return rows, err
 }
 
-// groupsFromBase evaluates a grouped aggregate with query modification.
+// groupsFromBase evaluates a grouped aggregate with query
+// modification: a full scan (with un-folded HR adds from deferred
+// siblings concatenated after it), screened per tuple, folded per
+// group.
 func (db *Database) groupsFromBase(vs *viewState, rg *pred.Range) ([]GroupRow, error) {
 	r := db.rels[vs.def.Relations[0]]
-	all, err := r.ScanAll()
-	if err != nil {
-		return nil, err
-	}
-	// Overlay un-folded HR changes (deferred siblings).
 	skip := map[uint64]bool{}
-	var extra []tuple.Tuple
+	var source exec.Operator = exec.NewSeqScan(db.meter, r)
 	if h, ok := db.hrs[vs.def.Relations[0]]; ok && h.ADLen() > 0 {
-		anet, dnet, err := h.NetChanges()
-		if err != nil {
-			return nil, err
-		}
-		for _, tp := range dnet {
-			skip[tp.ID] = true
-		}
-		extra = anet
+		pending := exec.NewFuncSource(db.meter, fmt.Sprintf("PendingAD(%s)", vs.def.Relations[0]), func() ([]exec.Row, error) {
+			anet, dnet, err := h.NetChanges()
+			if err != nil {
+				return nil, err
+			}
+			for _, tp := range dnet {
+				skip[tp.ID] = true
+			}
+			rows := make([]exec.Row, len(anet))
+			for i, tp := range anet {
+				rows[i] = exec.Row{T0: tp, Insert: true}
+			}
+			return rows, nil
+		})
+		// Pending adds stream ahead of the base scan so the skip set is
+		// filled before any base row is screened (the group fold is
+		// order-independent).
+		source = exec.NewSeq("pending+base", pending, source)
 	}
 	states := map[string]*agg.State{}
 	groups := map[string]tuple.Value{}
-	consume := func(tp tuple.Tuple) {
-		db.meter.Screen(1)
-		if skip[tp.ID] || !vs.def.Pred.EvalSingle(0, tp) {
-			return
+	filt := exec.NewFilter(db.meter, vs.def.Name, source, func(row exec.Row) bool {
+		if skip[row.T0.ID] || !vs.def.Pred.EvalSingle(0, row.T0) {
+			return false
 		}
-		g := tp.Vals[vs.def.GroupBy]
-		if rg != nil && !rg.Contains(g) {
-			return
-		}
+		g := row.T0.Vals[vs.def.GroupBy]
+		return rg == nil || rg.Contains(g)
+	}, true)
+	fold := exec.NewAggFold(vs.def.Name+".groups", filt, func(row exec.Row) {
+		g := row.T0.Vals[vs.def.GroupBy]
 		key := g.String()
 		s, ok := states[key]
 		if !ok {
@@ -330,13 +336,12 @@ func (db *Database) groupsFromBase(vs *viewState, rg *pred.Range) ([]GroupRow, e
 			states[key] = s
 			groups[key] = g
 		}
-		s.Insert(tp.Vals[vs.def.AggCol].AsFloat())
-	}
-	for _, tp := range all {
-		consume(tp)
-	}
-	for _, tp := range extra {
-		consume(tp)
+		s.Insert(row.T0.Vals[vs.def.AggCol].AsFloat())
+	})
+	node, delta, _, err := db.runTree(fold, false)
+	db.recordPlan(vs, PlanPathQuery, node, delta)
+	if err != nil {
+		return nil, err
 	}
 	rows := make([]GroupRow, 0, len(states))
 	for key, s := range states {

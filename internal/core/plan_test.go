@@ -1,0 +1,469 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/exec"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+var updatePlans = flag.Bool("update-plans", false, "rewrite the golden plan-tree files")
+
+// newUnclusteredSPDatabase clusters r on column 1 and adds a secondary
+// on the view key source (column 0), so the unclustered access path is
+// the only indexed route to the view predicate's interval.
+func newUnclusteredSPDatabase(t *testing.T, n int) *Database {
+	t.Helper()
+	db := NewDatabase(testOpts())
+	if _, err := db.CreateRelationBTree("r", spSchema(), 1); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := 0; i < n; i++ {
+		if _, err := tx.Insert("r", tuple.I(int64(i)), tuple.I(int64(i*2)), tuple.S(sName(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.MustCommit()
+	r, _ := db.Relation("r")
+	if err := r.AddSecondary(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView(spDef("v"), QueryModification); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	return db
+}
+
+// planScenarios drives every query plan and maintenance strategy
+// through its operator pipeline and snapshots the rendered plan trees.
+// One golden file per scenario under testdata/plans; regenerate with
+//
+//	go test ./internal/core -run TestPlanTreeGoldens -update-plans
+var planScenarios = []struct {
+	name string
+	run  func(t *testing.T) (*Database, string)
+}{
+	{"qm-sp-clustered", func(t *testing.T) (*Database, string) {
+		db := newSPDatabase(t, QueryModification, 200)
+		if _, err := db.QueryViewPlan("v", nil, PlanClustered); err != nil {
+			t.Fatal(err)
+		}
+		return db, "v"
+	}},
+	{"qm-sp-unclustered", func(t *testing.T) (*Database, string) {
+		db := newUnclusteredSPDatabase(t, 200)
+		if _, err := db.QueryViewPlan("v", nil, PlanUnclustered); err != nil {
+			t.Fatal(err)
+		}
+		return db, "v"
+	}},
+	{"qm-sp-sequential", func(t *testing.T) (*Database, string) {
+		db := newSPDatabase(t, QueryModification, 200)
+		if _, err := db.QueryViewPlan("v", nil, PlanSequential); err != nil {
+			t.Fatal(err)
+		}
+		return db, "v"
+	}},
+	{"qm-sp-pending-overlay", func(t *testing.T) (*Database, string) {
+		// A QM view sharing a relation with a deferred sibling answers
+		// through the pending-overlay operator after a commit parks net
+		// changes in the HR.
+		db := NewDatabase(testOpts())
+		if _, err := db.CreateRelationBTree("r", spSchema(), 0); err != nil {
+			t.Fatal(err)
+		}
+		tx := db.Begin()
+		for i := 0; i < 100; i++ {
+			if _, err := tx.Insert("r", tuple.I(int64(i)), tuple.I(int64(i*2)), tuple.S(sName(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tx.MustCommit()
+		if err := db.CreateView(spDef("v"), QueryModification); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateView(spDef("d"), Deferred); err != nil {
+			t.Fatal(err)
+		}
+		db.ResetStats()
+		tx = db.Begin()
+		if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Insert("r", tuple.I(500), tuple.I(1), tuple.S("y")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if _, err := db.QueryView("v", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "v"
+	}},
+	{"qm-join-loopjoin", func(t *testing.T) (*Database, string) {
+		db := newJoinDatabase(t, QueryModification, 60, 12)
+		if _, err := db.QueryView("j", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "j"
+	}},
+	{"qm-agg", func(t *testing.T) (*Database, string) {
+		db := newAggDatabase(t, QueryModification, agg.Sum, 50)
+		if _, _, err := db.QueryAggregate("sumv"); err != nil {
+			t.Fatal(err)
+		}
+		return db, "sumv"
+	}},
+	{"qm-groups", func(t *testing.T) (*Database, string) {
+		db := newGroupDatabase(t, QueryModification, agg.Sum, 60)
+		if _, err := db.QueryGroups("g", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "g"
+	}},
+	{"immediate-sp", func(t *testing.T) (*Database, string) {
+		db := newSPDatabase(t, Immediate, 200)
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Insert("r", tuple.I(500), tuple.I(1), tuple.S("y")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if _, err := db.QueryView("v", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "v"
+	}},
+	{"deferred-sp", func(t *testing.T) (*Database, string) {
+		db := newSPDatabase(t, Deferred, 200)
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if _, err := db.QueryView("v", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "v"
+	}},
+	{"immediate-join", func(t *testing.T) (*Database, string) {
+		db := newJoinDatabase(t, Immediate, 60, 12)
+		tx := db.Begin()
+		id, err := tx.Insert("r1", tuple.I(70), tuple.I(5), tuple.S("px"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Insert("r2", tuple.I(12), tuple.S("infox")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		tx = db.Begin()
+		if err := tx.Delete("r1", tuple.I(70), id); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		return db, "j"
+	}},
+	{"blakeley-join", func(t *testing.T) (*Database, string) {
+		db := newJoinDatabase(t, Immediate, 60, 12)
+		if err := db.SetJoinVariantBlakeley("j", true); err != nil {
+			t.Fatal(err)
+		}
+		tx := db.Begin()
+		id, err := tx.Insert("r1", tuple.I(70), tuple.I(5), tuple.S("px"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Insert("r2", tuple.I(12), tuple.S("infox")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		tx = db.Begin()
+		if err := tx.Delete("r1", tuple.I(70), id); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		return db, "j"
+	}},
+	{"immediate-agg", func(t *testing.T) (*Database, string) {
+		db := newAggDatabase(t, Immediate, agg.Sum, 50)
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(15), tuple.I(7), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if _, _, err := db.QueryAggregate("sumv"); err != nil {
+			t.Fatal(err)
+		}
+		return db, "sumv"
+	}},
+	{"deferred-agg-rebuild", func(t *testing.T) (*Database, string) {
+		// Deleting a contributor to a MAX forces the fold to fall back
+		// to a full rebuild — the nested rebuild-agg pipeline.
+		db := newAggDatabase(t, Deferred, agg.Max, 50)
+		r, _ := db.Relation("r")
+		tps, err := r.LookupKey(tuple.I(29))
+		if err != nil || len(tps) == 0 {
+			t.Fatalf("lookup k=29: %v (%d tuples)", err, len(tps))
+		}
+		tx := db.Begin()
+		if err := tx.Delete("r", tuple.I(29), tps[0].ID); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if _, _, err := db.QueryAggregate("sumv"); err != nil {
+			t.Fatal(err)
+		}
+		return db, "sumv"
+	}},
+	{"immediate-groups", func(t *testing.T) (*Database, string) {
+		db := newGroupDatabase(t, Immediate, agg.Sum, 60)
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(7), tuple.I(2), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if _, err := db.QueryGroups("g", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "g"
+	}},
+	{"snapshot-sp", func(t *testing.T) (*Database, string) {
+		db := newSPDatabase(t, Snapshot, 200)
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if err := db.RefreshSnapshot("v"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.QueryView("v", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "v"
+	}},
+	{"recompute-sp", func(t *testing.T) (*Database, string) {
+		db := newSPDatabase(t, RecomputeOnDemand, 200)
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if _, err := db.QueryView("v", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "v"
+	}},
+}
+
+// renderScenario runs Explain and flattens the per-path trees into one
+// deterministic document.
+func renderScenario(t *testing.T, db *Database, view string) string {
+	t.Helper()
+	ex, err := db.Explain(view, WorkloadHints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.PlanTrees) == 0 {
+		t.Fatal("no plan trees captured")
+	}
+	paths := make([]string, 0, len(ex.PlanTrees))
+	for p := range ex.PlanTrees {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var sb strings.Builder
+	for _, p := range paths {
+		sb.WriteString("== " + p + " ==\n")
+		sb.WriteString(ex.PlanTrees[p])
+	}
+	return sb.String()
+}
+
+func TestPlanTreeGoldens(t *testing.T) {
+	for _, sc := range planScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			db, view := sc.run(t)
+			got := renderScenario(t, db, view)
+			golden := filepath.Join("testdata", "plans", sc.name+".golden")
+			if *updatePlans {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-plans): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan trees diverged from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestOperatorStatsMatchMeter asserts the exec attribution invariant
+// end-to-end: for every operator tree the engine executes during a
+// mixed serial workload, the sum of per-operator metered charges equals
+// the storage.Meter delta spanning that tree's run.
+func TestOperatorStatsMatchMeter(t *testing.T) {
+	check := func(t *testing.T, db *Database, work func()) {
+		t.Helper()
+		captures := 0
+		db.SetPlanObserver(func(view, path string, root *exec.PlanNode, delta storage.Stats) {
+			captures++
+			if got := root.TotalCost(); got != delta {
+				t.Errorf("%s/%s: tree cost %+v != meter delta %+v", view, path, got, delta)
+			}
+		})
+		defer db.SetPlanObserver(nil)
+		work()
+		if captures == 0 {
+			t.Error("workload executed no operator trees")
+		}
+	}
+
+	t.Run("sp-clustered-sequential", func(t *testing.T) {
+		db := newSPDatabase(t, QueryModification, 200)
+		check(t, db, func() {
+			for _, plan := range []QueryPlan{PlanClustered, PlanSequential} {
+				if _, err := db.QueryViewPlan("v", nil, plan); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	})
+
+	t.Run("sp-unclustered", func(t *testing.T) {
+		db := newUnclusteredSPDatabase(t, 200)
+		check(t, db, func() {
+			if _, err := db.QueryViewPlan("v", nil, PlanUnclustered); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	for _, st := range []Strategy{Immediate, Deferred} {
+		st := st
+		t.Run("sp-"+st.String(), func(t *testing.T) {
+			db := newSPDatabase(t, st, 200)
+			check(t, db, func() {
+				tx := db.Begin()
+				if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+					t.Fatal(err)
+				}
+				tx.MustCommit()
+				if _, err := db.QueryView("v", nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+		t.Run("join-"+st.String(), func(t *testing.T) {
+			db := newJoinDatabase(t, st, 60, 12)
+			check(t, db, func() {
+				tx := db.Begin()
+				id, err := tx.Insert("r1", tuple.I(70), tuple.I(5), tuple.S("px"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := tx.Insert("r2", tuple.I(12), tuple.S("infox")); err != nil {
+					t.Fatal(err)
+				}
+				tx.MustCommit()
+				tx = db.Begin()
+				if err := tx.Delete("r1", tuple.I(70), id); err != nil {
+					t.Fatal(err)
+				}
+				tx.MustCommit()
+				if _, err := db.QueryView("j", nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+		})
+	}
+
+	t.Run("join-blakeley", func(t *testing.T) {
+		db := newJoinDatabase(t, Immediate, 60, 12)
+		if err := db.SetJoinVariantBlakeley("j", true); err != nil {
+			t.Fatal(err)
+		}
+		check(t, db, func() {
+			tx := db.Begin()
+			id, err := tx.Insert("r1", tuple.I(70), tuple.I(5), tuple.S("px"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx.MustCommit()
+			tx = db.Begin()
+			if err := tx.Delete("r1", tuple.I(70), id); err != nil {
+				t.Fatal(err)
+			}
+			tx.MustCommit()
+		})
+	})
+
+	t.Run("aggregates", func(t *testing.T) {
+		db := newAggDatabase(t, Deferred, agg.Max, 50)
+		r, _ := db.Relation("r")
+		tps, err := r.LookupKey(tuple.I(29))
+		if err != nil || len(tps) == 0 {
+			t.Fatalf("lookup: %v", err)
+		}
+		check(t, db, func() {
+			tx := db.Begin()
+			if err := tx.Delete("r", tuple.I(29), tps[0].ID); err != nil {
+				t.Fatal(err)
+			}
+			tx.MustCommit()
+			if _, _, err := db.QueryAggregate("sumv"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("groups", func(t *testing.T) {
+		db := newGroupDatabase(t, Immediate, agg.Sum, 60)
+		check(t, db, func() {
+			tx := db.Begin()
+			if _, err := tx.Insert("r", tuple.I(7), tuple.I(2), tuple.S("x")); err != nil {
+				t.Fatal(err)
+			}
+			tx.MustCommit()
+			if _, err := db.QueryGroups("g", nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("snapshot-recompute", func(t *testing.T) {
+		db := newSPDatabase(t, Snapshot, 200)
+		check(t, db, func() {
+			tx := db.Begin()
+			if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+				t.Fatal(err)
+			}
+			tx.MustCommit()
+			if err := db.RefreshSnapshot("v"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.QueryView("v", nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"viewmat/internal/exec"
+	"viewmat/internal/pred"
+	"viewmat/internal/relation"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// This file is the planner half of the planner/executor split: the
+// Database methods in query.go, refresh.go, groupagg.go and
+// extra_strategies.go translate a view definition plus the current
+// physical state into trees of exec operators, and the helpers here
+// run those trees, capture their instrumentation, and retain the last
+// executed plan per (view, path) for Explain.
+
+// PlanCapture is the retained snapshot of one executed plan: the
+// operator tree with per-operator stats, and the storage.Meter delta
+// that spanned the execution. By the exec attribution invariant the
+// tree's TotalCost equals Meter (exactly in serial runs, approximately
+// when other goroutines charge the meter concurrently).
+type PlanCapture struct {
+	Root  *exec.PlanNode
+	Meter storage.Stats
+}
+
+// Plan paths under which captures are retained.
+const (
+	// PlanPathQuery is the last query execution (QM rewrite,
+	// materialized read, aggregate read/compute).
+	PlanPathQuery = "query"
+	// PlanPathRefresh is the last maintenance execution (differential
+	// refresh, aggregate fold, rebuild/recompute).
+	PlanPathRefresh = "refresh"
+	// PlanPathPopulate is the initial materialization at CreateView.
+	PlanPathPopulate = "populate"
+)
+
+// runTree executes an operator tree to completion, capturing the plan
+// and the meter delta spanning the run. keep retains the produced rows
+// (query paths); maintenance paths discard them as they stream.
+// The capture is taken even when execution fails, so a partial plan is
+// still inspectable.
+func (db *Database) runTree(root exec.Operator, keep bool) (*exec.PlanNode, storage.Stats, []exec.Row, error) {
+	before := db.meter.Snapshot()
+	var rows []exec.Row
+	var err error
+	if keep {
+		rows, err = exec.Drain(root)
+	} else {
+		err = exec.Run(root)
+	}
+	delta := db.meter.Snapshot().Sub(before)
+	return exec.Capture(root), delta, rows, err
+}
+
+// recordPlan retains a capture as the view's last executed plan on the
+// given path. Query paths run under the engine read lock, so the plan
+// table is guarded by statsMu like the other concurrently-bumped
+// bookkeeping.
+func (db *Database) recordPlan(vs *viewState, path string, node *exec.PlanNode, delta storage.Stats) {
+	db.statsMu.Lock()
+	if vs.plans == nil {
+		vs.plans = map[string]*PlanCapture{}
+	}
+	vs.plans[path] = &PlanCapture{Root: node, Meter: delta}
+	obs := db.planObserver
+	db.statsMu.Unlock()
+	if obs != nil {
+		obs(vs.def.Name, path, node, delta)
+	}
+}
+
+// runPlan is runTree + recordPlan for maintenance paths (rows
+// discarded).
+func (db *Database) runPlan(vs *viewState, path string, root exec.Operator) error {
+	node, delta, _, err := db.runTree(root, false)
+	db.recordPlan(vs, path, node, delta)
+	return err
+}
+
+// SetPlanObserver installs a hook invoked after every operator-tree
+// execution with the captured plan and the meter delta spanning it
+// (tests use it to assert the attribution invariant). Pass nil to
+// remove. The observer runs outside the engine locks; it must not call
+// back into the Database.
+func (db *Database) SetPlanObserver(fn func(view, path string, root *exec.PlanNode, delta storage.Stats)) {
+	db.statsMu.Lock()
+	db.planObserver = fn
+	db.statsMu.Unlock()
+}
+
+// CapturedPlans returns deep copies of a view's retained plan captures
+// keyed by path.
+func (db *Database) CapturedPlans(view string) (map[string]*PlanCapture, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	vs, ok := db.views[view]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown view %q", view)
+	}
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	out := make(map[string]*PlanCapture, len(vs.plans))
+	for path, pc := range vs.plans {
+		out[path] = &PlanCapture{Root: copyPlanNode(pc.Root), Meter: pc.Meter}
+	}
+	return out, nil
+}
+
+// RenderPlans renders every captured plan tree for a view at the given
+// unit costs — measured charges only; Explain adds the analytic
+// predictions.
+func (db *Database) RenderPlans(view string, c1, c2, c3 float64) (map[string]string, error) {
+	plans, err := db.CapturedPlans(view)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(plans))
+	for path, pc := range plans {
+		out[path] = exec.Render(pc.Root, c1, c2, c3)
+	}
+	return out, nil
+}
+
+func copyPlanNode(n *exec.PlanNode) *exec.PlanNode {
+	if n == nil {
+		return nil
+	}
+	cp := &exec.PlanNode{Name: n.Name, Stats: n.Stats, Predicted: n.Predicted}
+	for _, c := range n.Children {
+		cp.Children = append(cp.Children, copyPlanNode(c))
+	}
+	return cp
+}
+
+// --- shared plan fragments --------------------------------------------------
+
+// singlePred is the slot-0 restriction test shared by every Model-1
+// pipeline and the outer side of the join pipelines.
+func singlePred(vs *viewState) func(exec.Row) bool {
+	return func(row exec.Row) bool { return vs.def.Pred.EvalSingle(0, row.T0) }
+}
+
+// projectSP is the slot-0 projection closure.
+func projectSP(vs *viewState) func(exec.Row) []tuple.Value {
+	return func(row exec.Row) []tuple.Value {
+		return vs.def.ProjectValues(row.Binding(1))
+	}
+}
+
+// matApply is the materialized-store sink: polarity-routed duplicate
+// count maintenance.
+func (db *Database) matApply(vs *viewState, input exec.Operator) exec.Operator {
+	return exec.NewDeltaApply(db.meter, vs.def.Name, input,
+		func(row exec.Row) error { return vs.mat.InsertDelta(row.Vals, db.nextID()) },
+		func(row exec.Row) error { return vs.mat.DeleteDelta(row.Vals) })
+}
+
+// matInsert is the populate-time sink: scan rows carry no delta
+// polarity, and every surviving row is an insert.
+func (db *Database) matInsert(vs *viewState, input exec.Operator) exec.Operator {
+	ins := func(row exec.Row) error { return vs.mat.InsertDelta(row.Vals, db.nextID()) }
+	return exec.NewDeltaApply(db.meter, vs.def.Name, input, ins, ins)
+}
+
+// restrictedScan is the clustered scan over the view predicate's
+// interval on the relation's clustering column — the R1-side scan both
+// join-refresh expansions, the aggregate rebuild and populate share.
+func (db *Database) restrictedScan(vs *viewState, slot int) exec.Operator {
+	r := db.rels[vs.def.Relations[slot]]
+	rg, constrained := vs.def.Pred.IntervalFor(slot, r.KeyCol())
+	var scanRg *pred.Range
+	if constrained {
+		scanRg = &rg
+	}
+	return exec.NewScan(db.meter, r, scanRg)
+}
+
+// baseSource is restrictedScan when the relation is clustered, a full
+// sequential scan otherwise (hash relations offer no ordered path).
+func (db *Database) baseSource(vs *viewState, slot int) exec.Operator {
+	r := db.rels[vs.def.Relations[slot]]
+	if r.Kind() == relation.ClusteredBTree {
+		return db.restrictedScan(vs, slot)
+	}
+	return exec.NewSeqScan(db.meter, r)
+}
+
+// --- join delta expansion ---------------------------------------------------
+
+// joinPlanCtx carries what the corrected and Blakeley expansions
+// share: join columns, relations, and the predicate/projection
+// closures — the one place the delta-expansion plumbing lives.
+type joinPlanCtx struct {
+	vs         *viewState
+	col1, col2 int
+	r2         *relation.Relation
+}
+
+func (db *Database) joinCtx(vs *viewState) (joinPlanCtx, error) {
+	ja, ok := vs.def.JoinAtom()
+	if !ok {
+		return joinPlanCtx{}, fmt.Errorf("core: join view %q lost its join atom", vs.def.Name)
+	}
+	return joinPlanCtx{
+		vs:   vs,
+		col1: joinCol(ja, 0),
+		col2: joinCol(ja, 1),
+		r2:   db.rels[vs.def.Relations[1]],
+	}, nil
+}
+
+// onFull is the full joined-binding predicate.
+func (c joinPlanCtx) onFull(row exec.Row) bool { return c.vs.def.Pred.Eval(row.Binding(2)) }
+
+// outerVal extracts the outer row's join value.
+func (c joinPlanCtx) outerVal(row exec.Row) tuple.Value { return row.T0.Vals[c.col1] }
+
+// projectJoin is the two-slot projection closure.
+func (c joinPlanCtx) projectJoin(row exec.Row) []tuple.Value {
+	return c.vs.def.ProjectValues(row.Binding(2))
+}
+
+// applyJoin finishes a join-delta pipeline: project the surviving
+// joined bindings and fold them into the materialized store.
+func (db *Database) applyJoin(c joinPlanCtx, input exec.Operator) exec.Operator {
+	return db.matApply(c.vs, exec.NewProject(c.vs.def.Name, input, c.projectJoin))
+}
+
+// probeDeltas builds the delta-side probe pipeline shared by both
+// expansions: stream d, filter by the slot-0 restriction (charged per
+// the corrected expansion's per-tuple handling cost, uncharged for
+// Blakeley), probe R2 by join value. skipIDs recovers R2' (or the
+// start-state R2 together with addBack).
+func (db *Database) probeDeltas(c joinPlanCtx, label string, d *deltas, charge bool,
+	skipIDs map[uint64]bool, addBack []tuple.Tuple) exec.Operator {
+	src := exec.NewDeltaSource(label, d.adds, d.dels)
+	filt := exec.NewFilter(db.meter, label+".r1pred", src, singlePred(c.vs), charge)
+	probe := exec.NewLoopJoin(db.meter, exec.LoopJoinSpec{
+		Input:      filt,
+		Inner:      c.r2,
+		JoinVal:    c.outerVal,
+		On:         c.onFull,
+		SkipIDs:    skipIDs,
+		AddBack:    addBack,
+		AddBackCol: c.col2,
+	})
+	return db.applyJoin(c, probe)
+}
+
+// matchR2Deltas builds the R2-delta-side pipeline shared by both
+// expansions: a restricted scan of R1 recovered to the wanted epoch
+// state, matched against the in-memory A2/D2 sets. flatScreens charges
+// the corrected expansion's C1·(|A2|+|D2|) handling term.
+func (db *Database) matchR2Deltas(c joinPlanCtx, outer exec.Operator,
+	adds, dels []tuple.Tuple, flatScreens int64) exec.Operator {
+	md := exec.NewMatchDeltas(db.meter, outer, adds, dels, c.outerVal, c.col2, c.onFull, flatScreens)
+	return db.applyJoin(c, md)
+}
+
+// crossDeltas builds the A1×A2-insert / D1×D2-delete cross-term
+// pipeline shared by both expansions.
+func (db *Database) crossDeltas(c joinPlanCtx, a1, a2, d1, d2 []tuple.Tuple) exec.Operator {
+	cross := exec.NewCrossDeltas(a1, a2, d1, d2, c.col1, c.col2, c.onFull)
+	return db.applyJoin(c, cross)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"viewmat/internal/agg"
+	"viewmat/internal/exec"
 	"viewmat/internal/pred"
 	"viewmat/internal/relation"
 	"viewmat/internal/tuple"
@@ -128,14 +129,21 @@ func (db *Database) QueryAggregate(name string) (value float64, ok bool, err err
 			value, ok, err = db.computeAggregateFromBase(vs)
 			return err
 		default:
-			// Read the one-page aggregate state (C_query3 = C2).
-			fr, err := db.pool.Get(vs.aggFile, vs.aggPage)
+			// Read the one-page aggregate state (C_query3 = C2). The
+			// in-memory state is authoritative and identical to the
+			// page; the page read is the charged operation.
+			read := exec.NewFuncSource(db.meter, fmt.Sprintf("AggRead(%s)", vs.def.Name), func() ([]exec.Row, error) {
+				fr, err := db.pool.Get(vs.aggFile, vs.aggPage)
+				if err != nil {
+					return nil, err
+				}
+				return nil, db.pool.Release(fr)
+			})
+			node, delta, _, err := db.runTree(read, false)
+			db.recordPlan(vs, PlanPathQuery, node, delta)
 			if err != nil {
 				return err
 			}
-			defer db.pool.Release(fr)
-			// The in-memory state is authoritative and identical to
-			// the page; the page read is the charged operation.
 			value, ok = vs.aggState.Value()
 			return nil
 		}
@@ -240,25 +248,47 @@ func (db *Database) refreshDeferred(root *viewState) error {
 
 // --- materialized reads ----------------------------------------------------
 
-// queryMaterialized reads rows from the stored view, screening each
-// scanned row against the query predicate at C1 (the model's
-// C1·f·fv·N term).
+// queryMaterialized reads rows from the stored view through a
+// MatScan→Screen plan: the scan's page reads land on the source, and
+// each stored row is screened against the query predicate at C1 (the
+// model's C1·f·fv·N term).
 func (db *Database) queryMaterialized(vs *viewState, rg *pred.Range) ([]ResultRow, error) {
-	rows, err := vs.mat.Scan(rg)
+	scan := exec.NewFuncSource(db.meter, fmt.Sprintf("MatScan(%s%s)", vs.def.Name, matRangeSuffix(rg)), func() ([]exec.Row, error) {
+		stored, err := vs.mat.Scan(rg)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]exec.Row, len(stored))
+		for i, r := range stored {
+			out[i] = exec.Row{Vals: r.Vals, Dup: r.Count}
+		}
+		return out, nil
+	})
+	screen := exec.NewFilter(db.meter, vs.def.Name, scan, nil, true)
+	node, delta, rows, err := db.runTree(screen, true)
+	db.recordPlan(vs, PlanPathQuery, node, delta)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]ResultRow, 0, len(rows))
-	for _, r := range rows {
-		db.meter.Screen(1)
-		// The stored row stands for Count logical duplicates (§2.1);
+	for _, row := range rows {
+		// The stored row stands for Dup logical duplicates (§2.1);
 		// expand so materialized and query-modified results agree as
 		// multisets.
-		for i := int64(0); i < r.Count; i++ {
-			out = append(out, ResultRow{Vals: r.Vals})
+		for i := int64(0); i < row.Dup; i++ {
+			out = append(out, ResultRow{Vals: row.Vals})
 		}
 	}
 	return out, nil
+}
+
+// matRangeSuffix labels a materialized scan's restriction for plan
+// rendering.
+func matRangeSuffix(rg *pred.Range) string {
+	if rg == nil {
+		return ""
+	}
+	return " restricted"
 }
 
 // --- query modification ----------------------------------------------------
@@ -278,7 +308,11 @@ func (vs *viewState) keySource() (slot, col int) {
 	return 0, 0
 }
 
-// queryModified rewrites the view query onto the base relations.
+// queryModified rewrites the view query onto the base relations: the
+// planner resolves the access path (source operator), stacks the
+// charged predicate screen, the projection and — when a deferred
+// sibling left un-folded HR changes — the pending-overlay operator,
+// then drains the tree.
 func (db *Database) queryModified(vs *viewState, rg *pred.Range, plan QueryPlan) ([]ResultRow, error) {
 	if vs.def.Kind == Join {
 		return db.loopJoin(vs, rg)
@@ -299,79 +333,64 @@ func (db *Database) queryModified(vs *viewState, rg *pred.Range, plan QueryPlan)
 		}
 	}
 
-	var candidates []tuple.Tuple
-	var err error
+	var source exec.Operator
 	switch plan {
 	case PlanClustered:
 		if r.Kind() != relation.ClusteredBTree || r.KeyCol() != col {
 			return nil, fmt.Errorf("core: clustered plan needs clustering on column %d of %q", col, r.Name())
 		}
-		candidates, err = r.Scan(combineRange(vs.def.Pred, 0, col, rg))
+		source = exec.NewScan(db.meter, r, combineRange(vs.def.Pred, 0, col, rg))
 	case PlanUnclustered:
-		candidates, err = r.LookupSecondary(col, orFull(combineRange(vs.def.Pred, 0, col, rg)))
+		source = exec.NewIndexFetch(db.meter, r, col, orFull(combineRange(vs.def.Pred, 0, col, rg)))
 	case PlanSequential:
-		candidates, err = r.ScanAll()
+		source = exec.NewSeqScan(db.meter, r)
 	default:
 		return nil, fmt.Errorf("core: plan %v not applicable to %s view", plan, vs.def.Kind)
 	}
-	if err != nil {
-		return nil, err
-	}
 
-	var out []ResultRow
-	for _, tp := range candidates {
-		db.meter.Screen(1) // test against the (modified) view predicate
-		if !vs.def.Pred.EvalSingle(0, tp) {
-			continue
-		}
-		if rg != nil && !rg.Contains(tp.Vals[col]) {
-			continue
-		}
-		out = append(out, ResultRow{Vals: vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})})
-	}
-	return db.mergePendingSP(vs, rg, col, out)
-}
-
-// mergePendingSP overlays un-folded HR changes onto a query-modification
-// result, so QM views sharing a relation with deferred views stay
-// correct. Relations without a live HR (the common case) pay nothing.
-func (db *Database) mergePendingSP(vs *viewState, rg *pred.Range, col int, rows []ResultRow) ([]ResultRow, error) {
-	h, hasHR := db.hrs[vs.def.Relations[0]]
-	if !hasHR || h.ADLen() == 0 {
-		return rows, nil
-	}
-	anet, dnet, err := h.NetChanges()
-	if err != nil {
-		return nil, err
-	}
 	match := func(tp tuple.Tuple) bool {
-		db.meter.Screen(1)
 		if !vs.def.Pred.EvalSingle(0, tp) {
 			return false
 		}
 		return rg == nil || rg.Contains(tp.Vals[col])
 	}
-	removed := map[string]int{}
-	for _, tp := range dnet {
-		if match(tp) {
-			removed[tuple.Tuple{Vals: vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})}.ValueKey()]++
-		}
+	// One charged screen per candidate: the test against the
+	// (modified) view predicate.
+	filter := exec.NewFilter(db.meter, vs.def.Name, source, func(row exec.Row) bool {
+		return match(row.T0)
+	}, true)
+	root := db.overlayPendingSP(vs, match, exec.NewProject(vs.def.Name, filter, projectSP(vs)))
+
+	node, delta, rows, err := db.runTree(root, true)
+	db.recordPlan(vs, PlanPathQuery, node, delta)
+	if err != nil {
+		return nil, err
 	}
-	out := rows[:0]
+	out := make([]ResultRow, 0, len(rows))
 	for _, row := range rows {
-		k := tuple.Tuple{Vals: row.Vals}.ValueKey()
-		if removed[k] > 0 {
-			removed[k]--
-			continue
-		}
-		out = append(out, row)
-	}
-	for _, tp := range anet {
-		if match(tp) {
-			out = append(out, ResultRow{Vals: vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})})
-		}
+		out = append(out, ResultRow{Vals: row.Vals})
 	}
 	return out, nil
+}
+
+// overlayPendingSP stacks the MergePending operator over a
+// query-modification pipeline when un-folded HR changes exist, so QM
+// views sharing a relation with deferred views stay correct. Relations
+// without a live HR (the common case) pay nothing and keep the plain
+// pipeline.
+func (db *Database) overlayPendingSP(vs *viewState, match func(tuple.Tuple) bool, input exec.Operator) exec.Operator {
+	h, hasHR := db.hrs[vs.def.Relations[0]]
+	if !hasHR || h.ADLen() == 0 {
+		return input
+	}
+	return exec.NewMergePending(db.meter, vs.def.Name, input,
+		func() ([]tuple.Tuple, []tuple.Tuple, error) { return h.NetChanges() },
+		match,
+		func(tp tuple.Tuple) []tuple.Value {
+			return vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})
+		},
+		func(vals []tuple.Value) string { return tuple.Tuple{Vals: vals}.ValueKey() },
+	)
 }
 
 // loopJoin evaluates a join view by nested loops: clustered scan of the
@@ -389,46 +408,41 @@ func (db *Database) loopJoin(vs *viewState, rg *pred.Range) ([]ResultRow, error)
 			break
 		}
 	}
-	ja, _ := vs.def.JoinAtom()
-	col1 := joinCol(ja, 0)
+	c, err := db.joinCtx(vs)
+	if err != nil {
+		return nil, err
+	}
 	r1 := db.rels[vs.def.Relations[0]]
-	r2 := db.rels[vs.def.Relations[1]]
 	slot, keyCol := vs.keySource()
 	if slot != 0 {
 		return nil, fmt.Errorf("core: join view %q clusters on inner column", vs.def.Name)
 	}
 
-	it, err := r1.Iter(orFull(combineRange(vs.def.Pred, 0, keyCol, rg)))
+	scan := exec.NewScan(db.meter, r1, orFull(combineRange(vs.def.Pred, 0, keyCol, rg)))
+	// One charged screen per outer tuple, then per probed match.
+	outer := exec.NewFilter(db.meter, vs.def.Name+".outer", scan, func(row exec.Row) bool {
+		if !vs.def.Pred.EvalSingle(0, row.T0) {
+			return false
+		}
+		return rg == nil || rg.Contains(row.T0.Vals[keyCol])
+	}, true)
+	join := exec.NewLoopJoin(db.meter, exec.LoopJoinSpec{
+		Input:       outer,
+		Inner:       c.r2,
+		JoinVal:     c.outerVal,
+		On:          c.onFull,
+		ChargeMatch: true,
+	})
+	root := exec.NewProject(vs.def.Name, join, c.projectJoin)
+
+	node, delta, rows, err := db.runTree(root, true)
+	db.recordPlan(vs, PlanPathQuery, node, delta)
 	if err != nil {
 		return nil, err
 	}
-	var out []ResultRow
-	for {
-		t1, ok, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		db.meter.Screen(1) // screen outer tuple
-		if !vs.def.Pred.EvalSingle(0, t1) {
-			continue
-		}
-		if rg != nil && !rg.Contains(t1.Vals[keyCol]) {
-			continue
-		}
-		matches, err := r2.LookupKey(t1.Vals[col1])
-		if err != nil {
-			return nil, err
-		}
-		for _, t2 := range matches {
-			db.meter.Screen(1) // match cost
-			b := map[int]tuple.Tuple{0: t1, 1: t2}
-			if vs.def.Pred.Eval(b) {
-				out = append(out, ResultRow{Vals: vs.def.ProjectValues(b)})
-			}
-		}
+	out := make([]ResultRow, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, ResultRow{Vals: row.Vals})
 	}
 	return out, nil
 }
@@ -454,67 +468,46 @@ func (db *Database) foldRelationsForQM(relNames []string) error {
 }
 
 // computeAggregateFromBase evaluates a Model-3 aggregate with query
-// modification: a clustered scan over the predicate interval,
-// screening and folding each tuple.
+// modification: a clustered scan over the predicate interval (with any
+// un-folded HR changes concatenated ahead of it), screening and
+// folding each tuple.
 func (db *Database) computeAggregateFromBase(vs *viewState) (float64, bool, error) {
-	r := db.rels[vs.def.Relations[0]]
-	rgp, constrained := vs.def.Pred.IntervalFor(0, r.KeyCol())
-	var scanRg *pred.Range
-	if constrained {
-		scanRg = &rgp
-	}
 	state := agg.NewState(vs.def.AggKind)
-	h, hasHR := db.hrs[vs.def.Relations[0]]
 	skipDeleted := map[uint64]bool{}
-	if hasHR && h.ADLen() > 0 {
+
+	source := db.baseSource(vs, 0)
+	if h, hasHR := db.hrs[vs.def.Relations[0]]; hasHR && h.ADLen() > 0 {
 		// Overlay un-folded HR changes so QM aggregates sharing a
-		// relation with deferred views stay correct.
-		anet, dnet, err := h.NetChanges()
-		if err != nil {
-			return 0, false, err
-		}
-		for _, tp := range dnet {
-			skipDeleted[tp.ID] = true
-		}
-		for _, tp := range anet {
-			db.meter.Screen(1)
-			if vs.def.Pred.EvalSingle(0, tp) {
-				state.Insert(tp.Vals[vs.def.AggCol].AsFloat())
-			}
-		}
-	}
-	consume := func(tp tuple.Tuple) {
-		db.meter.Screen(1)
-		if skipDeleted[tp.ID] {
-			return
-		}
-		if vs.def.Pred.EvalSingle(0, tp) {
-			state.Insert(tp.Vals[vs.def.AggCol].AsFloat())
-		}
-	}
-	if r.Kind() == relation.ClusteredBTree {
-		it, err := r.Iter(scanRg)
-		if err != nil {
-			return 0, false, err
-		}
-		for {
-			tp, ok, err := it.Next()
+		// relation with deferred views stay correct: pending adds are
+		// streamed ahead of the base scan, pending deletes fill the
+		// skip set the filter below consults.
+		pending := exec.NewFuncSource(db.meter, fmt.Sprintf("PendingAD(%s)", vs.def.Relations[0]), func() ([]exec.Row, error) {
+			anet, dnet, err := h.NetChanges()
 			if err != nil {
-				return 0, false, err
+				return nil, err
 			}
-			if !ok {
-				break
+			for _, tp := range dnet {
+				skipDeleted[tp.ID] = true
 			}
-			consume(tp)
-		}
-	} else {
-		all, err := r.ScanAll()
-		if err != nil {
-			return 0, false, err
-		}
-		for _, tp := range all {
-			consume(tp)
-		}
+			rows := make([]exec.Row, len(anet))
+			for i, tp := range anet {
+				rows[i] = exec.Row{T0: tp, Insert: true}
+			}
+			return rows, nil
+		})
+		source = exec.NewSeq("pending+base", pending, source)
+	}
+	filter := exec.NewFilter(db.meter, vs.def.Name, source, func(row exec.Row) bool {
+		return !skipDeleted[row.T0.ID] && vs.def.Pred.EvalSingle(0, row.T0)
+	}, true)
+	fold := exec.NewAggFold(vs.def.Name, filter, func(row exec.Row) {
+		state.Insert(row.T0.Vals[vs.def.AggCol].AsFloat())
+	})
+
+	node, delta, _, err := db.runTree(fold, false)
+	db.recordPlan(vs, PlanPathQuery, node, delta)
+	if err != nil {
+		return 0, false, err
 	}
 	v, ok := state.Value()
 	return v, ok, nil

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"viewmat/internal/relation"
+	"viewmat/internal/exec"
 	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
 )
@@ -67,151 +67,52 @@ func slotOrEmpty(slots map[int]*deltas, i int) *deltas {
 
 // refreshSP applies Model-1 deltas: marked tuples satisfying the view
 // predicate are projected and folded into the duplicate-counted store.
-// The screening CPU was charged when the tuples were marked; here only
-// the view I/O is charged (the model's C2·(3+Hvi)·X term).
+// The screening CPU was charged when the tuples were marked, so the
+// filter is uncharged; only the view I/O lands on the DeltaApply sink
+// (the model's C2·(3+Hvi)·X term).
 func (db *Database) refreshSP(vs *viewState, d *deltas) error {
-	for _, tp := range d.adds {
-		if !vs.def.Pred.EvalSingle(0, tp) {
-			continue
-		}
-		if err := vs.mat.InsertDelta(vs.def.ProjectValues(map[int]tuple.Tuple{0: tp}), db.nextID()); err != nil {
-			return err
-		}
-	}
-	for _, tp := range d.dels {
-		if !vs.def.Pred.EvalSingle(0, tp) {
-			continue
-		}
-		if err := vs.mat.DeleteDelta(vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})); err != nil {
-			return err
-		}
-	}
-	return nil
+	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
+	proj := exec.NewProject(vs.def.Name, filt, projectSP(vs))
+	return db.runPlan(vs, PlanPathRefresh, db.matApply(vs, proj))
 }
 
-// refreshJoin applies Model-2 deltas with the corrected expansion.
-// Each handled delta tuple charges one C1 unit (the model's C1·2u /
-// C1·2l per-tuple join-handling cost).
+// refreshJoin applies Model-2 deltas with the corrected expansion,
+// built as a sequence of three pipelines over the shared delta-
+// expansion fragments. Each handled R1-delta tuple charges one C1 unit
+// (the model's C1·2u / C1·2l per-tuple join-handling cost).
 func (db *Database) refreshJoin(vs *viewState, d1, d2 *deltas) error {
-	ja, ok := vs.def.JoinAtom()
-	if !ok {
-		return fmt.Errorf("core: join view %q lost its join atom", vs.def.Name)
+	c, err := db.joinCtx(vs)
+	if err != nil {
+		return err
 	}
-	col1, col2 := joinCol(ja, 0), joinCol(ja, 1)
-	r2 := db.rels[vs.def.Relations[1]]
-
 	a1IDs := idSet(d1.adds)
 	a2IDs := idSet(d2.adds)
 
-	apply := func(t1, t2 tuple.Tuple, insert bool) error {
-		b := map[int]tuple.Tuple{0: t1, 1: t2}
-		if !vs.def.Pred.Eval(b) {
-			return nil
-		}
-		if insert {
-			return vs.mat.InsertDelta(vs.def.ProjectValues(b), db.nextID())
-		}
-		return vs.mat.DeleteDelta(vs.def.ProjectValues(b))
-	}
+	var phases []exec.Operator
 
 	// A1×R2' and D1×R2': probe R2 (end state) by join value through its
 	// clustered hash index, skipping A2 ids to recover R2'.
-	probeR2 := func(t1 tuple.Tuple, insert bool) error {
-		db.meter.Screen(1) // per-tuple handling cost
-		if !vs.def.Pred.EvalSingle(0, t1) {
-			return nil
-		}
-		matches, err := r2.LookupKey(t1.Vals[col1])
-		if err != nil {
-			return err
-		}
-		for _, t2 := range matches {
-			if a2IDs[t2.ID] {
-				continue
-			}
-			if err := apply(t1, t2, insert); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	for _, t1 := range d1.adds {
-		if err := probeR2(t1, true); err != nil {
-			return err
-		}
-	}
-	for _, t1 := range d1.dels {
-		if err := probeR2(t1, false); err != nil {
-			return err
-		}
-	}
+	phases = append(phases, db.probeDeltas(c, vs.def.Relations[0], d1, true, a2IDs, nil))
 
 	// R1'×A2 and R1'×D2: R1 has no index on the join column, so the
 	// R2-side deltas are matched with one restricted scan of R1 (end
 	// state), skipping A1 ids to recover R1'. The paper's Model 2
-	// never updates R2; this path generalizes it.
+	// never updates R2; this path generalizes it. The flat screen is
+	// the per-delta handling term, C1·(|A2|+|D2|).
 	if len(d2.adds)+len(d2.dels) > 0 {
-		r1 := db.rels[vs.def.Relations[0]]
-		rg, constrained := vs.def.Pred.IntervalFor(0, r1.KeyCol())
-		var scanRg = &rg
-		if !constrained {
-			scanRg = nil
-		}
-		it, err := r1.Iter(scanRg)
-		if err != nil {
-			return err
-		}
-		for {
-			t1, okNext, err := it.Next()
-			if err != nil {
-				return err
-			}
-			if !okNext {
-				break
-			}
-			if a1IDs[t1.ID] || !vs.def.Pred.EvalSingle(0, t1) {
-				continue
-			}
-			for _, t2 := range d2.adds {
-				if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
-					if err := apply(t1, t2, true); err != nil {
-						return err
-					}
-				}
-			}
-			for _, t2 := range d2.dels {
-				if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
-					if err := apply(t1, t2, false); err != nil {
-						return err
-					}
-				}
-			}
-		}
-		db.meter.Screen(int64(len(d2.adds) + len(d2.dels)))
+		outer := exec.NewFilter(db.meter, "r1'", db.restrictedScan(vs, 0), func(row exec.Row) bool {
+			return !a1IDs[row.T0.ID] && vs.def.Pred.EvalSingle(0, row.T0)
+		}, false)
+		phases = append(phases, db.matchR2Deltas(c, outer, d2.adds, d2.dels, int64(len(d2.adds)+len(d2.dels))))
 	}
 
 	// A1×A2, A1×D2 is impossible (a tuple cannot be inserted into R2'
 	// and deleted from it in the same net set), D1×A2 likewise; the
 	// remaining cross terms are A1×A2 (insert) and D1×D2 (delete).
-	for _, t1 := range d1.adds {
-		for _, t2 := range d2.adds {
-			if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
-				if err := apply(t1, t2, true); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	for _, t1 := range d1.dels {
-		for _, t2 := range d2.dels {
-			if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
-				if err := apply(t1, t2, false); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	return nil
+	phases = append(phases, db.crossDeltas(c, d1.adds, d2.adds, d1.dels, d2.dels))
+
+	return db.runPlan(vs, PlanPathRefresh, exec.NewSeq("refresh-join("+vs.def.Name+")", phases...))
 }
 
 // refreshJoinBlakeley is the Appendix A foil: the expansion of [Blak86]
@@ -222,141 +123,44 @@ func (db *Database) refreshJoin(vs *viewState, d1, d2 *deltas) error {
 // D1×R2 and R1×D2 — three times instead of once — which surfaces as a
 // duplicate-count underflow error from the materialized view.
 func (db *Database) refreshJoinBlakeley(vs *viewState, d1, d2 *deltas) error {
-	ja, ok := vs.def.JoinAtom()
-	if !ok {
-		return fmt.Errorf("core: join view %q lost its join atom", vs.def.Name)
+	c, err := db.joinCtx(vs)
+	if err != nil {
+		return err
 	}
-	col1, col2 := joinCol(ja, 0), joinCol(ja, 1)
-	r2 := db.rels[vs.def.Relations[1]]
 	a2IDs := idSet(d2.adds)
+	var phases []exec.Operator
 
-	apply := func(t1, t2 tuple.Tuple, insert bool) error {
-		b := map[int]tuple.Tuple{0: t1, 1: t2}
-		if !vs.def.Pred.Eval(b) {
-			return nil
-		}
-		if insert {
-			return vs.mat.InsertDelta(vs.def.ProjectValues(b), db.nextID())
-		}
-		return vs.mat.DeleteDelta(vs.def.ProjectValues(b))
-	}
-
-	// lookupR2Start recovers start-of-epoch R2 matches for a join value.
-	lookupR2Start := func(v tuple.Value) ([]tuple.Tuple, error) {
-		matches, err := r2.LookupKey(v)
-		if err != nil {
-			return nil, err
-		}
-		out := matches[:0]
-		for _, m := range matches {
-			if !a2IDs[m.ID] {
-				out = append(out, m)
-			}
-		}
-		for _, t2 := range d2.dels {
-			if tuple.Equal(t2.Vals[col2], v) {
-				out = append(out, t2)
-			}
-		}
-		return out, nil
-	}
-
-	// Insert terms: A1×A2 ∪ A1×R2 ∪ R1×A2. (The insert side of the
+	// Insert terms: A1×R2start ∪ A1×A2. (The insert side of the
 	// original algorithm is correct; only deletions misbehave. R1×A2 is
 	// omitted here because the anomaly demonstration updates only the
 	// paper's example transaction shape: deletes on both relations and
-	// inserts on R1.)
-	for _, t1 := range d1.adds {
-		if !vs.def.Pred.EvalSingle(0, t1) {
-			continue
-		}
-		matches, err := lookupR2Start(t1.Vals[col1])
-		if err != nil {
-			return err
-		}
-		for _, t2 := range matches {
-			if err := apply(t1, t2, true); err != nil {
-				return err
-			}
-		}
-		for _, t2 := range d2.adds {
-			if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
-				if err := apply(t1, t2, true); err != nil {
-					return err
-				}
-			}
-		}
-	}
+	// inserts on R1.) Start-of-epoch R2 is recovered from the end-state
+	// file by skipping A2 ids and adding back D2 tuples. None of the
+	// Blakeley pipelines charge screens — the foil reproduces the
+	// algorithm's effects, not the corrected expansion's cost terms.
+	phases = append(phases,
+		db.probeDeltas(c, "A1", &deltas{adds: d1.adds}, false, a2IDs, d2.dels),
+		db.crossDeltas(c, d1.adds, d2.adds, nil, nil))
 
 	// Delete terms against FULL start-state relations — the bug.
 	// D1×D2:
-	for _, t1 := range d1.dels {
-		for _, t2 := range d2.dels {
-			if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
-				if err := apply(t1, t2, false); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	// D1×R2 (R2 including D2 — over-deletes):
-	for _, t1 := range d1.dels {
-		if !vs.def.Pred.EvalSingle(0, t1) {
-			continue
-		}
-		matches, err := lookupR2Start(t1.Vals[col1])
-		if err != nil {
-			return err
-		}
-		for _, t2 := range matches {
-			if err := apply(t1, t2, false); err != nil {
-				return err
-			}
-		}
-	}
-	// R1×D2 (R1 including D1 — over-deletes): one restricted scan.
+	phases = append(phases, db.crossDeltas(c, nil, nil, d1.dels, d2.dels))
+	// D1×R2start (R2 including D2 — over-deletes):
+	phases = append(phases, db.probeDeltas(c, "D1", &deltas{dels: d1.dels}, false, a2IDs, d2.dels))
+	// R1start×D2 (R1 including D1 — over-deletes): one restricted scan
+	// skipping A1 ids, with the D1 tuples streamed back in.
 	if len(d2.dels) > 0 {
-		r1 := db.rels[vs.def.Relations[0]]
-		rg, constrained := vs.def.Pred.IntervalFor(0, r1.KeyCol())
-		var scanRg = &rg
-		if !constrained {
-			scanRg = nil
-		}
-		it, err := r1.Iter(scanRg)
-		if err != nil {
-			return err
-		}
-		var r1Start []tuple.Tuple
 		a1IDs := idSet(d1.adds)
-		for {
-			t1, okNext, err := it.Next()
-			if err != nil {
-				return err
-			}
-			if !okNext {
-				break
-			}
-			if !a1IDs[t1.ID] {
-				r1Start = append(r1Start, t1)
-			}
-		}
-		for _, t1 := range d1.dels {
-			r1Start = append(r1Start, t1)
-		}
-		for _, t1 := range r1Start {
-			if !vs.def.Pred.EvalSingle(0, t1) {
-				continue
-			}
-			for _, t2 := range d2.dels {
-				if tuple.Equal(t1.Vals[col1], t2.Vals[col2]) {
-					if err := apply(t1, t2, false); err != nil {
-						return err
-					}
-				}
-			}
-		}
+		surviving := exec.NewFilter(db.meter, "r1 minus A1", db.restrictedScan(vs, 0), func(row exec.Row) bool {
+			return !a1IDs[row.T0.ID]
+		}, false)
+		r1Start := exec.NewSeq("R1 start-state",
+			surviving, exec.NewDeltaSource("D1 add-back", nil, d1.dels))
+		outer := exec.NewFilter(db.meter, "r1pred", r1Start, singlePred(vs), false)
+		phases = append(phases, db.matchR2Deltas(c, outer, nil, d2.dels, 0))
 	}
-	return nil
+
+	return db.runPlan(vs, PlanPathRefresh, exec.NewSeq("refresh-blakeley("+vs.def.Name+")", phases...))
 }
 
 // refreshAggregate folds Model-3 deltas into the aggregate state and
@@ -366,76 +170,50 @@ func (db *Database) refreshJoinBlakeley(vs *viewState, d1, d2 *deltas) error {
 func (db *Database) refreshAggregate(vs *viewState, d *deltas) error {
 	changed := false
 	needRecompute := false
-	for _, tp := range d.adds {
-		if !vs.def.Pred.EvalSingle(0, tp) {
-			continue
-		}
-		vs.aggState.Insert(tp.Vals[vs.def.AggCol].AsFloat())
-		changed = true
-	}
-	for _, tp := range d.dels {
-		if !vs.def.Pred.EvalSingle(0, tp) {
-			continue
-		}
-		if vs.aggState.Delete(tp.Vals[vs.def.AggCol].AsFloat()) {
+	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
+	fold := exec.NewAggFold(vs.def.Name, filt, func(row exec.Row) {
+		v := row.T0.Vals[vs.def.AggCol].AsFloat()
+		if row.Insert {
+			vs.aggState.Insert(v)
+		} else if vs.aggState.Delete(v) {
 			needRecompute = true
 		}
 		changed = true
-	}
-	if needRecompute {
-		if err := db.rebuildAggregate(vs); err != nil {
-			return err
+	})
+	phases := []exec.Operator{fold}
+	// The later phases are planned lazily inside StateWrites, because
+	// whether the fold tripped a MIN/MAX recompute is only known after
+	// it ran; Seq's lazy opening keeps the ordering correct.
+	phases = append(phases, exec.NewStateWrite(db.meter, "rebuild-if-needed", func() error {
+		if !needRecompute {
+			return nil
 		}
-	}
-	if !changed {
-		return nil
-	}
-	return db.writeAggState(vs)
+		return db.rebuildAggregate(vs)
+	}))
+	phases = append(phases, exec.NewStateWrite(db.meter, vs.def.Name+".aggpage", func() error {
+		if !changed {
+			return nil
+		}
+		return db.writeAggState(vs)
+	}))
+	return db.runPlan(vs, PlanPathRefresh, exec.NewSeq("refresh-agg("+vs.def.Name+")", phases...))
 }
 
 // rebuildAggregate recomputes the aggregate state from the (end-state)
-// base relation with a clustered scan restricted to the predicate
+// base relation with a charged scan restricted to the predicate
 // interval, then persists it.
 func (db *Database) rebuildAggregate(vs *viewState) error {
-	r := db.rels[vs.def.Relations[0]]
-	rg, constrained := vs.def.Pred.IntervalFor(0, r.KeyCol())
-	var scanRg = &rg
-	if !constrained {
-		scanRg = nil
-	}
 	var vals []float64
-	if r.Kind() == relation.ClusteredBTree {
-		it, err := r.Iter(scanRg)
-		if err != nil {
-			return err
-		}
-		for {
-			tp, okNext, err := it.Next()
-			if err != nil {
-				return err
-			}
-			if !okNext {
-				break
-			}
-			db.meter.Screen(1)
-			if vs.def.Pred.EvalSingle(0, tp) {
-				vals = append(vals, tp.Vals[vs.def.AggCol].AsFloat())
-			}
-		}
-	} else {
-		all, err := r.ScanAll()
-		if err != nil {
-			return err
-		}
-		for _, tp := range all {
-			db.meter.Screen(1)
-			if vs.def.Pred.EvalSingle(0, tp) {
-				vals = append(vals, tp.Vals[vs.def.AggCol].AsFloat())
-			}
-		}
-	}
-	vs.aggState.Rebuild(vals)
-	return db.writeAggState(vs)
+	filt := exec.NewFilter(db.meter, vs.def.Name, db.baseSource(vs, 0), singlePred(vs), true)
+	fold := exec.NewAggFold(vs.def.Name, filt, func(row exec.Row) {
+		vals = append(vals, row.T0.Vals[vs.def.AggCol].AsFloat())
+	})
+	write := exec.NewStateWrite(db.meter, vs.def.Name+".aggpage", func() error {
+		vs.aggState.Rebuild(vals)
+		return db.writeAggState(vs)
+	})
+	return db.runPlan(vs, PlanPathRefresh, exec.NewSeq("rebuild-agg("+vs.def.Name+")", fold, write))
 }
 
 // writeAggState persists the aggregate state to its single page.

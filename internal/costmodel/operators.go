@@ -1,0 +1,52 @@
+package costmodel
+
+import "strings"
+
+// Per-operator cost estimates for the physical plans the executor
+// builds, so Explain can annotate a captured plan tree with the model
+// term each operator realizes. Only query-path operators have clean
+// per-execution analytic terms (the refresh formulas are per-query
+// averages over the whole workload mix, which would not be comparable
+// to one refresh execution's measured charges); refresh trees render
+// measured costs only.
+
+// OperatorEstimate returns the analytic per-execution cost (ms) for a
+// query-path operator named opName, given the name of its first child
+// (a charged Filter's estimate depends on whether it screens a
+// restricted scan or a full sequential scan). ok is false when the
+// model has no per-execution term for the operator.
+func OperatorEstimate(opName, childName string, p Params) (float64, bool) {
+	switch {
+	case strings.HasPrefix(opName, "Scan("):
+		// Restricted clustered scan: f·fv·b page reads.
+		return p.C2 * p.Blocks() * p.F * p.FV, true
+	case strings.HasPrefix(opName, "SeqScan("):
+		// Full scan: every data page.
+		return p.C2 * p.Blocks(), true
+	case strings.HasPrefix(opName, "IndexFetch("):
+		// Secondary-index fetch: y(N, b, N·f·fv) random pages.
+		return p.C2 * Y(p.N, p.Blocks(), p.N*p.F*p.FV), true
+	case strings.HasPrefix(opName, "Filter("), strings.HasPrefix(opName, "Screen("):
+		if strings.Contains(opName, "uncharged") {
+			return 0, false
+		}
+		// One C1 screen per candidate: N tuples under a sequential
+		// scan, N·f·fv under a restricted access path.
+		if strings.HasPrefix(childName, "SeqScan(") {
+			return p.C1 * p.N, true
+		}
+		return p.C1 * p.N * p.F * p.FV, true
+	case strings.HasPrefix(opName, "LoopJoin("):
+		// Inner probes of the nested-loop plan: y(fR2·N, fR2·b, N·f·fv)
+		// inner pages plus one C1 per probed match (≈ f·fv·N matches).
+		return p.C2*Y(p.FR2*p.N, p.FR2*p.Blocks(), p.F*p.FV*p.N) + p.C1*p.N*p.F*p.FV, true
+	case strings.HasPrefix(opName, "MatScan("):
+		// Materialized read: index descent plus f·fv of the view's f·b
+		// pages (the I/O half of C_query1).
+		return p.C2*Model1Hvi(p) + p.C2*p.F*p.FV*p.Blocks(), true
+	case strings.HasPrefix(opName, "AggRead("):
+		// One-page aggregate state read (C_query3).
+		return CQuery3(p), true
+	}
+	return 0, false
+}

@@ -1,0 +1,144 @@
+// Package exec is the engine's physical-operator layer: a Volcano-style
+// iterator model (Open/Next/Close) over the storage substrates, with
+// per-operator instrumentation that rolls up into the same
+// storage.Meter the cost model prices.
+//
+// The core.Database methods are thin planners — they translate a view
+// definition plus the current physical state (clustering, secondary
+// indexes, pending HR changes) into a tree of these operators and drain
+// it. Every metered charge issued while a tree runs is attributed to
+// exactly one operator (leaves bracket their storage calls; Filter and
+// join operators record the C1 screens they issue themselves), so the
+// sum of per-operator stats over a tree equals the Meter delta spanning
+// its execution. That invariant is what lets Explain render a plan tree
+// whose per-operator measured costs add up to the strategy totals the
+// experiments report.
+//
+// Operators share one Meter; when trees run concurrently (parallel
+// refresh workers) a bracket can absorb another goroutine's charges, so
+// per-operator attribution is exact in serial runs and approximate
+// under concurrent load — the same caveat core.Database.Breakdown
+// carries.
+package exec
+
+import (
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Row is the unit of data flowing between operators: slot bindings to
+// base tuples, the projected output values once a Project has run, and
+// the delta polarity for maintenance pipelines.
+type Row struct {
+	T0, T1 tuple.Tuple   // slot-0 / slot-1 bindings (T1 used by join rows)
+	Vals   []tuple.Value // projected output values
+	Insert bool          // true = insert delta, false = delete delta
+	Dup    int64         // duplicate count carried by materialized-store rows (0 = 1)
+}
+
+// Binding returns the slot→tuple map form of the row's bindings that
+// view definitions project from. nslots is 1 or 2.
+func (r Row) Binding(nslots int) map[int]tuple.Tuple {
+	if nslots == 2 {
+		return map[int]tuple.Tuple{0: r.T0, 1: r.T1}
+	}
+	return map[int]tuple.Tuple{0: r.T0}
+}
+
+// OpStats is one operator's instrumentation: rows it emitted and the
+// metered charges it issued (page I/O, C1 screens, C3 touches).
+type OpStats struct {
+	RowsOut int64
+	Cost    storage.Stats
+}
+
+// Operator is a physical operator in the Volcano iterator style.
+type Operator interface {
+	// Open prepares the operator (and its inputs) for iteration.
+	Open() error
+	// Next returns the next row; ok is false at end of stream.
+	Next() (row Row, ok bool, err error)
+	// Close releases resources; stats remain readable after Close.
+	Close() error
+	// Describe names the operator and its arguments for plan rendering.
+	Describe() string
+	// Children returns the operator's inputs, for tree walks.
+	Children() []Operator
+	// Stats returns the operator's instrumentation so far.
+	Stats() OpStats
+}
+
+// base carries the instrumentation shared by every operator.
+type base struct {
+	meter *storage.Meter
+	rows  int64
+	cost  storage.Stats
+}
+
+// emit counts an output row.
+func (b *base) emit() { b.rows++ }
+
+// stats snapshots the instrumentation.
+func (b *base) stats() OpStats {
+	return OpStats{RowsOut: b.rows, Cost: b.cost}
+}
+
+// bracket runs fn and attributes its metered delta to this operator.
+func (b *base) bracket(fn func() error) error {
+	if b.meter == nil {
+		return fn()
+	}
+	before := b.meter.Snapshot()
+	err := fn()
+	b.cost = b.cost.Add(b.meter.Snapshot().Sub(before))
+	return err
+}
+
+// screen charges n C1 units to the meter and to this operator.
+func (b *base) screen(n int64) {
+	if b.meter != nil {
+		b.meter.Screen(n)
+	}
+	b.cost.Screens += n
+}
+
+// Drain opens root, pulls it dry, closes it, and returns every row
+// produced. The first error aborts the drain (after closing).
+func Drain(root Operator) ([]Row, error) {
+	if err := root.Open(); err != nil {
+		root.Close()
+		return nil, err
+	}
+	var out []Row
+	for {
+		row, ok, err := root.Next()
+		if err != nil {
+			root.Close()
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	return out, root.Close()
+}
+
+// Run drains root discarding rows — for maintenance pipelines whose
+// sinks apply side effects.
+func Run(root Operator) error {
+	if err := root.Open(); err != nil {
+		root.Close()
+		return err
+	}
+	for {
+		_, ok, err := root.Next()
+		if err != nil {
+			root.Close()
+			return err
+		}
+		if !ok {
+			return root.Close()
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+func tp(id uint64, vals ...int64) tuple.Tuple {
+	t := tuple.Tuple{ID: id}
+	for _, v := range vals {
+		t.Vals = append(t.Vals, tuple.I(v))
+	}
+	return t
+}
+
+func TestDeltaSourcePolarityAndOrder(t *testing.T) {
+	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 10), tp(2, 20)}, []tuple.Tuple{tp(3, 30)})
+	rows, err := Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for i, want := range []struct {
+		id     uint64
+		insert bool
+	}{{1, true}, {2, true}, {3, false}} {
+		if rows[i].T0.ID != want.id || rows[i].Insert != want.insert {
+			t.Errorf("row %d = (id=%d insert=%v), want (id=%d insert=%v)",
+				i, rows[i].T0.ID, rows[i].Insert, want.id, want.insert)
+		}
+	}
+	if got := src.Stats().RowsOut; got != 3 {
+		t.Errorf("RowsOut = %d, want 3", got)
+	}
+}
+
+func TestFilterChargesOneScreenPerInputRow(t *testing.T) {
+	m := storage.NewMeter()
+	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 5), tp(2, 15), tp(3, 25)}, nil)
+	f := NewFilter(m, "keep>10", src, func(r Row) bool { return r.T0.Vals[0].Int() > 10 }, true)
+	rows, err := Drain(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(rows))
+	}
+	if got := m.Snapshot().Screens; got != 3 {
+		t.Errorf("meter screens = %d, want 3 (every input row)", got)
+	}
+	if got := f.Stats().Cost.Screens; got != 3 {
+		t.Errorf("operator screens = %d, want 3", got)
+	}
+}
+
+func TestUnchargedFilterChargesNothing(t *testing.T) {
+	m := storage.NewMeter()
+	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 5)}, nil)
+	f := NewFilter(m, "pass", src, nil, false)
+	if _, err := Drain(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Screens; got != 0 {
+		t.Errorf("meter screens = %d, want 0", got)
+	}
+}
+
+func TestSeqOpensInputsLazily(t *testing.T) {
+	var order []string
+	gen := func(name string, n int) *FuncSource {
+		return NewFuncSource(nil, name, func() ([]Row, error) {
+			order = append(order, name)
+			rows := make([]Row, n)
+			return rows, nil
+		})
+	}
+	seq := NewSeq("phases", gen("first", 2), gen("second", 1))
+	if err := seq.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 0 {
+		t.Fatalf("Open ran generators eagerly: %v", order)
+	}
+	// Pull the first input's rows; the second generator must not have
+	// run until the first is exhausted.
+	for i := 0; i < 2; i++ {
+		if _, ok, err := seq.Next(); err != nil || !ok {
+			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		}
+		if len(order) != 1 || order[0] != "first" {
+			t.Fatalf("after row %d generators run = %v, want [first]", i, order)
+		}
+	}
+	if _, ok, err := seq.Next(); err != nil || !ok {
+		t.Fatalf("third row: ok=%v err=%v", ok, err)
+	}
+	if len(order) != 2 || order[1] != "second" {
+		t.Errorf("generators run = %v, want [first second]", order)
+	}
+	if _, ok, _ := seq.Next(); ok {
+		t.Error("Seq produced rows past its inputs")
+	}
+	if err := seq.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePendingCancelsAndAppends(t *testing.T) {
+	m := storage.NewMeter()
+	// Input stream carries projected values 10 and 20; pending deletes
+	// cancel the 10, pending adds append a 30.
+	input := NewFuncSource(m, "base", func() ([]Row, error) {
+		return []Row{
+			{Vals: []tuple.Value{tuple.I(10)}},
+			{Vals: []tuple.Value{tuple.I(20)}},
+		}, nil
+	})
+	mp := NewMergePending(m, "v", input,
+		func() ([]tuple.Tuple, []tuple.Tuple, error) {
+			return []tuple.Tuple{tp(7, 30)}, []tuple.Tuple{tp(8, 10)}, nil
+		},
+		func(tuple.Tuple) bool { return true },
+		func(t tuple.Tuple) []tuple.Value { return t.Vals },
+		func(vals []tuple.Value) string { return tuple.Tuple{Vals: vals}.ValueKey() },
+	)
+	rows, err := Drain(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range rows {
+		got = append(got, r.Vals[0].String())
+	}
+	want := []string{"20", "30"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("rows = %v, want %v", got, want)
+	}
+	// One screen per pending tuple (1 add + 1 del).
+	if screens := mp.Stats().Cost.Screens; screens != 2 {
+		t.Errorf("pending screens = %d, want 2", screens)
+	}
+}
+
+func TestCrossDeltasEmitsInsertThenDeletePairs(t *testing.T) {
+	cd := NewCrossDeltas(
+		[]tuple.Tuple{tp(1, 5)}, []tuple.Tuple{tp(2, 5), tp(3, 6)},
+		[]tuple.Tuple{tp(4, 6)}, []tuple.Tuple{tp(5, 6)},
+		0, 0, nil)
+	rows, err := Drain(cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (one joined insert, one joined delete)", len(rows))
+	}
+	if !rows[0].Insert || rows[0].T0.ID != 1 || rows[0].T1.ID != 2 {
+		t.Errorf("first row = %+v, want A1×A2 insert", rows[0])
+	}
+	if rows[1].Insert || rows[1].T0.ID != 4 || rows[1].T1.ID != 5 {
+		t.Errorf("second row = %+v, want D1×D2 delete", rows[1])
+	}
+}
+
+func TestMatchDeltasFlatScreensAndPolarity(t *testing.T) {
+	m := storage.NewMeter()
+	outer := NewFuncSource(m, "r1", func() ([]Row, error) {
+		return []Row{{T0: tp(1, 7)}}, nil
+	})
+	md := NewMatchDeltas(m, outer,
+		[]tuple.Tuple{tp(2, 7)}, []tuple.Tuple{tp(3, 7), tp(4, 8)},
+		func(r Row) tuple.Value { return r.T0.Vals[0] }, 0, nil, 5)
+	rows, err := Drain(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (add match then del match)", len(rows))
+	}
+	if !rows[0].Insert || rows[0].T1.ID != 2 {
+		t.Errorf("first match = %+v, want insert of A2 tuple", rows[0])
+	}
+	if rows[1].Insert || rows[1].T1.ID != 3 {
+		t.Errorf("second match = %+v, want delete of D2 tuple", rows[1])
+	}
+	if screens := md.Stats().Cost.Screens; screens != 5 {
+		t.Errorf("flat screens = %d, want 5", screens)
+	}
+}
+
+func TestDeltaApplyRoutesByPolarity(t *testing.T) {
+	var ins, del []uint64
+	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 1)}, []tuple.Tuple{tp(2, 2)})
+	da := NewDeltaApply(nil, "v", src,
+		func(r Row) error { ins = append(ins, r.T0.ID); return nil },
+		func(r Row) error { del = append(del, r.T0.ID); return nil })
+	if err := Run(da); err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0] != 1 || len(del) != 1 || del[0] != 2 {
+		t.Errorf("ins=%v del=%v, want ins=[1] del=[2]", ins, del)
+	}
+}
+
+func TestTreeStatsSumEqualsMeterDelta(t *testing.T) {
+	m := storage.NewMeter()
+	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 5), tp(2, 15)}, []tuple.Tuple{tp(3, 25)})
+	f := NewFilter(m, "all", src, nil, true)
+	md := NewMatchDeltas(m, f, nil, nil, func(r Row) tuple.Value { return r.T0.Vals[0] }, 0, nil, 4)
+	before := m.Snapshot()
+	if err := Run(md); err != nil {
+		t.Fatal(err)
+	}
+	delta := m.Snapshot().Sub(before)
+	total := Capture(md).TotalCost()
+	if total != delta {
+		t.Errorf("tree cost %+v != meter delta %+v", total, delta)
+	}
+}
+
+func TestCaptureAndRender(t *testing.T) {
+	m := storage.NewMeter()
+	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 5)}, nil)
+	f := NewFilter(m, "v", src, nil, true)
+	if err := Run(f); err != nil {
+		t.Fatal(err)
+	}
+	n := Capture(f)
+	if n.Name != "Screen(v)" || len(n.Children) != 1 {
+		t.Fatalf("capture = %+v", n)
+	}
+	out := Render(n, 1, 30, 1)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"fmt"
+
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Filter screens rows with a predicate closure. When charge is set,
+// every input row costs one C1 screen — the model's per-tuple
+// screening / handling cost — whether or not it passes; uncharged
+// filters reproduce paths where the screening CPU was already paid
+// when the tuples were marked. A nil predicate passes everything (a
+// pure screening charge).
+type Filter struct {
+	base
+	label  string
+	input  Operator
+	pred   func(Row) bool
+	charge bool
+}
+
+// NewFilter builds a charged or uncharged predicate filter.
+func NewFilter(m *storage.Meter, label string, input Operator, pred func(Row) bool, charge bool) *Filter {
+	return &Filter{base: base{meter: m}, label: label, input: input, pred: pred, charge: charge}
+}
+
+func (f *Filter) Open() error { return f.input.Open() }
+
+func (f *Filter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := f.input.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		if f.charge {
+			f.screen(1)
+		}
+		if f.pred == nil || f.pred(row) {
+			f.emit()
+			return row, true, nil
+		}
+	}
+}
+
+func (f *Filter) Close() error         { return f.input.Close() }
+func (f *Filter) Children() []Operator { return []Operator{f.input} }
+func (f *Filter) Stats() OpStats       { return f.stats() }
+func (f *Filter) Describe() string {
+	kind := "Filter"
+	if f.pred == nil {
+		kind = "Screen"
+	}
+	if !f.charge {
+		return fmt.Sprintf("%s(%s uncharged)", kind, f.label)
+	}
+	return fmt.Sprintf("%s(%s)", kind, f.label)
+}
+
+// Project computes each row's output values from its slot bindings.
+// Projection is pure tuple assembly; the model charges it nothing.
+type Project struct {
+	base
+	label string
+	input Operator
+	fn    func(Row) []tuple.Value
+}
+
+// NewProject builds a projection with the caller's target-list closure.
+func NewProject(label string, input Operator, fn func(Row) []tuple.Value) *Project {
+	return &Project{label: label, input: input, fn: fn}
+}
+
+func (p *Project) Open() error { return p.input.Open() }
+
+func (p *Project) Next() (Row, bool, error) {
+	row, ok, err := p.input.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	row.Vals = p.fn(row)
+	p.emit()
+	return row, true, nil
+}
+
+func (p *Project) Close() error         { return p.input.Close() }
+func (p *Project) Children() []Operator { return []Operator{p.input} }
+func (p *Project) Stats() OpStats       { return p.stats() }
+func (p *Project) Describe() string     { return fmt.Sprintf("Project(%s)", p.label) }

@@ -1,0 +1,256 @@
+package exec
+
+import (
+	"fmt"
+
+	"viewmat/internal/relation"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// LoopJoin is the nested-loop join of Model 2: for each outer row it
+// probes the inner relation's clustering index by join value (the
+// inner's pages stay resident per §3.4.3) and emits one joined row per
+// surviving match. SkipIDs recovers R2' from end-of-epoch files by
+// skipping this epoch's A-set ids; AddBack recovers start-of-epoch R2
+// (Blakeley's uncorrected expansion) by adding this epoch's D-set
+// tuples back in. When chargeMatch is set every probed match costs one
+// C1 unit (the query plan's per-match handling); refresh pipelines
+// leave it unset because their per-tuple cost is charged upstream.
+type LoopJoin struct {
+	base
+	input       Operator
+	inner       *relation.Relation
+	joinVal     func(Row) tuple.Value
+	on          func(Row) bool
+	skipIDs     map[uint64]bool
+	addBack     []tuple.Tuple
+	addBackCol  int
+	chargeMatch bool
+
+	cur     Row
+	matches []tuple.Tuple
+	mi      int
+	hasCur  bool
+}
+
+// LoopJoinSpec configures a LoopJoin.
+type LoopJoinSpec struct {
+	Input   Operator
+	Inner   *relation.Relation
+	JoinVal func(Row) tuple.Value // outer row → join value probed
+	On      func(Row) bool        // joined-binding predicate (nil = all)
+	SkipIDs map[uint64]bool       // inner ids skipped (recover R2')
+	AddBack []tuple.Tuple         // inner tuples added back (recover start-state R2)
+	// AddBackCol is the join column within AddBack tuples.
+	AddBackCol int
+	// ChargeMatch charges one C1 per probed match.
+	ChargeMatch bool
+}
+
+// NewLoopJoin builds an index nested-loop join.
+func NewLoopJoin(m *storage.Meter, spec LoopJoinSpec) *LoopJoin {
+	return &LoopJoin{
+		base: base{meter: m}, input: spec.Input, inner: spec.Inner,
+		joinVal: spec.JoinVal, on: spec.On, skipIDs: spec.SkipIDs,
+		addBack: spec.AddBack, addBackCol: spec.AddBackCol, chargeMatch: spec.ChargeMatch,
+	}
+}
+
+func (j *LoopJoin) Open() error { return j.input.Open() }
+
+func (j *LoopJoin) Next() (Row, bool, error) {
+	for {
+		for j.mi < len(j.matches) {
+			t2 := j.matches[j.mi]
+			j.mi++
+			if j.chargeMatch {
+				j.screen(1)
+			}
+			row := Row{T0: j.cur.T0, T1: t2, Insert: j.cur.Insert}
+			if j.on == nil || j.on(row) {
+				j.emit()
+				return row, true, nil
+			}
+		}
+		cur, ok, err := j.input.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		j.cur, j.hasCur = cur, true
+		v := j.joinVal(cur)
+		var probed []tuple.Tuple
+		err = j.bracket(func() error {
+			var e error
+			probed, e = j.inner.LookupKey(v)
+			return e
+		})
+		if err != nil {
+			return Row{}, false, err
+		}
+		j.matches = j.matches[:0]
+		for _, t2 := range probed {
+			if j.skipIDs[t2.ID] {
+				continue
+			}
+			j.matches = append(j.matches, t2)
+		}
+		for _, t2 := range j.addBack {
+			if tuple.Equal(t2.Vals[j.addBackCol], v) {
+				j.matches = append(j.matches, t2)
+			}
+		}
+		j.mi = 0
+	}
+}
+
+func (j *LoopJoin) Close() error         { return j.input.Close() }
+func (j *LoopJoin) Children() []Operator { return []Operator{j.input} }
+func (j *LoopJoin) Stats() OpStats       { return j.stats() }
+func (j *LoopJoin) Describe() string {
+	mode := ""
+	if len(j.skipIDs) > 0 {
+		mode = " skip-A"
+	}
+	if j.addBack != nil {
+		mode += " addback-D"
+	}
+	return fmt.Sprintf("LoopJoin(%s%s)", j.inner.Name(), mode)
+}
+
+// MatchDeltas joins the outer stream against in-memory R2-side delta
+// sets by join-value equality: matching A2 tuples emit inserts,
+// matching D2 tuples emit deletes. flatScreens charges the per-delta
+// handling cost once for the whole stream (refreshJoin's
+// C1·(|A2|+|D2|) term) at Open.
+type MatchDeltas struct {
+	base
+	input       Operator
+	adds, dels  []tuple.Tuple
+	outerVal    func(Row) tuple.Value
+	deltaCol    int
+	on          func(Row) bool
+	flatScreens int64
+
+	cur    Row
+	hasCur bool
+	phase  int // 0 = adds, 1 = dels
+	di     int
+}
+
+// NewMatchDeltas builds a delta-matching join against the outer stream.
+func NewMatchDeltas(m *storage.Meter, input Operator, adds, dels []tuple.Tuple,
+	outerVal func(Row) tuple.Value, deltaCol int, on func(Row) bool, flatScreens int64) *MatchDeltas {
+	return &MatchDeltas{
+		base: base{meter: m}, input: input, adds: adds, dels: dels,
+		outerVal: outerVal, deltaCol: deltaCol, on: on, flatScreens: flatScreens,
+	}
+}
+
+func (md *MatchDeltas) Open() error {
+	if md.flatScreens > 0 {
+		md.screen(md.flatScreens)
+	}
+	return md.input.Open()
+}
+
+func (md *MatchDeltas) Next() (Row, bool, error) {
+	for {
+		if md.hasCur {
+			list := md.adds
+			insert := true
+			if md.phase == 1 {
+				list, insert = md.dels, false
+			}
+			for md.di < len(list) {
+				t2 := list[md.di]
+				md.di++
+				if !tuple.Equal(md.outerVal(md.cur), t2.Vals[md.deltaCol]) {
+					continue
+				}
+				row := Row{T0: md.cur.T0, T1: t2, Insert: insert}
+				if md.on == nil || md.on(row) {
+					md.emit()
+					return row, true, nil
+				}
+			}
+			if md.phase == 0 {
+				md.phase, md.di = 1, 0
+				continue
+			}
+			md.hasCur = false
+		}
+		cur, ok, err := md.input.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		md.cur, md.hasCur = cur, true
+		md.phase, md.di = 0, 0
+	}
+}
+
+func (md *MatchDeltas) Close() error         { return md.input.Close() }
+func (md *MatchDeltas) Children() []Operator { return []Operator{md.input} }
+func (md *MatchDeltas) Stats() OpStats       { return md.stats() }
+func (md *MatchDeltas) Describe() string {
+	return fmt.Sprintf("MatchDeltas(a=%d d=%d)", len(md.adds), len(md.dels))
+}
+
+// CrossDeltas emits the delta cross terms of the corrected expansion:
+// A1×A2 joined pairs as inserts, then D1×D2 pairs as deletes, matched
+// on join-value equality. Both sets are in memory; no charges accrue.
+type CrossDeltas struct {
+	base
+	a1, a2, d1, d2 []tuple.Tuple
+	col0, col1     int
+	on             func(Row) bool
+
+	phase  int // 0 = A1×A2, 1 = D1×D2
+	i, jdx int
+}
+
+// NewCrossDeltas builds the cross-term source.
+func NewCrossDeltas(a1, a2, d1, d2 []tuple.Tuple, col0, col1 int, on func(Row) bool) *CrossDeltas {
+	return &CrossDeltas{a1: a1, a2: a2, d1: d1, d2: d2, col0: col0, col1: col1, on: on}
+}
+
+func (cd *CrossDeltas) Open() error { return nil }
+
+func (cd *CrossDeltas) Next() (Row, bool, error) {
+	for {
+		outer, inner := cd.a1, cd.a2
+		insert := true
+		if cd.phase == 1 {
+			outer, inner, insert = cd.d1, cd.d2, false
+		}
+		if cd.i >= len(outer) {
+			if cd.phase == 0 {
+				cd.phase, cd.i, cd.jdx = 1, 0, 0
+				continue
+			}
+			return Row{}, false, nil
+		}
+		if cd.jdx >= len(inner) {
+			cd.i++
+			cd.jdx = 0
+			continue
+		}
+		t1, t2 := outer[cd.i], inner[cd.jdx]
+		cd.jdx++
+		if !tuple.Equal(t1.Vals[cd.col0], t2.Vals[cd.col1]) {
+			continue
+		}
+		row := Row{T0: t1, T1: t2, Insert: insert}
+		if cd.on == nil || cd.on(row) {
+			cd.emit()
+			return row, true, nil
+		}
+	}
+}
+
+func (cd *CrossDeltas) Close() error         { return nil }
+func (cd *CrossDeltas) Children() []Operator { return nil }
+func (cd *CrossDeltas) Stats() OpStats       { return cd.stats() }
+func (cd *CrossDeltas) Describe() string {
+	return fmt.Sprintf("CrossDeltas(a1×a2=%dx%d d1×d2=%dx%d)", len(cd.a1), len(cd.a2), len(cd.d1), len(cd.d2))
+}

@@ -1,0 +1,212 @@
+package exec
+
+import (
+	"fmt"
+
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// DeltaApply is the maintenance sink: each projected row is applied to
+// the materialized store with its polarity (insert increments the
+// duplicate count, delete decrements it). The store I/O is bracketed,
+// so the view-side C2·(3+Hvi)·X term lands on this operator. Rows pass
+// through so sequenced pipelines compose.
+type DeltaApply struct {
+	base
+	label  string
+	input  Operator
+	insert func(Row) error
+	delete func(Row) error
+}
+
+// NewDeltaApply builds the materialization sink from the caller's
+// insert/delete effects.
+func NewDeltaApply(m *storage.Meter, label string, input Operator, insert, delete func(Row) error) *DeltaApply {
+	return &DeltaApply{base: base{meter: m}, label: label, input: input, insert: insert, delete: delete}
+}
+
+func (d *DeltaApply) Open() error { return d.input.Open() }
+
+func (d *DeltaApply) Next() (Row, bool, error) {
+	row, ok, err := d.input.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	err = d.bracket(func() error {
+		if row.Insert {
+			return d.insert(row)
+		}
+		return d.delete(row)
+	})
+	if err != nil {
+		return Row{}, false, err
+	}
+	d.emit()
+	return row, true, nil
+}
+
+func (d *DeltaApply) Close() error         { return d.input.Close() }
+func (d *DeltaApply) Children() []Operator { return []Operator{d.input} }
+func (d *DeltaApply) Stats() OpStats       { return d.stats() }
+func (d *DeltaApply) Describe() string     { return fmt.Sprintf("DeltaApply(%s)", d.label) }
+
+// AggFold folds each row into an aggregate state via the caller's
+// closure (Model 3's in-memory fold; the fold itself is uncharged —
+// any screening was paid upstream).
+type AggFold struct {
+	base
+	label string
+	input Operator
+	fold  func(Row)
+}
+
+// NewAggFold builds the aggregate-fold sink.
+func NewAggFold(label string, input Operator, fold func(Row)) *AggFold {
+	return &AggFold{label: label, input: input, fold: fold}
+}
+
+func (a *AggFold) Open() error { return a.input.Open() }
+
+func (a *AggFold) Next() (Row, bool, error) {
+	row, ok, err := a.input.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	a.fold(row)
+	a.emit()
+	return row, true, nil
+}
+
+func (a *AggFold) Close() error         { return a.input.Close() }
+func (a *AggFold) Children() []Operator { return []Operator{a.input} }
+func (a *AggFold) Stats() OpStats       { return a.stats() }
+func (a *AggFold) Describe() string     { return fmt.Sprintf("AggFold(%s)", a.label) }
+
+// StateWrite runs one bracketed side effect — persisting an aggregate
+// page, flushing group rows — as a leaf pipeline step. It emits no
+// rows; sequence it after the fold that produced the state.
+type StateWrite struct {
+	base
+	label string
+	fn    func() error
+	done  bool
+}
+
+// NewStateWrite builds the side-effect step.
+func NewStateWrite(m *storage.Meter, label string, fn func() error) *StateWrite {
+	return &StateWrite{base: base{meter: m}, label: label, fn: fn}
+}
+
+func (w *StateWrite) Open() error { return nil }
+
+func (w *StateWrite) Next() (Row, bool, error) {
+	if w.done {
+		return Row{}, false, nil
+	}
+	w.done = true
+	if err := w.bracket(w.fn); err != nil {
+		return Row{}, false, err
+	}
+	return Row{}, false, nil
+}
+
+func (w *StateWrite) Close() error         { return nil }
+func (w *StateWrite) Children() []Operator { return nil }
+func (w *StateWrite) Stats() OpStats       { return w.stats() }
+func (w *StateWrite) Describe() string     { return fmt.Sprintf("StateWrite(%s)", w.label) }
+
+// MergePending overlays un-folded HR net changes onto a
+// query-modification result stream, so QM views sharing a relation
+// with deferred views answer from end-of-epoch state without forcing a
+// fold. Pending runs bracketed at Open (the AD-file read); each
+// pending tuple then pays one C1 screen through Match. Input rows
+// cancelled by a matching pending delete are swallowed; matching
+// pending inserts are appended after the input drains.
+type MergePending struct {
+	base
+	label   string
+	input   Operator
+	pending func() (adds, dels []tuple.Tuple, err error)
+	match   func(tuple.Tuple) bool
+	project func(tuple.Tuple) []tuple.Value
+	key     func([]tuple.Value) string
+
+	removed map[string]int
+	extra   []Row
+	ei      int
+	drained bool
+}
+
+// NewMergePending builds the pending-overlay operator. match reports
+// whether a pending tuple affects the result (screened at one C1
+// each); project maps a matching tuple to its row values; key gives
+// the multiset identity used to cancel input rows.
+func NewMergePending(m *storage.Meter, label string, input Operator,
+	pending func() ([]tuple.Tuple, []tuple.Tuple, error),
+	match func(tuple.Tuple) bool,
+	project func(tuple.Tuple) []tuple.Value,
+	key func([]tuple.Value) string) *MergePending {
+	return &MergePending{
+		base: base{meter: m}, label: label, input: input,
+		pending: pending, match: match, project: project, key: key,
+	}
+}
+
+func (mp *MergePending) Open() error {
+	var adds, dels []tuple.Tuple
+	err := mp.bracket(func() error {
+		var e error
+		adds, dels, e = mp.pending()
+		return e
+	})
+	if err != nil {
+		return err
+	}
+	mp.removed = map[string]int{}
+	for _, tp := range dels {
+		mp.screen(1)
+		if mp.match(tp) {
+			mp.removed[mp.key(mp.project(tp))]++
+		}
+	}
+	for _, tp := range adds {
+		mp.screen(1)
+		if mp.match(tp) {
+			mp.extra = append(mp.extra, Row{T0: tp, Vals: mp.project(tp), Insert: true})
+		}
+	}
+	return mp.input.Open()
+}
+
+func (mp *MergePending) Next() (Row, bool, error) {
+	for !mp.drained {
+		row, ok, err := mp.input.Next()
+		if err != nil {
+			return Row{}, false, err
+		}
+		if !ok {
+			mp.drained = true
+			break
+		}
+		k := mp.key(row.Vals)
+		if mp.removed[k] > 0 {
+			mp.removed[k]--
+			continue
+		}
+		mp.emit()
+		return row, true, nil
+	}
+	if mp.ei < len(mp.extra) {
+		row := mp.extra[mp.ei]
+		mp.ei++
+		mp.emit()
+		return row, true, nil
+	}
+	return Row{}, false, nil
+}
+
+func (mp *MergePending) Close() error         { return mp.input.Close() }
+func (mp *MergePending) Children() []Operator { return []Operator{mp.input} }
+func (mp *MergePending) Stats() OpStats       { return mp.stats() }
+func (mp *MergePending) Describe() string     { return fmt.Sprintf("MergePending(%s)", mp.label) }

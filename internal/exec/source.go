@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"fmt"
+
+	"viewmat/internal/btree"
+	"viewmat/internal/pred"
+	"viewmat/internal/relation"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Scan streams a clustered B+-tree range scan of a base relation (the
+// Model-1 "clustered" plan and every restricted outer scan). A nil
+// range scans the whole clustering order.
+type Scan struct {
+	base
+	rel *relation.Relation
+	rg  *pred.Range
+	it  *btree.Iterator
+}
+
+// NewScan builds a clustered range scan.
+func NewScan(m *storage.Meter, rel *relation.Relation, rg *pred.Range) *Scan {
+	return &Scan{base: base{meter: m}, rel: rel, rg: rg}
+}
+
+func (s *Scan) Open() error {
+	return s.bracket(func() error {
+		it, err := s.rel.Iter(s.rg)
+		s.it = it
+		return err
+	})
+}
+
+func (s *Scan) Next() (Row, bool, error) {
+	var tp tuple.Tuple
+	var ok bool
+	err := s.bracket(func() error {
+		var e error
+		tp, ok, e = s.it.Next()
+		return e
+	})
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	s.emit()
+	return Row{T0: tp}, true, nil
+}
+
+func (s *Scan) Close() error         { return nil }
+func (s *Scan) Children() []Operator { return nil }
+func (s *Scan) Stats() OpStats       { return s.stats() }
+func (s *Scan) Describe() string {
+	return fmt.Sprintf("Scan(%s%s)", s.rel.Name(), rangeSuffix(s.rg))
+}
+
+// SeqScan reads every tuple of a relation — the sequential plan, and
+// the only clustered access path a hash relation offers.
+type SeqScan struct {
+	base
+	rel *relation.Relation
+	buf []tuple.Tuple
+	i   int
+}
+
+// NewSeqScan builds a full sequential scan.
+func NewSeqScan(m *storage.Meter, rel *relation.Relation) *SeqScan {
+	return &SeqScan{base: base{meter: m}, rel: rel}
+}
+
+func (s *SeqScan) Open() error {
+	return s.bracket(func() error {
+		buf, err := s.rel.ScanAll()
+		s.buf = buf
+		return err
+	})
+}
+
+func (s *SeqScan) Next() (Row, bool, error) {
+	if s.i >= len(s.buf) {
+		return Row{}, false, nil
+	}
+	tp := s.buf[s.i]
+	s.i++
+	s.emit()
+	return Row{T0: tp}, true, nil
+}
+
+func (s *SeqScan) Close() error         { s.buf = nil; return nil }
+func (s *SeqScan) Children() []Operator { return nil }
+func (s *SeqScan) Stats() OpStats       { return s.stats() }
+func (s *SeqScan) Describe() string     { return fmt.Sprintf("SeqScan(%s)", s.rel.Name()) }
+
+// IndexFetch fetches tuples through an unclustered secondary index: a
+// pointer-entry range scan followed by one clustered fetch per pointer
+// — the random-page behaviour the paper prices with y(N, b, ·).
+type IndexFetch struct {
+	base
+	rel *relation.Relation
+	col int
+	rg  *pred.Range
+	buf []tuple.Tuple
+	i   int
+}
+
+// NewIndexFetch builds a secondary-index fetch on rel.col over rg.
+func NewIndexFetch(m *storage.Meter, rel *relation.Relation, col int, rg *pred.Range) *IndexFetch {
+	return &IndexFetch{base: base{meter: m}, rel: rel, col: col, rg: rg}
+}
+
+func (s *IndexFetch) Open() error {
+	return s.bracket(func() error {
+		buf, err := s.rel.LookupSecondary(s.col, s.rg)
+		s.buf = buf
+		return err
+	})
+}
+
+func (s *IndexFetch) Next() (Row, bool, error) {
+	if s.i >= len(s.buf) {
+		return Row{}, false, nil
+	}
+	tp := s.buf[s.i]
+	s.i++
+	s.emit()
+	return Row{T0: tp}, true, nil
+}
+
+func (s *IndexFetch) Close() error         { s.buf = nil; return nil }
+func (s *IndexFetch) Children() []Operator { return nil }
+func (s *IndexFetch) Stats() OpStats       { return s.stats() }
+func (s *IndexFetch) Describe() string {
+	return fmt.Sprintf("IndexFetch(%s.%d%s)", s.rel.Name(), s.col, rangeSuffix(s.rg))
+}
+
+// DeltaSource streams a transaction's (or epoch's) net change sets as
+// rows with polarity: the A set first (Insert=true), then the D set.
+type DeltaSource struct {
+	base
+	label      string
+	adds, dels []tuple.Tuple
+	i          int
+}
+
+// NewDeltaSource builds a delta stream labeled for plan rendering.
+func NewDeltaSource(label string, adds, dels []tuple.Tuple) *DeltaSource {
+	return &DeltaSource{label: label, adds: adds, dels: dels}
+}
+
+func (s *DeltaSource) Open() error { return nil }
+
+func (s *DeltaSource) Next() (Row, bool, error) {
+	if s.i < len(s.adds) {
+		tp := s.adds[s.i]
+		s.i++
+		s.emit()
+		return Row{T0: tp, Insert: true}, true, nil
+	}
+	if s.i < len(s.adds)+len(s.dels) {
+		tp := s.dels[s.i-len(s.adds)]
+		s.i++
+		s.emit()
+		return Row{T0: tp}, true, nil
+	}
+	return Row{}, false, nil
+}
+
+func (s *DeltaSource) Close() error         { return nil }
+func (s *DeltaSource) Children() []Operator { return nil }
+func (s *DeltaSource) Stats() OpStats       { return s.stats() }
+func (s *DeltaSource) Describe() string {
+	return fmt.Sprintf("DeltaSource(%s a=%d d=%d)", s.label, len(s.adds), len(s.dels))
+}
+
+// FuncSource materializes rows from a generator run (bracketed) at
+// Open, so plan-time work — reading a materialized view, fetching HR
+// net changes — is attributed to the tree that consumes it.
+type FuncSource struct {
+	base
+	label string
+	gen   func() ([]Row, error)
+	buf   []Row
+	i     int
+}
+
+// NewFuncSource builds a generator-backed source.
+func NewFuncSource(m *storage.Meter, label string, gen func() ([]Row, error)) *FuncSource {
+	return &FuncSource{base: base{meter: m}, label: label, gen: gen}
+}
+
+func (s *FuncSource) Open() error {
+	return s.bracket(func() error {
+		buf, err := s.gen()
+		s.buf = buf
+		return err
+	})
+}
+
+func (s *FuncSource) Next() (Row, bool, error) {
+	if s.i >= len(s.buf) {
+		return Row{}, false, nil
+	}
+	r := s.buf[s.i]
+	s.i++
+	s.emit()
+	return r, true, nil
+}
+
+func (s *FuncSource) Close() error         { s.buf = nil; return nil }
+func (s *FuncSource) Children() []Operator { return nil }
+func (s *FuncSource) Stats() OpStats       { return s.stats() }
+func (s *FuncSource) Describe() string     { return s.label }
+
+// Seq streams each input in order, opening an input only when the
+// previous one is exhausted. It serves two roles: concatenating
+// sources (pending HR adds ahead of a base scan) and sequencing the
+// phases of a multi-pipeline refresh plan — lazy opening is what keeps
+// a later phase's side effects from running before an earlier phase's
+// rows have been applied.
+type Seq struct {
+	base
+	label  string
+	inputs []Operator
+	i      int
+	opened bool
+}
+
+// NewSeq builds an ordered concatenation/sequence of inputs.
+func NewSeq(label string, inputs ...Operator) *Seq {
+	return &Seq{label: label, inputs: inputs}
+}
+
+func (s *Seq) Open() error { return nil }
+
+func (s *Seq) Next() (Row, bool, error) {
+	for {
+		if s.i >= len(s.inputs) {
+			return Row{}, false, nil
+		}
+		in := s.inputs[s.i]
+		if !s.opened {
+			if err := in.Open(); err != nil {
+				return Row{}, false, err
+			}
+			s.opened = true
+		}
+		row, ok, err := in.Next()
+		if err != nil {
+			return Row{}, false, err
+		}
+		if ok {
+			s.emit()
+			return row, true, nil
+		}
+		if err := in.Close(); err != nil {
+			return Row{}, false, err
+		}
+		s.i++
+		s.opened = false
+	}
+}
+
+func (s *Seq) Close() error {
+	if s.opened && s.i < len(s.inputs) {
+		s.opened = false
+		return s.inputs[s.i].Close()
+	}
+	return nil
+}
+
+func (s *Seq) Children() []Operator { return s.inputs }
+func (s *Seq) Stats() OpStats       { return s.stats() }
+func (s *Seq) Describe() string     { return fmt.Sprintf("Seq(%s)", s.label) }
+
+// rangeSuffix renders a scan range for plan display.
+func rangeSuffix(rg *pred.Range) string {
+	if rg == nil {
+		return ""
+	}
+	lo, hi := "-inf", "+inf"
+	lob, hib := "[", "]"
+	if rg.Lo != nil {
+		lo = rg.Lo.String()
+		if !rg.LoInc {
+			lob = "("
+		}
+	}
+	if rg.Hi != nil {
+		hi = rg.Hi.String()
+		if !rg.HiInc {
+			hib = ")"
+		}
+	}
+	return fmt.Sprintf(" %s%s,%s%s", lob, lo, hi, hib)
+}

@@ -71,6 +71,10 @@ type Result struct {
 	Breakdown     map[core.Phase]storage.Stats
 	// Model is the analytic prediction for the same parameters.
 	Model float64
+	// PlanTrees renders the view's last executed operator tree per
+	// path ("query", "refresh", "populate"), priced at the run's unit
+	// costs.
+	PlanTrees map[string]string
 }
 
 // viewName is the single view every simulation uses.
@@ -138,6 +142,9 @@ func Run(cfg Config) (*Result, error) {
 		AvgPerQuery:   totals.Cost(p.C1, p.C2, p.C3) / float64(db.Queries),
 		ModelScopeAvg: scope.Cost(p.C1, p.C2, p.C3) / float64(db.Queries),
 		Model:         Predict(cfg),
+	}
+	if trees, err := db.RenderPlans(viewName, p.C1, p.C2, p.C3); err == nil {
+		res.PlanTrees = trees
 	}
 	return res, nil
 }
