@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON object on stdout (or -o file), mapping each benchmark name to
+// its ns/op plus any custom metrics (gets/s, views/s, ...). Repeated
+// runs of the same benchmark (-count N) are averaged, and the sample
+// count is recorded so CI artifacts stay honest about variance.
+//
+//	go test -run '^$' -bench 'RefreshAll|PoolConcurrent' -count 3 . ./internal/storage |
+//	    go run ./cmd/benchjson -o BENCH_pool.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result accumulates samples for one benchmark name.
+type result struct {
+	samples int
+	sums    map[string]float64 // unit -> summed value
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results := map[string]*result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so CI logs keep the raw output
+		name, metrics, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		r := results[name]
+		if r == nil {
+			r = &result{sums: map[string]float64{}}
+			results[name] = r
+		}
+		r.samples++
+		for unit, v := range metrics {
+			r.sums[unit] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	report := map[string]map[string]float64{}
+	for name, r := range results {
+		m := map[string]float64{"samples": float64(r.samples)}
+		for unit, sum := range r.sums {
+			m[unit] = sum / float64(r.samples)
+		}
+		report[name] = m
+	}
+	buf, err := json.MarshalIndent(sortedJSON(report), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report), *out)
+}
+
+// parseBenchLine extracts (name, {unit: value}) from one line of
+// benchmark output, e.g.
+//
+//	BenchmarkPoolConcurrentGet/shards=16-8  12345  96.91 ns/op  8.2e+07 gets/s
+//
+// The fields after the iteration count alternate value/unit.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return fields[0], metrics, true
+}
+
+// sortedJSON re-keys the report through an ordered slice-backed map so
+// the emitted JSON is deterministic across runs (json.Marshal already
+// sorts map keys, but being explicit keeps the artifact diff-friendly
+// if the representation ever changes).
+func sortedJSON(report map[string]map[string]float64) map[string]map[string]float64 {
+	names := make([]string, 0, len(report))
+	for n := range report {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make(map[string]map[string]float64, len(report))
+	for _, n := range names {
+		out[n] = report[n]
+	}
+	return out
+}

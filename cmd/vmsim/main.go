@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,7 +45,22 @@ func main() {
 	plans := flag.Bool("plans", false, "print each strategy's last executed operator trees (query/refresh/populate)")
 	allStrategies := flag.Bool("all-strategies", false, "also measure snapshot and recompute-on-demand")
 	snapEvery := flag.Int("snapshot-every", 5, "snapshot refresh period in commits (with -all-strategies)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	p := costmodel.Default()
 	p.N, p.K, p.Q, p.L, p.F, p.FV, p.FR2 = *n, *k, *q, *l, *f, *fv, *fr2

@@ -549,7 +549,12 @@ func (t *Tree) Get(val tuple.Value, id uint64) (tuple.Tuple, bool, error) {
 
 // Iterator walks tuples in key order over a range. It holds no pins
 // between Next calls; each leaf is fetched (and charged) once per
-// visit.
+// visit. Full scans (nil range) prefetch leaves in batches: every leaf
+// of the chain is read eventually anyway, so fetching a window through
+// Pool.GetBatch meters the same one read per leaf while paying the
+// simulated I/O latency once per window instead of once per page.
+// Range scans never prefetch — early termination at Hi means a
+// prefetched leaf could be a read the plain walk never charges.
 type Iterator struct {
 	tree    *Tree
 	rg      *pred.Range
@@ -558,13 +563,15 @@ type Iterator struct {
 	idx     int
 	hasPage bool
 	done    bool
+	ra      bool        // readahead allowed (full scan)
+	pending []*leafNode // decoded leaves fetched ahead, in chain order
 }
 
 // Scan returns an iterator over tuples whose key-column value lies in
 // rg (nil means all). The descent to the first leaf is metered like any
 // search.
 func (t *Tree) Scan(rg *pred.Range) (*Iterator, error) {
-	it := &Iterator{tree: t, rg: rg}
+	it := &Iterator{tree: t, rg: rg, ra: rg == nil}
 	var start key
 	if rg != nil && rg.Lo != nil {
 		start = key{val: *rg.Lo} // id 0: before all ids of that value
@@ -629,6 +636,16 @@ func (t *Tree) findLeafLeftmost() (storage.PageNum, error) {
 }
 
 func (it *Iterator) loadPage() error {
+	if len(it.pending) > 0 {
+		it.setLeaf(it.pending[0])
+		it.pending = it.pending[1:]
+		return nil
+	}
+	if it.ra {
+		if pns := it.tree.chainAhead(it.pn); len(pns) > 1 {
+			return it.loadBatch(pns)
+		}
+	}
 	fr, err := it.tree.pool.Get(it.tree.file, it.pn)
 	if err != nil {
 		return err
@@ -638,11 +655,90 @@ func (it *Iterator) loadPage() error {
 	if err != nil {
 		return err
 	}
+	it.setLeaf(leaf)
+	return nil
+}
+
+func (it *Iterator) setLeaf(leaf *leafNode) {
 	it.buf = leaf.tuples
 	it.idx = 0
 	it.hasPage = leaf.hasNext
 	it.pn = leaf.next
-	return nil
+}
+
+// loadBatch fetches and decodes a window of leaves in one pool batch
+// (one combined latency sleep; identical metered reads), queueing all
+// but the first for later loadPage calls. Frames are released as soon
+// as each leaf is decoded, so the window holds no pins afterwards.
+func (it *Iterator) loadBatch(pns []storage.PageNum) error {
+	frames, err := it.tree.pool.GetBatch(it.tree.file, pns)
+	if err != nil {
+		return err
+	}
+	leaves := make([]*leafNode, 0, len(frames))
+	for _, fr := range frames {
+		if err == nil {
+			var leaf *leafNode
+			if leaf, err = decodeLeaf(fr.Data); err == nil {
+				leaves = append(leaves, leaf)
+			}
+		}
+		if rerr := it.tree.pool.Release(fr); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	it.pending = leaves
+	return it.loadPage()
+}
+
+// readaheadWindow is how many leaves a full scan may prefetch per
+// batch. Well under the pool capacity so the briefly-pinned window can
+// never force out its own pages or exhaust eviction candidates (the
+// batch eviction pass then picks exactly the victims an incremental
+// walk would); zero disables readahead on tiny pools.
+func (t *Tree) readaheadWindow() int {
+	w := t.pool.Capacity() / 4
+	if w > 32 {
+		w = 32
+	}
+	if w < 2 {
+		return 0
+	}
+	return w
+}
+
+// chainAhead returns up to a window of upcoming leaf page numbers
+// starting at pn, discovered by walking next-pointers in the unmetered
+// on-disk image (the LeafPages pattern). It returns nil when prefetch
+// is unsafe or pointless: any dirty pool frame for the file means the
+// on-disk chain may be stale, and a one-page window gains nothing.
+func (t *Tree) chainAhead(pn storage.PageNum) []storage.PageNum {
+	w := t.readaheadWindow()
+	if w == 0 || t.file.HasDirtyFrames() {
+		return nil
+	}
+	pns := make([]storage.PageNum, 0, w)
+	for {
+		pns = append(pns, pn)
+		if len(pns) == w {
+			return pns
+		}
+		page, err := t.file.Peek(pn)
+		if err != nil || page[0] != pageLeaf {
+			return nil // truncated or foreign chain: use charged loads
+		}
+		leaf, err := decodeLeaf(page)
+		if err != nil {
+			return nil
+		}
+		if !leaf.hasNext {
+			return pns
+		}
+		pn = leaf.next
+	}
 }
 
 // Next returns the next tuple in the range. ok is false at exhaustion.

@@ -223,7 +223,7 @@ func multiViewDef(view, rel string) Def {
 // inserts into every relation so everything is stale at once.
 func newMultiViewDatabase(t testing.TB, nDeferred int) *Database {
 	t.Helper()
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	rels := make([]string, 0, nDeferred+1)
 	for i := 0; i <= nDeferred; i++ {
 		rn := fmt.Sprintf("r%d", i)

@@ -200,7 +200,7 @@ func TestDefValidateErrors(t *testing.T) {
 func TestQMJoinViewSeesUnfoldedHRChanges(t *testing.T) {
 	// foldRelationsForQM: a QM join view over relations feeding a
 	// deferred view must trigger the shared fold before scanning.
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	s1, s2 := joinSchemas()
 	db.CreateRelationBTree("r1", s1, 0)
 	db.CreateRelationHash("r2", s2, 0, 8)
@@ -261,7 +261,7 @@ func TestQMJoinViewSeesUnfoldedHRChanges(t *testing.T) {
 }
 
 func TestQMAggregateSeesUnfoldedHRChanges(t *testing.T) {
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	db.CreateRelationBTree("r", spSchema(), 0)
 	tx := db.Begin()
 	for i := int64(0); i < 40; i++ {
@@ -300,7 +300,7 @@ func TestQMAggregateSeesUnfoldedHRChanges(t *testing.T) {
 func TestAggregateOverHashRelation(t *testing.T) {
 	// rebuildAggregate's and computeAggregateFromBase's hash-relation
 	// paths (ScanAll instead of a clustered range scan).
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	s := tuple.NewSchema(tuple.Col("k", tuple.Int), tuple.Col("a", tuple.Int))
 	if _, err := db.CreateRelationHash("h", s, 0, 8); err != nil {
 		t.Fatal(err)

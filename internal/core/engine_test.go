@@ -15,6 +15,15 @@ func testOpts() Options {
 	return Options{PageSize: 512, PoolFrames: 64}
 }
 
+// newTestDB builds a Database on testOpts and registers the pin-leak
+// check: when the test finishes, no pool frame may still be pinned.
+func newTestDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase(testOpts())
+	t.Cleanup(func() { db.Pool().AssertUnpinned(t) })
+	return db
+}
+
 // spSchema: r(k INT, a INT, s STRING) clustered on k.
 func spSchema() *tuple.Schema {
 	return tuple.NewSchema(tuple.Col("k", tuple.Int), tuple.Col("a", tuple.Int), tuple.Col("s", tuple.String))
@@ -39,7 +48,7 @@ func spDef(name string) Def {
 // (k = i, a = i*2, s = "s<i%7>"), and one view of the given strategy.
 func newSPDatabase(t testing.TB, strategy Strategy, n int) *Database {
 	t.Helper()
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	if _, err := db.CreateRelationBTree("r", spSchema(), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +318,7 @@ func joinDef(name string) Def {
 // tuples (jv=j, info), then creates the join view.
 func newJoinDatabase(t testing.TB, strategy Strategy, n, m int) *Database {
 	t.Helper()
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	s1, s2 := joinSchemas()
 	if _, err := db.CreateRelationBTree("r1", s1, 0); err != nil {
 		t.Fatal(err)
@@ -512,7 +521,7 @@ func aggDef(name string, kind agg.Kind) Def {
 
 func newAggDatabase(t testing.TB, strategy Strategy, kind agg.Kind, n int) *Database {
 	t.Helper()
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	if _, err := db.CreateRelationBTree("r", spSchema(), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -599,7 +608,7 @@ func TestAggregateQueryIsOnePageRead(t *testing.T) {
 // --- engine-level misc -------------------------------------------------------
 
 func TestMixedImmediateDeferredOnSameRelationRejected(t *testing.T) {
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	db.CreateRelationBTree("r", spSchema(), 0)
 	if err := db.CreateView(spDef("a"), Deferred); err != nil {
 		t.Fatal(err)
@@ -616,7 +625,7 @@ func TestMixedImmediateDeferredOnSameRelationRejected(t *testing.T) {
 }
 
 func TestQMViewSeesUnfoldedHRChanges(t *testing.T) {
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	db.CreateRelationBTree("r", spSchema(), 0)
 	if err := db.CreateView(spDef("def"), Deferred); err != nil {
 		t.Fatal(err)
@@ -641,7 +650,7 @@ func TestQMViewSeesUnfoldedHRChanges(t *testing.T) {
 }
 
 func TestSharedHRRefreshesAllDeferredViews(t *testing.T) {
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	db.CreateRelationBTree("r", spSchema(), 0)
 	a := spDef("a")
 	b := spDef("b")
@@ -676,7 +685,7 @@ func TestSharedHRRefreshesAllDeferredViews(t *testing.T) {
 }
 
 func TestCreateViewValidation(t *testing.T) {
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	db.CreateRelationBTree("r", spSchema(), 0)
 	bad := spDef("x")
 	bad.Relations = []string{"missing"}

@@ -47,7 +47,7 @@ func TestProfileViewJoinDerivesFR2(t *testing.T) {
 }
 
 func TestProfileViewErrors(t *testing.T) {
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	db.CreateRelationBTree("r", spSchema(), 0)
 	if err := db.CreateView(spDef("v"), Immediate); err != nil {
 		t.Fatal(err)

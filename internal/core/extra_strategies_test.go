@@ -227,7 +227,7 @@ func TestSnapshotAggregateStaleThenFresh(t *testing.T) {
 
 func TestDeferredCannotMixWithSnapshotOrRecompute(t *testing.T) {
 	for _, other := range []Strategy{Snapshot, RecomputeOnDemand} {
-		db := NewDatabase(testOpts())
+		db := newTestDB(t)
 		db.CreateRelationBTree("r", spSchema(), 0)
 		if err := db.CreateView(spDef("a"), Deferred); err != nil {
 			t.Fatal(err)
@@ -238,7 +238,7 @@ func TestDeferredCannotMixWithSnapshotOrRecompute(t *testing.T) {
 			t.Errorf("unhelpful error: %v", err)
 		}
 		// And the other direction.
-		db2 := NewDatabase(testOpts())
+		db2 := newTestDB(t)
 		db2.CreateRelationBTree("r", spSchema(), 0)
 		if err := db2.CreateView(spDef("a"), other); err != nil {
 			t.Fatal(err)

@@ -28,7 +28,7 @@ func gaDef(name string, kind agg.Kind) Def {
 // grouped view.
 func newGroupDatabase(t testing.TB, strategy Strategy, kind agg.Kind, n int) *Database {
 	t.Helper()
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	if _, err := db.CreateRelationBTree("r", spSchema(), 0); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestGroupedAggregateStrategiesAgreeUnderUpdates(t *testing.T) {
 }
 
 func TestGroupedAggregateGroupVanishes(t *testing.T) {
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	db.CreateRelationBTree("r", spSchema(), 0)
 	tx := db.Begin()
 	ids := map[int64]uint64{}
@@ -282,7 +282,7 @@ func TestGroupedAggregateSaveLoad(t *testing.T) {
 func TestGroupedQMSeesUnfoldedHRChanges(t *testing.T) {
 	// A QM grouped aggregate sharing its relation with a deferred view
 	// must overlay pending HR changes.
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	db.CreateRelationBTree("r", spSchema(), 0)
 	tx := db.Begin()
 	for i := int64(0); i < 20; i++ {
@@ -319,7 +319,7 @@ func TestGroupedQMSeesUnfoldedHRChanges(t *testing.T) {
 }
 
 func TestGroupedMinRecomputeOverHashRelation(t *testing.T) {
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	s := tuple.NewSchema(tuple.Col("k", tuple.Int), tuple.Col("g", tuple.Int))
 	if _, err := db.CreateRelationHash("h", s, 0, 4); err != nil {
 		t.Fatal(err)
@@ -363,7 +363,7 @@ func TestGroupedMinRecomputeOverHashRelation(t *testing.T) {
 func TestGroupedClusteredOnGroupColumnFastRecompute(t *testing.T) {
 	// When the relation is clustered on the grouping column, the
 	// extreme-delete recompute narrows to one group's key range.
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	s := tuple.NewSchema(tuple.Col("g", tuple.Int), tuple.Col("v", tuple.Int))
 	db.CreateRelationBTree("r", s, 0)
 	tx := db.Begin()

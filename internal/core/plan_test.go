@@ -21,7 +21,7 @@ var updatePlans = flag.Bool("update-plans", false, "rewrite the golden plan-tree
 // the only indexed route to the view predicate's interval.
 func newUnclusteredSPDatabase(t *testing.T, n int) *Database {
 	t.Helper()
-	db := NewDatabase(testOpts())
+	db := newTestDB(t)
 	if _, err := db.CreateRelationBTree("r", spSchema(), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ var planScenarios = []struct {
 		// A QM view sharing a relation with a deferred sibling answers
 		// through the pending-overlay operator after a commit parks net
 		// changes in the HR.
-		db := NewDatabase(testOpts())
+		db := newTestDB(t)
 		if _, err := db.CreateRelationBTree("r", spSchema(), 0); err != nil {
 			t.Fatal(err)
 		}

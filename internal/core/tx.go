@@ -189,14 +189,20 @@ func (tx *Tx) Commit() error {
 	// per-view delta sets.
 	marked := map[string]map[int]*deltas{} // view -> slot -> deltas
 	err = db.inPhase(PhaseScreen, func() error {
+		// One meter batch for the whole screening loop: the deferred
+		// flush runs before inPhase takes its closing snapshot, so the
+		// phase attribution sees every screen while the loop itself
+		// pays one atomic update instead of one per candidate tuple.
+		sb := db.meter.Batch()
+		defer sb.Close()
 		for rel, d := range perRel {
 			for _, tp := range d.adds {
-				for _, view := range db.locks.Screen(rel, tp) {
+				for _, view := range db.locks.ScreenBatch(rel, tp, sb) {
 					addMarked(marked, db.views[view], rel, tp, true)
 				}
 			}
 			for _, tp := range d.dels {
-				for _, view := range db.locks.Screen(rel, tp) {
+				for _, view := range db.locks.ScreenBatch(rel, tp, sb) {
 					addMarked(marked, db.views[view], rel, tp, false)
 				}
 			}

@@ -287,8 +287,20 @@ func (ix *Index) Delete(v tuple.Value, id uint64) (bool, error) {
 }
 
 // ScanAll returns every tuple in the index, bucket by bucket (one
-// metered read per page). Order is arbitrary but deterministic.
+// metered read per page). Order is arbitrary but deterministic. When
+// the index has no overflow chains, buckets are fetched in batched
+// runs of consecutive pages (primary buckets are allocated
+// sequentially by New), which meters identically — one read per page,
+// in the same page order — but pays the simulated I/O latency once per
+// run instead of once per page. The HR differential file is scanned
+// this way by every deferred refresh (NetChanges), so delta scans get
+// the readahead too.
 func (ix *Index) ScanAll() ([]tuple.Tuple, error) {
+	if out, ok, err := ix.scanAllBatched(); err != nil {
+		return nil, err
+	} else if ok {
+		return out, nil
+	}
 	var out []tuple.Tuple
 	for _, bpn := range ix.buckets {
 		pn := bpn
@@ -316,6 +328,63 @@ func (ix *Index) ScanAll() ([]tuple.Tuple, error) {
 		}
 	}
 	return out, nil
+}
+
+// scanAllBatched is the readahead fast path of ScanAll. It applies
+// only when the file holds exactly the primary buckets (no overflow
+// pages anywhere — overflow would interleave chain walks between
+// bucket reads, changing the access order the plain walk produces) and
+// the pool is large enough that a briefly-pinned window cannot starve
+// eviction. ok reports whether the fast path ran.
+func (ix *Index) scanAllBatched() (out []tuple.Tuple, ok bool, err error) {
+	w := ix.pool.Capacity() / 4
+	if w > 32 {
+		w = 32
+	}
+	if w < 2 || len(ix.buckets) < 2 || ix.file.NumPages() != len(ix.buckets) {
+		return nil, false, nil
+	}
+	for start := 0; start < len(ix.buckets); {
+		// Maximal run of consecutive bucket pages, clamped to the window.
+		end := start + 1
+		for end < len(ix.buckets) && end-start < w && ix.buckets[end] == ix.buckets[end-1]+1 {
+			end++
+		}
+		frames, err := ix.pool.GetRun(ix.file, ix.buckets[start], end-start)
+		if err != nil {
+			return nil, false, err
+		}
+		fallback := false
+		for _, fr := range frames {
+			if err == nil && !fallback {
+				var n *node
+				if n, err = decodeNode(fr.Data); err == nil {
+					if n.hasNext {
+						// Metadata said no overflow but the page links
+						// onward; retry as a plain walk. The pages just
+						// fetched stay resident, so the rescan's Gets
+						// hit and charge nothing extra.
+						fallback = true
+					} else {
+						for _, tp := range n.tuples {
+							out = append(out, tp.Clone())
+						}
+					}
+				}
+			}
+			if rerr := ix.pool.Release(fr); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if fallback {
+			return nil, false, nil
+		}
+		start = end
+	}
+	return out, true, nil
 }
 
 // Pages returns the total chain pages (primary + overflow), unmetered.

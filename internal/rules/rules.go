@@ -125,6 +125,16 @@ func (t *Table) Views() []string {
 // (its "markers", in the paper's terms). Stage 1 is free; each stage-2
 // satisfiability test charges one C1 unit.
 func (t *Table) Screen(relName string, tp tuple.Tuple) []string {
+	b := t.meter.Batch()
+	defer b.Close()
+	return t.ScreenBatch(relName, tp, b)
+}
+
+// ScreenBatch is Screen charging its stage-2 tests to b instead of
+// directly to the meter. Commit loops that screen every written tuple
+// pass one batch for the whole transaction, replacing one atomic
+// meter update per candidate with a single flush.
+func (t *Table) ScreenBatch(relName string, tp tuple.Tuple, b *storage.MeterBatch) []string {
 	var hits []string
 	for _, l := range t.locks[relName] {
 		// Stage 1: does the tuple disturb the locked interval?
@@ -132,7 +142,7 @@ func (t *Table) Screen(relName string, tp tuple.Tuple) []string {
 			continue
 		}
 		// Stage 2: substitution + satisfiability, at C1.
-		t.meter.Screen(1)
+		b.Screen(1)
 		if l.Pred.SatisfiableWith(l.RelSlot, tp) {
 			hits = append(hits, l.View)
 		}

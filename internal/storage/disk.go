@@ -108,7 +108,18 @@ type File struct {
 	mu    sync.RWMutex
 	pages [][]byte
 	free  []PageNum // freed page numbers available for reuse
+	// dirtyFrames counts pool frames of this file whose image is newer
+	// than the on-disk page (maintained by Frame.MarkDirty and the
+	// pool's write-back/discard paths). When zero, the on-disk image is
+	// exact and unmetered Peek walks (readahead chain discovery) are
+	// safe; orphaned frames may leave the count conservatively high,
+	// which only disables readahead, never corrupts it.
+	dirtyFrames atomic.Int64
 }
+
+// HasDirtyFrames reports whether any pool frame of this file holds
+// modifications not yet written to the disk image.
+func (f *File) HasDirtyFrames() bool { return f.dirtyFrames.Load() > 0 }
 
 // Name returns the file name.
 func (f *File) Name() string { return f.name }

@@ -3,13 +3,17 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Pool is an LRU buffer pool with pinning. All page access in the
-// engine goes through a Pool, which charges the Meter: one read per
+// Pool is a sharded LRU buffer pool with pinning. All page access in
+// the engine goes through a Pool, which charges the Meter: one read per
 // miss, one write per dirty page written back.
 //
 // Cost-model fidelity: Hanson's formulas count *distinct* pages touched
@@ -20,21 +24,61 @@ import (
 // is evicted between operations reproduces exactly that accounting; the
 // engine calls EvictAll at operation boundaries.
 //
-// Concurrency: the pool's bookkeeping (frame table, LRU list, pin
-// counts) is guarded by an internal mutex, so concurrent readers and
-// parallel refresh workers may Get/Release frames safely. Frame *data*
-// is not guarded here: the engine's reader/writer lock guarantees that
-// a frame's bytes are only mutated while its file is owned by exactly
-// one writer goroutine.
+// Concurrency: the frame table is split across power-of-two shards,
+// each with its own mutex, frame map and recency list, so concurrent
+// readers and parallel refresh workers contend only when they touch
+// pages that hash to the same shard. Pin counts are atomic (their
+// transitions still happen under the owning shard's lock, which keeps
+// the per-shard unpinned count exact). A miss never performs disk I/O
+// or sleeps the simulated latency under any lock: the missing reader
+// registers a per-key flight, drops the shard lock, reads and sleeps,
+// and publishes the frame; concurrent missers of the same page wait on
+// the flight and are charged nothing, so exactly one read is metered
+// per physical fetch. Frame *data* is not guarded here: the engine's
+// reader/writer lock guarantees that a frame's bytes are only mutated
+// while its file is owned by exactly one writer goroutine.
+//
+// Why sharding cannot change what is charged: charges depend only on
+// hit/miss outcomes and eviction victims. Hits and misses depend on
+// residency, which sharding does not alter, and eviction selects the
+// globally least-recently-used unpinned frame via a pool-wide access
+// clock (Frame.lastUsed), reproducing the single-list LRU victim order
+// exactly. Serial operations therefore meter byte-identical Stats; only
+// wall-clock behavior under concurrency changes.
 type Pool struct {
-	disk         *Disk
-	meter        *Meter
-	capacity     int
-	mu           sync.Mutex
+	disk     *Disk
+	meter    *Meter
+	capacity int
+
+	shardMask uint32
+	shards    []poolShard
+
+	resident atomic.Int64 // total frames across all shards
+	tick     atomic.Int64 // pool-wide access clock ordering frames for eviction
+
+	policyMu     sync.Mutex
 	writeThrough bool
 	bulkDepth    int // >0 suspends write-through (nested bulk writes)
-	frames       map[frameKey]*list.Element
-	lru          *list.List // front = most recently used
+}
+
+// poolShard is one slice of the frame table. unpinned counts the
+// shard's eviction candidates so the evictor can skip fully-pinned
+// shards without walking them, and a pool that is full of pinned
+// frames is detected without an O(resident) scan.
+type poolShard struct {
+	mu       sync.Mutex
+	frames   map[frameKey]*list.Element
+	lru      *list.List // front = most recently used within the shard
+	unpinned int        // frames with zero pins
+	flights  map[frameKey]*flight
+}
+
+// flight is an in-progress miss: the first goroutine to miss a page
+// becomes the leader and fills the frame; later missers of the same
+// page block on done and re-enter the hit path, charging nothing.
+type flight struct {
+	done chan struct{}
+	err  error // set before done is closed
 }
 
 type frameKey struct {
@@ -50,7 +94,15 @@ type Frame struct {
 	file  *File
 	Data  []byte
 	dirty atomic.Bool
-	pins  int // guarded by the pool mutex
+	pins  atomic.Int32 // transitions under the owning shard's lock
+	// lastUsed orders frames pool-wide for eviction; guarded by the
+	// owning shard's lock.
+	lastUsed int64
+	// orphan marks a frame discarded while pinned: it is no longer in
+	// the frame table and its final Release must not write it back (the
+	// page may have been freed and reallocated). Guarded by the owning
+	// shard's lock.
+	orphan bool
 }
 
 // DefaultPoolCapacity is the default number of resident frames: with
@@ -58,31 +110,66 @@ type Frame struct {
 // that holds R2 during a nested-loop join (§3.4.3).
 const DefaultPoolCapacity = 256
 
+// defaultPoolShards is the default shard count; a small power of two
+// well above the engine's worker parallelism keeps same-shard
+// collisions rare without bloating per-pool memory.
+const defaultPoolShards = 16
+
 // NewPool creates a pool over the disk charging the meter. capacity
 // ≤ 0 selects DefaultPoolCapacity. The pool starts in write-through
 // mode: a dirty frame is written back when its last pin is released,
 // matching the model's read+write charge per updated page.
 func NewPool(disk *Disk, meter *Meter, capacity int) *Pool {
+	return NewPoolShards(disk, meter, capacity, defaultPoolShards)
+}
+
+// NewPoolShards is NewPool with an explicit shard count (rounded up to
+// a power of two, minimum 1). A single shard reproduces the old
+// one-big-mutex pool's contention profile and exists for benchmarks
+// and tests; charges are identical at every shard count.
+func NewPoolShards(disk *Disk, meter *Meter, capacity, shards int) *Pool {
 	if capacity <= 0 {
 		capacity = DefaultPoolCapacity
 	}
-	return &Pool{
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	p := &Pool{
 		disk:         disk,
 		meter:        meter,
 		capacity:     capacity,
+		shardMask:    uint32(n - 1),
+		shards:       make([]poolShard, n),
 		writeThrough: true,
-		frames:       map[frameKey]*list.Element{},
-		lru:          list.New(),
 	}
+	for i := range p.shards {
+		p.shards[i].frames = map[frameKey]*list.Element{}
+		p.shards[i].lru = list.New()
+		p.shards[i].flights = map[frameKey]*flight{}
+	}
+	return p
+}
+
+// shardOf hashes a key to its shard (FNV-1a over file name and page).
+func (p *Pool) shardOf(key frameKey) *poolShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key.file); i++ {
+		h ^= uint32(key.file[i])
+		h *= 16777619
+	}
+	h ^= uint32(key.pn)
+	h *= 16777619
+	return &p.shards[h&p.shardMask]
 }
 
 // SetWriteThrough toggles write-through (true: dirty pages are written
 // when unpinned) versus write-back (dirty pages are written at eviction
 // or FlushAll). Write-back is the §4 "idle disk time" ablation.
 func (p *Pool) SetWriteThrough(on bool) {
-	p.mu.Lock()
+	p.policyMu.Lock()
 	p.writeThrough = on
-	p.mu.Unlock()
+	p.policyMu.Unlock()
 }
 
 // BeginBulk suspends write-through until the matching EndBulk, so a
@@ -92,24 +179,29 @@ func (p *Pool) SetWriteThrough(on bool) {
 // each other's mode — the reason this is a depth counter rather than
 // SetWriteThrough(false).
 func (p *Pool) BeginBulk() {
-	p.mu.Lock()
+	p.policyMu.Lock()
 	p.bulkDepth++
-	p.mu.Unlock()
+	p.policyMu.Unlock()
 }
 
 // EndBulk closes a BeginBulk. The caller is expected to FlushAll (or
 // let eviction flush) afterwards; EndBulk itself writes nothing.
 func (p *Pool) EndBulk() {
-	p.mu.Lock()
+	p.policyMu.Lock()
 	if p.bulkDepth > 0 {
 		p.bulkDepth--
 	}
-	p.mu.Unlock()
+	p.policyMu.Unlock()
 }
 
 // effectiveWriteThrough reports whether a final unpin should write back
-// immediately. Caller holds p.mu.
-func (p *Pool) effectiveWriteThrough() bool { return p.writeThrough && p.bulkDepth == 0 }
+// immediately. Safe to call under a shard lock (policyMu is always
+// innermost).
+func (p *Pool) effectiveWriteThrough() bool {
+	p.policyMu.Lock()
+	defer p.policyMu.Unlock()
+	return p.writeThrough && p.bulkDepth == 0
+}
 
 // Capacity returns the pool's frame capacity.
 func (p *Pool) Capacity() int { return p.capacity }
@@ -118,15 +210,11 @@ func (p *Pool) Capacity() int { return p.capacity }
 func (p *Pool) PageSize() int { return p.disk.PageSize() }
 
 // Resident returns the number of frames currently in the pool.
-func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.lru.Len()
-}
+func (p *Pool) Resident() int { return int(p.resident.Load()) }
 
 // sleepIO simulates the wall-clock cost of n physical page transfers.
-// Callers invoke it after releasing the pool mutex, so concurrent
-// operations overlap their I/O waits instead of queueing on the lock.
+// Callers invoke it with no pool lock held, so concurrent operations
+// overlap their I/O waits instead of queueing on a lock.
 func (p *Pool) sleepIO(n int) {
 	if n <= 0 {
 		return
@@ -137,32 +225,139 @@ func (p *Pool) sleepIO(n int) {
 }
 
 // Get pins and returns the frame for (file, pn), reading it from disk
-// (one metered read) on a miss.
+// (one metered read) on a miss. The read, its simulated latency and
+// any eviction write-backs all happen without holding a shard lock.
 func (p *Pool) Get(f *File, pn PageNum) (*Frame, error) {
-	p.mu.Lock()
-	key := frameKey{f.Name(), pn}
-	if el, ok := p.frames[key]; ok {
-		p.lru.MoveToFront(el)
-		fr := el.Value.(*Frame)
-		fr.pins++
-		p.mu.Unlock()
-		return fr, nil
-	}
-	src, err := f.readPage(pn)
+	fr, missed, err := p.get(f, pn, true)
 	if err != nil {
-		p.mu.Unlock()
+		return nil, err
+	}
+	if missed {
+		wrote, err := p.evictOverflow()
+		if err != nil {
+			return nil, err
+		}
+		p.sleepIO(wrote)
+	}
+	return fr, nil
+}
+
+// get pins the frame for (file, pn), charging one read on a miss.
+// When sleep is true the miss latency is slept here (with no lock
+// held); either way the caller owns the eviction pass — Get runs one
+// per miss, GetBatch runs one for the whole batch.
+func (p *Pool) get(f *File, pn PageNum, sleep bool) (*Frame, bool, error) {
+	key := frameKey{f.Name(), pn}
+	sh := p.shardOf(key)
+	for {
+		sh.mu.Lock()
+		if el, ok := sh.frames[key]; ok {
+			fr := el.Value.(*Frame)
+			sh.lru.MoveToFront(el)
+			fr.lastUsed = p.tick.Add(1)
+			if fr.pins.Add(1) == 1 {
+				sh.unpinned--
+			}
+			sh.mu.Unlock()
+			return fr, false, nil
+		}
+		if fl, ok := sh.flights[key]; ok {
+			// Another goroutine is already fetching this page: wait for
+			// it and re-enter the hit path. No additional read is
+			// charged — the leader's single read covers every waiter.
+			sh.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, false, fl.err
+			}
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		sh.flights[key] = fl
+		sh.mu.Unlock()
+		fr, err := p.loadMiss(f, key, sh, fl, sleep)
+		return fr, err == nil, err
+	}
+}
+
+// loadMiss fills a missing frame as the leader of flight fl. The disk
+// read and the latency sleep happen with no lock held, so a slow miss
+// never delays hits on other pages.
+func (p *Pool) loadMiss(f *File, key frameKey, sh *poolShard, fl *flight, sleep bool) (*Frame, error) {
+	src, err := f.readPage(key.pn)
+	if err != nil {
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		sh.mu.Unlock()
+		fl.err = err
+		close(fl.done)
 		return nil, err
 	}
 	p.meter.Read(1)
-	fr := &Frame{key: key, file: f, Data: append([]byte(nil), src...), pins: 1}
-	p.frames[key] = p.lru.PushFront(fr)
-	evicted, err := p.evictOverflow()
-	p.mu.Unlock()
-	if err != nil {
+	if sleep {
+		p.sleepIO(1)
+	}
+	fr := &Frame{key: key, file: f, Data: append([]byte(nil), src...)}
+	fr.pins.Store(1)
+	sh.mu.Lock()
+	fr.lastUsed = p.tick.Add(1)
+	sh.frames[key] = sh.lru.PushFront(fr)
+	delete(sh.flights, key)
+	p.resident.Add(1)
+	sh.mu.Unlock()
+	close(fl.done)
+	return fr, nil
+}
+
+// GetRun pins and returns frames for the n consecutive pages
+// [pn, pn+n) of f, in order. See GetBatch.
+func (p *Pool) GetRun(f *File, pn PageNum, n int) ([]*Frame, error) {
+	pns := make([]PageNum, n)
+	for i := range pns {
+		pns[i] = pn + PageNum(i)
+	}
+	return p.GetBatch(f, pns)
+}
+
+// GetBatch pins and returns frames for the given pages, in order. Each
+// page is charged exactly as a separate Get would charge it — one read
+// per miss, hits free, write-backs for whatever the inserts evict —
+// but the simulated latency of all misses and eviction writes is slept
+// once at the end. That single combined sleep is the readahead win:
+// a sequential scan pays one timer wait per window instead of one per
+// page. Callers must keep the batch well under the pool capacity
+// (frames are pinned until released) and should release promptly.
+//
+// Eviction runs once after all inserts. The victims are the same
+// frames an insert-by-insert pass would have chosen: batch frames are
+// pinned and carry the newest access ticks, so they are never
+// candidates, and the globally least-recently-used unpinned frames are
+// evicted in the same order either way.
+func (p *Pool) GetBatch(f *File, pns []PageNum) ([]*Frame, error) {
+	frames := make([]*Frame, 0, len(pns))
+	fail := func(err error) ([]*Frame, error) {
+		for _, fr := range frames {
+			_ = p.Release(fr)
+		}
 		return nil, err
 	}
-	p.sleepIO(1 + evicted)
-	return fr, nil
+	misses := 0
+	for _, pn := range pns {
+		fr, missed, err := p.get(f, pn, false)
+		if err != nil {
+			return fail(err)
+		}
+		if missed {
+			misses++
+		}
+		frames = append(frames, fr)
+	}
+	wrote, err := p.evictOverflow()
+	if err != nil {
+		return fail(err)
+	}
+	p.sleepIO(misses + wrote)
+	return frames, nil
 }
 
 // Alloc allocates a fresh page in the file and returns it pinned. The
@@ -170,111 +365,223 @@ func (p *Pool) Get(f *File, pn PageNum) (*Frame, error) {
 // write is charged like any other: on unpin (write-through) or
 // eviction (write-back). No read is charged for a newborn page.
 func (p *Pool) Alloc(f *File) (*Frame, error) {
-	p.mu.Lock()
 	pn := f.Alloc()
 	key := frameKey{f.Name(), pn}
-	fr := &Frame{key: key, file: f, Data: make([]byte, p.disk.PageSize()), pins: 1}
-	fr.dirty.Store(true)
-	p.frames[key] = p.lru.PushFront(fr)
-	evicted, err := p.evictOverflow()
-	p.mu.Unlock()
+	fr := &Frame{key: key, file: f, Data: make([]byte, p.disk.PageSize())}
+	fr.pins.Store(1)
+	fr.MarkDirty()
+	sh := p.shardOf(key)
+	sh.mu.Lock()
+	if el, ok := sh.frames[key]; ok {
+		// A stale frame for a previously freed page number that was
+		// never discarded; drop it rather than leaking a list entry.
+		stale := el.Value.(*Frame)
+		sh.lru.Remove(el)
+		delete(sh.frames, key)
+		if stale.pins.Load() == 0 {
+			sh.unpinned--
+		} else {
+			stale.orphan = true
+		}
+		p.resident.Add(-1)
+	}
+	fr.lastUsed = p.tick.Add(1)
+	sh.frames[key] = sh.lru.PushFront(fr)
+	p.resident.Add(1)
+	sh.mu.Unlock()
+	wrote, err := p.evictOverflow()
 	if err != nil {
 		return nil, err
 	}
-	p.sleepIO(evicted)
+	p.sleepIO(wrote)
 	return fr, nil
 }
 
 // PageNum returns the page number of the frame.
 func (fr *Frame) PageNum() PageNum { return fr.key.pn }
 
-// MarkDirty records that the frame's data has been modified.
-func (fr *Frame) MarkDirty() { fr.dirty.Store(true) }
+// MarkDirty records that the frame's data has been modified. The first
+// marking also bumps the file's dirty-frame count, which gates the
+// unmetered readahead walks (see File.HasDirtyFrames).
+func (fr *Frame) MarkDirty() {
+	if fr.dirty.CompareAndSwap(false, true) {
+		fr.file.dirtyFrames.Add(1)
+	}
+}
 
-// Release unpins a frame obtained from Get or Alloc. In write-through
-// mode the final unpin of a dirty frame writes it back (one metered
-// write).
+// Release unpins a frame obtained from Get, GetRun/GetBatch or Alloc.
+// In write-through mode the final unpin of a dirty frame writes it
+// back (one metered write).
 func (p *Pool) Release(fr *Frame) error {
-	p.mu.Lock()
-	if fr.pins <= 0 {
-		p.mu.Unlock()
+	sh := p.shardOf(fr.key)
+	sh.mu.Lock()
+	if fr.pins.Load() <= 0 {
+		sh.mu.Unlock()
 		return fmt.Errorf("storage: release of unpinned frame %v", fr.key)
 	}
-	fr.pins--
 	wrote := 0
-	if fr.pins == 0 && fr.dirty.Load() && p.effectiveWriteThrough() {
-		if err := p.writeBack(fr); err != nil {
-			p.mu.Unlock()
-			return err
+	if fr.pins.Add(-1) == 0 {
+		if fr.orphan {
+			// Discarded while pinned: the page may be freed or
+			// reallocated, so the stale image must never be written.
+			sh.mu.Unlock()
+			return nil
 		}
-		wrote = 1
+		sh.unpinned++
+		if fr.dirty.Load() && p.effectiveWriteThrough() {
+			if err := p.writeBack(fr); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			wrote = 1
+		}
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	p.sleepIO(wrote)
 	return nil
 }
 
-// writeBack flushes a dirty frame to disk, charging one write. Caller
-// holds p.mu and guarantees the frame is not being mutated (unpinned,
-// or pinned by the calling goroutine itself).
+// writeBack flushes a dirty frame to disk, charging one write. The
+// write is an in-memory copy on the simulated disk, so performing it
+// under the shard lock is cheap; the latency sleep is the caller's
+// job, after unlocking. The caller guarantees the frame is not being
+// mutated (unpinned, or pinned by the calling goroutine itself).
 func (p *Pool) writeBack(fr *Frame) error {
 	if err := fr.file.writePage(fr.key.pn, fr.Data); err != nil {
 		return err
 	}
 	p.meter.Write(1)
-	fr.dirty.Store(false)
+	if fr.dirty.CompareAndSwap(true, false) {
+		fr.file.dirtyFrames.Add(-1)
+	}
 	return nil
 }
 
-// evictOverflow evicts least-recently-used unpinned frames until the
-// pool is within capacity, returning how many dirty pages it wrote
-// back (the caller charges their latency after unlocking). Caller
-// holds p.mu.
+// evictOverflow evicts globally least-recently-used unpinned frames
+// until the pool is within capacity, returning how many dirty pages it
+// wrote back (the caller charges their latency afterwards). It locks
+// one shard at a time: each shard's oldest unpinned frame is found via
+// its recency list (skipping shards whose unpinned count is zero), and
+// the minimum access tick across shards is the victim — the same frame
+// a single pool-wide LRU list would evict.
 func (p *Pool) evictOverflow() (int, error) {
 	wrote := 0
-	for p.lru.Len() > p.capacity {
-		el := p.lru.Back()
-		evicted := false
-		for el != nil {
-			fr := el.Value.(*Frame)
-			if fr.pins == 0 {
-				if fr.dirty.Load() {
-					if err := p.writeBack(fr); err != nil {
-						return wrote, err
+	stalls := 0
+	for p.resident.Load() > int64(p.capacity) {
+		shardIdx := -1
+		var victimKey frameKey
+		victimTick := int64(math.MaxInt64)
+		for i := range p.shards {
+			sh := &p.shards[i]
+			sh.mu.Lock()
+			if sh.unpinned > 0 {
+				for el := sh.lru.Back(); el != nil; el = el.Prev() {
+					fr := el.Value.(*Frame)
+					if fr.pins.Load() == 0 {
+						if fr.lastUsed < victimTick {
+							victimTick = fr.lastUsed
+							shardIdx = i
+							victimKey = fr.key
+						}
+						break
 					}
-					wrote++
 				}
-				p.lru.Remove(el)
-				delete(p.frames, fr.key)
-				evicted = true
-				break
 			}
-			el = el.Prev()
+			sh.mu.Unlock()
 		}
-		if !evicted {
-			return wrote, fmt.Errorf("storage: buffer pool full of pinned frames (capacity %d)", p.capacity)
+		if shardIdx < 0 {
+			// Concurrent batches can hold every frame pinned for a
+			// moment; retry briefly before declaring the pool stuck.
+			if stalls++; stalls <= 4 {
+				runtime.Gosched()
+				continue
+			}
+			return wrote, p.pinnedFullError()
 		}
+		sh := &p.shards[shardIdx]
+		sh.mu.Lock()
+		el, ok := sh.frames[victimKey]
+		if !ok {
+			sh.mu.Unlock()
+			continue // raced with Discard or EvictAll; rescan
+		}
+		fr := el.Value.(*Frame)
+		if fr.pins.Load() != 0 {
+			sh.mu.Unlock()
+			continue // raced with a Get; rescan
+		}
+		if fr.dirty.Load() {
+			if err := p.writeBack(fr); err != nil {
+				sh.mu.Unlock()
+				return wrote, err
+			}
+			wrote++
+		}
+		sh.lru.Remove(el)
+		delete(sh.frames, fr.key)
+		sh.unpinned--
+		p.resident.Add(-1)
+		sh.mu.Unlock()
+		stalls = 0
 	}
 	return wrote, nil
+}
+
+// pinnedFullError reports an over-capacity pool with no evictable
+// frame, naming the files holding pins so a pin leak is attributable.
+func (p *Pool) pinnedFullError() error {
+	pins := map[string]int{}
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			fr := el.Value.(*Frame)
+			if n := fr.pins.Load(); n > 0 {
+				pins[fr.key.file] += int(n)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	names := make([]string, 0, len(pins))
+	for n := range pins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s(%d pins)", n, pins[n]))
+	}
+	return fmt.Errorf("storage: buffer pool full of pinned frames (capacity %d; pinned: %s)",
+		p.capacity, strings.Join(parts, ", "))
 }
 
 // Discard drops the frame for (file, pn) without flushing, regardless
 // of dirtiness. Callers use it immediately before freeing a page on
 // disk, so a stale dirty frame can never be written to a reallocated
-// page. Discarding a pinned frame is a programming error and panics.
+// page. If the frame is pinned by a concurrent reader it is orphaned
+// instead: the holders keep their (now detached) frame, and its final
+// Release skips the write-back.
 func (p *Pool) Discard(f *File, pn PageNum) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	key := frameKey{f.Name(), pn}
-	el, ok := p.frames[key]
+	sh := p.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.frames[key]
 	if !ok {
 		return
 	}
-	if fr := el.Value.(*Frame); fr.pins > 0 {
-		panic(fmt.Sprintf("storage: Discard of pinned frame %v", fr.key))
+	fr := el.Value.(*Frame)
+	sh.lru.Remove(el)
+	delete(sh.frames, key)
+	p.resident.Add(-1)
+	if fr.dirty.CompareAndSwap(true, false) {
+		fr.file.dirtyFrames.Add(-1)
 	}
-	p.lru.Remove(el)
-	delete(p.frames, key)
+	if fr.pins.Load() > 0 {
+		fr.orphan = true
+		return
+	}
+	sh.unpinned--
 }
 
 // FlushAll writes back every dirty unpinned frame (charging writes)
@@ -282,15 +589,22 @@ func (p *Pool) Discard(f *File, pn PageNum) {
 // still mutating them and will trigger the write-back at release or
 // eviction.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.flushAllLocked()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		err := p.flushShardLocked(sh)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (p *Pool) flushAllLocked() error {
-	for el := p.lru.Front(); el != nil; el = el.Next() {
+func (p *Pool) flushShardLocked(sh *poolShard) error {
+	for el := sh.lru.Front(); el != nil; el = el.Next() {
 		fr := el.Value.(*Frame)
-		if fr.pins == 0 && fr.dirty.Load() {
+		if fr.pins.Load() == 0 && fr.dirty.Load() {
 			if err := p.writeBack(fr); err != nil {
 				return err
 			}
@@ -306,20 +620,59 @@ func (p *Pool) flushAllLocked() error {
 // cold-cache posture is necessarily approximate, and evicting an
 // in-use page would be unsound.
 func (p *Pool) EvictAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.flushAllLocked(); err != nil {
-		return err
-	}
-	var next *list.Element
-	for el := p.lru.Front(); el != nil; el = next {
-		next = el.Next()
-		fr := el.Value.(*Frame)
-		if fr.pins > 0 {
-			continue
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		if err := p.flushShardLocked(sh); err != nil {
+			sh.mu.Unlock()
+			return err
 		}
-		p.lru.Remove(el)
-		delete(p.frames, fr.key)
+		var next *list.Element
+		for el := sh.lru.Front(); el != nil; el = next {
+			next = el.Next()
+			fr := el.Value.(*Frame)
+			if fr.pins.Load() > 0 {
+				continue
+			}
+			sh.lru.Remove(el)
+			delete(sh.frames, fr.key)
+			sh.unpinned--
+			p.resident.Add(-1)
+		}
+		sh.mu.Unlock()
 	}
 	return nil
+}
+
+// PinnedFrames describes every pinned frame ("file:page(pins=n)",
+// sorted), for diagnostics and the pin-leak test helper.
+func (p *Pool) PinnedFrames() []string {
+	var out []string
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			fr := el.Value.(*Frame)
+			if n := fr.pins.Load(); n > 0 {
+				out = append(out, fmt.Sprintf("%s:%d(pins=%d)", fr.key.file, fr.key.pn, n))
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AssertUnpinned fails the test if any frame is still pinned — a pin
+// leak. The parameter is the minimal slice of testing.TB needed, so
+// non-test code importing storage does not pull in testing.
+func (p *Pool) AssertUnpinned(t interface {
+	Helper()
+	Errorf(format string, args ...any)
+}) {
+	t.Helper()
+	if pinned := p.PinnedFrames(); len(pinned) > 0 {
+		t.Errorf("storage: pin leak: %d frame(s) still pinned: %s",
+			len(pinned), strings.Join(pinned, ", "))
+	}
 }

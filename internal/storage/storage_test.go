@@ -222,10 +222,18 @@ func TestPoolPinnedFramesAreNotEvicted(t *testing.T) {
 	frC, _ := p.Get(f, c) // must evict b, not pinned a
 	p.Release(frC)
 
-	if _, ok := p.frames[frameKey{"r", a}]; !ok {
+	resident := func(pn PageNum) bool {
+		key := frameKey{"r", pn}
+		sh := p.shardOf(key)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		_, ok := sh.frames[key]
+		return ok
+	}
+	if !resident(a) {
 		t.Error("pinned frame was evicted")
 	}
-	if _, ok := p.frames[frameKey{"r", b}]; ok {
+	if resident(b) {
 		t.Error("unpinned frame was not evicted")
 	}
 	p.Release(frA)
@@ -448,17 +456,26 @@ func TestDiscard(t *testing.T) {
 	}
 	// Discard of a non-resident page is a no-op.
 	p.Discard(f, pn)
-	// Discard of a pinned frame panics.
+	// Discard of a pinned frame orphans it: the holder keeps the
+	// frame, but the final release must not write the stale image.
+	p.SetWriteThrough(true)
 	fr2, _ := p.Get(f, pn)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("Discard of pinned frame did not panic")
-			}
-		}()
-		p.Discard(f, pn)
-	}()
-	p.Release(fr2)
+	fr2.Data[0] = 0x55
+	fr2.MarkDirty()
+	p.Discard(f, pn)
+	if p.Resident() != 0 {
+		t.Errorf("resident after pinned Discard = %d, want 0", p.Resident())
+	}
+	if err := p.Release(fr2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot().Writes != 0 {
+		t.Error("release of an orphaned frame wrote it back")
+	}
+	page, _ = f.Peek(pn)
+	if page[0] != 0 {
+		t.Error("orphaned frame's stale data reached disk")
+	}
 }
 
 func TestWritePageSizeMismatch(t *testing.T) {
