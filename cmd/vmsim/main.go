@@ -46,7 +46,25 @@ func main() {
 	allStrategies := flag.Bool("all-strategies", false, "also measure snapshot and recompute-on-demand")
 	snapEvery := flag.Int("snapshot-every", 5, "snapshot refresh period in commits (with -all-strategies)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	walDir := flag.String("wal", "", "run a durable demo workload with WAL+snapshots under this directory")
+	recoverDir := flag.String("recover", "", "recover a database from the WAL+snapshots under this directory and report what survived")
+	ckptEvery := flag.Int("checkpoint-every", 8, "commits between automatic checkpoints (with -wal/-recover)")
 	flag.Parse()
+
+	if *recoverDir != "" {
+		if err := runRecover(*recoverDir, *ckptEvery); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *walDir != "" {
+		if err := runWAL(*walDir, *ckptEvery, 200, 40, 5, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)

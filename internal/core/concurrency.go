@@ -129,10 +129,16 @@ func (db *Database) leaderRefresh(name string) error {
 	if !db.viewStale(vs) {
 		return nil
 	}
+	clockBefore := db.clock.Load()
 	if err := db.pool.EvictAll(); err != nil {
 		return err
 	}
-	return db.refreshStaleLocked(vs)
+	if err := db.refreshStaleLocked(vs); err != nil {
+		return err
+	}
+	// The refresh mutated durable state outside a commit; make it
+	// replayable before any later record depends on its outcome.
+	return db.logRefreshLocked(name, refreshKindStale, clockBefore)
 }
 
 // refreshStaleLocked dispatches the strategy-appropriate refresh.
@@ -167,12 +173,22 @@ func (db *Database) RefreshAll() error {
 		return err
 	}
 	workers := db.maxRefreshWorkers
+	if db.dur != nil {
+		// WAL replay is a serial program: with durability on, units
+		// refresh serially so the log's record order fully determines
+		// the recovered state (see durability.go).
+		workers = 1
+	}
 	if workers > len(units) {
 		workers = len(units)
 	}
 	if workers <= 1 {
 		for _, vs := range units {
+			clockBefore := db.clock.Load()
 			if err := db.refreshStaleLocked(vs); err != nil {
+				return err
+			}
+			if err := db.logRefreshLocked(vs.def.Name, refreshKindStale, clockBefore); err != nil {
 				return err
 			}
 		}

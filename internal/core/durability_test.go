@@ -1,0 +1,529 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+	"viewmat/internal/wal"
+)
+
+// spVals builds Model-1 tuples for the random scripts, matching the
+// strategy property tests.
+func durSPVals(key, val int64) []tuple.Value {
+	return []tuple.Value{tuple.I(key), tuple.I(val), tuple.S(sName(int(val)))}
+}
+
+// runRecoverEquivalence is the fault-free durability property: after
+// any workload, rebooting — Recover from the devices' durable images —
+// must reproduce the live engine exactly. "Exactly" is checked at the
+// strongest level available: Save of the recovered engine is
+// byte-identical to Save of the live one (Save is deterministic), so
+// every page of every file, the catalog, the id clock and all pending
+// AD state coincide; view answers are compared on top as a readable
+// failure mode.
+func runRecoverEquivalence(steps []propStep, ckptEvery int) error {
+	walDev, snapDev := storage.NewFaultDisk(), storage.NewFaultDisk()
+	db, err := buildSPDB(Deferred, 30)
+	if err != nil {
+		return err
+	}
+	if err := db.EnableDurability(walDev, snapDev, DurabilityOptions{CheckpointEvery: ckptEvery}); err != nil {
+		return err
+	}
+	var live []liveRow
+	for k := 0; k < 30; k++ {
+		live = append(live, liveRow{key: int64(k), id: uint64(k + 1)})
+	}
+	for _, s := range steps {
+		if s.op == "query" {
+			if _, err := db.QueryView("v", nil); err != nil {
+				return err
+			}
+			continue
+		}
+		live, err = applyStep(db, live, s, "r", durSPVals)
+		if err != nil {
+			return err
+		}
+	}
+
+	var want bytes.Buffer
+	if err := db.Save(&want); err != nil {
+		return fmt.Errorf("saving live engine: %w", err)
+	}
+	rec, info, err := Recover(walDev.DurableDevice(), snapDev.DurableDevice(), DurabilityOptions{})
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	if info.TailDamage != "" {
+		return fmt.Errorf("fault-free log reported tail damage %q", info.TailDamage)
+	}
+	var got bytes.Buffer
+	if err := rec.Save(&got); err != nil {
+		return fmt.Errorf("saving recovered engine: %w", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		return fmt.Errorf("recovered snapshot differs from the live engine's (%d vs %d bytes; replayed %d records over snapshot seq %d)",
+			got.Len(), want.Len(), info.Replayed, info.SnapshotSeq)
+	}
+	a, err := rec.QueryView("v", nil)
+	if err != nil {
+		return err
+	}
+	b, err := db.QueryView("v", nil)
+	if err != nil {
+		return err
+	}
+	return diffRows(a, b)
+}
+
+func TestPropertyRecoverEquivalentToSaveLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for _, ck := range []int{0, 3} {
+		for seed := int64(0); seed < 5; seed++ {
+			rng := rand.New(rand.NewSource(seed + 2100))
+			steps := genScript(rng, 5, 40)
+			if err := runRecoverEquivalence(steps, ck); err != nil {
+				min := shrinkScript(steps, func(s []propStep) bool { return runRecoverEquivalence(s, ck) != nil })
+				t.Fatalf("ckpt-every %d seed %d: %v\nminimal workload script:\n%s",
+					ck, seed, runRecoverEquivalence(min, ck), formatScript(min))
+			}
+		}
+	}
+}
+
+// TestRecoverFidelityMeterUnchanged pins the cost-model fidelity
+// argument: the WAL and snapshot devices live outside the metered
+// simulated disk, so running the identical workload with durability on
+// and off yields byte-identical meter totals and per-phase breakdowns.
+// (A checkpoint's FlushAll only pre-pays page writes the next EvictAll
+// would have charged; both flush points are outside any phase.)
+func TestRecoverFidelityMeterUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	steps := genScript(rng, 8, 40)
+
+	run := func(withWAL bool) (storage.Stats, map[Phase]storage.Stats, []ResultRow, error) {
+		db, err := buildSPDB(Deferred, 30)
+		if err != nil {
+			return storage.Stats{}, nil, nil, err
+		}
+		if withWAL {
+			if err := db.EnableDurability(storage.NewFaultDisk(), storage.NewFaultDisk(), DurabilityOptions{CheckpointEvery: 3}); err != nil {
+				return storage.Stats{}, nil, nil, err
+			}
+		}
+		// Equalize setup residue: the baseline checkpoint flushed the
+		// WAL-on pool; flush the WAL-off pool too, then zero the meters.
+		if err := db.Pool().FlushAll(); err != nil {
+			return storage.Stats{}, nil, nil, err
+		}
+		db.ResetStats()
+		var live []liveRow
+		for k := 0; k < 30; k++ {
+			live = append(live, liveRow{key: int64(k), id: uint64(k + 1)})
+		}
+		for _, s := range steps {
+			if s.op == "query" {
+				if _, err := db.QueryView("v", nil); err != nil {
+					return storage.Stats{}, nil, nil, err
+				}
+				continue
+			}
+			live, err = applyStep(db, live, s, "r", durSPVals)
+			if err != nil {
+				return storage.Stats{}, nil, nil, err
+			}
+		}
+		// Flush trailing dirty pages so both runs have charged every
+		// write they owe before the meters are read.
+		if err := db.Pool().FlushAll(); err != nil {
+			return storage.Stats{}, nil, nil, err
+		}
+		rows, err := db.QueryView("v", nil)
+		if err != nil {
+			return storage.Stats{}, nil, nil, err
+		}
+		return db.Meter().Snapshot(), db.Breakdown(), rows, nil
+	}
+
+	offStats, offBD, offRows, err := run(false)
+	if err != nil {
+		t.Fatalf("WAL-off run: %v", err)
+	}
+	onStats, onBD, onRows, err := run(true)
+	if err != nil {
+		t.Fatalf("WAL-on run: %v", err)
+	}
+	if onStats != offStats {
+		t.Errorf("meter totals diverge with durability on:\n  off %+v\n  on  %+v", offStats, onStats)
+	}
+	phases := map[Phase]bool{}
+	for p := range offBD {
+		phases[p] = true
+	}
+	for p := range onBD {
+		phases[p] = true
+	}
+	for p := range phases {
+		if onBD[p] != offBD[p] {
+			t.Errorf("phase %v diverges: off %+v, on %+v", p, offBD[p], onBD[p])
+		}
+	}
+	if err := diffRows(onRows, offRows); err != nil {
+		t.Errorf("view answers diverge with durability on: %v", err)
+	}
+}
+
+// TestRecoverSkipsRecordsOlderThanSnapshot rebuilds the state a crash
+// between a checkpoint's snapshot sync and its log truncate leaves
+// behind: the log still holds records the snapshot already covers.
+// Recovery must skip them by sequence number, not replay them twice.
+func TestRecoverSkipsRecordsOlderThanSnapshot(t *testing.T) {
+	walDev, snapDev := storage.NewFaultDisk(), storage.NewFaultDisk()
+	db := newSPDatabase(t, Deferred, 20)
+	if err := db.EnableDurability(walDev, snapDev, DurabilityOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(int64(50+i)), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capture the WAL as it is with both records present...
+	staleWAL := walDev.DurableDevice()
+	// ...then checkpoint, whose snapshot now covers those records.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rec, info, err := Recover(staleWAL, snapDev.DurableDevice(), DurabilityOptions{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if info.Skipped != 2 || info.Replayed != 0 {
+		t.Errorf("skipped %d replayed %d, want 2 skipped 0 replayed", info.Skipped, info.Replayed)
+	}
+	want, err := db.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rec.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "recovered with stale records", got, want)
+}
+
+// TestRecoverReportsTailDamage checks RecoverInfo distinguishes a torn
+// tail from a corrupt one, and that damage costs only the damaged
+// suffix.
+func TestRecoverReportsTailDamage(t *testing.T) {
+	build := func(t *testing.T) (*storage.FaultDisk, *storage.FaultDisk, *Database) {
+		walDev, snapDev := storage.NewFaultDisk(), storage.NewFaultDisk()
+		db := newSPDatabase(t, Deferred, 20)
+		if err := db.EnableDurability(walDev, snapDev, DurabilityOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return walDev, snapDev, db
+	}
+
+	t.Run("torn", func(t *testing.T) {
+		walDev, snapDev, db := build(t)
+		wd := walDev.DurableDevice()
+		size, _ := wd.Size()
+		// Half a frame header of a never-synced append.
+		if _, err := wd.WriteAt([]byte{40, 0, 0, 0, 9, 9}, size); err != nil {
+			t.Fatal(err)
+		}
+		if err := wd.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		rec, info, err := Recover(wd, snapDev.DurableDevice(), DurabilityOptions{})
+		if err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		if info.TailDamage != "torn" || info.Replayed != 1 {
+			t.Errorf("info = %+v, want 1 replayed with torn tail", info)
+		}
+		want, _ := db.QueryView("v", nil)
+		got, err := rec.QueryView("v", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, "recovered before torn tail", got, want)
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		walDev, snapDev, db := build(t)
+		wd := walDev.DurableDevice()
+		size, _ := wd.Size()
+		// Flip a byte inside the last record's payload.
+		if _, err := wd.WriteAt([]byte{0xee}, size-3); err != nil {
+			t.Fatal(err)
+		}
+		if err := wd.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		rec, info, err := Recover(wd, snapDev.DurableDevice(), DurabilityOptions{})
+		if err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		if info.TailDamage != "corrupt" || info.Replayed != 0 {
+			t.Errorf("info = %+v, want 0 replayed with corrupt tail", info)
+		}
+		// The corrupt record held the only commit; recovery falls back
+		// to the baseline snapshot: 20 seed rows, none at k=15 twice.
+		got, err := rec.QueryView("v", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := db.QueryView("v", nil)
+		if len(got) != len(want)-1 {
+			t.Errorf("recovered %d rows, want %d (commit in the corrupt tail must be dropped)", len(got), len(want)-1)
+		}
+	})
+}
+
+// TestRecoverReplaysForcedRefreshes covers the two refresh-record kinds
+// the sweep's catalog cannot host (snapshot views may not share a base
+// with deferred views): a forced snapshot recompute and an idle-time
+// deferred refresh, both straddled by commits so replay order matters.
+func TestRecoverReplaysForcedRefreshes(t *testing.T) {
+	walDev, snapDev := storage.NewFaultDisk(), storage.NewFaultDisk()
+	db := newSPDatabase(t, Snapshot, 25)
+	if err := db.SetSnapshotInterval("v", 1000); err != nil { // huge budget: only forced refreshes run
+		t.Fatal(err)
+	}
+	if err := db.EnableDurability(walDev, snapDev, DurabilityOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("in")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RefreshSnapshot("v"); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin()
+	if _, err := tx.Insert("r", tuple.I(16), tuple.I(1), tuple.S("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, info, err := Recover(walDev.DurableDevice(), snapDev.DurableDevice(), DurabilityOptions{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if info.Replayed != 3 {
+		t.Errorf("replayed %d records, want 3 (commit, forced refresh, commit)", info.Replayed)
+	}
+	s, err := rec.SnapshotStaleness("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Errorf("recovered staleness %d, want 1 (refresh replayed between the commits)", s)
+	}
+	// Within its staleness budget the snapshot view serves the copy as
+	// of the forced refresh: k=15 present, k=16 not yet.
+	rows, err := rec.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "recovered snapshot view", rows, want)
+	// 15 in-predicate seeds + the k=15 commit; the k=16 commit landed
+	// after the replayed refresh and stays invisible within the budget.
+	if len(rows) != 16 {
+		t.Errorf("snapshot view has %d rows, want 16", len(rows))
+	}
+
+	// RefreshDeferredNow on a separate engine.
+	walDev2, snapDev2 := storage.NewFaultDisk(), storage.NewFaultDisk()
+	db2 := newSPDatabase(t, Deferred, 25)
+	if err := db2.EnableDurability(walDev2, snapDev2, DurabilityOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tx = db2.Begin()
+	if _, err := tx.Insert("r", tuple.I(17), tuple.I(1), tuple.S("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.RefreshDeferredNow("v"); err != nil {
+		t.Fatal(err)
+	}
+	rec2, _, err := Recover(walDev2.DurableDevice(), snapDev2.DurableDevice(), DurabilityOptions{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	h, ok := rec2.HR("r")
+	if !ok {
+		t.Fatal("recovered engine lost the HR")
+	}
+	if h.ADLen() != 0 {
+		t.Errorf("AD has %d entries after replaying the idle refresh, want 0", h.ADLen())
+	}
+	rows2, err := rec2.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != 16 {
+		t.Errorf("deferred view has %d rows, want 16", len(rows2))
+	}
+}
+
+// TestRecoverContinuesOnRealFiles runs enable → work → reboot →
+// recover → more work on the file-backed WAL device, the shape vmsim
+// -wal uses.
+func TestRecoverContinuesOnRealFiles(t *testing.T) {
+	dir := t.TempDir()
+	walDev, err := wal.OpenFile(dir + "/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapDev, err := wal.OpenFile(dir + "/snap.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := newSPDatabase(t, Immediate, 20)
+	if err := db.EnableDurability(walDev, snapDev, DurabilityOptions{CheckpointEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(int64(11+i)), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := db.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := walDev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapDev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walDev2, err := wal.OpenFile(dir + "/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer walDev2.Close()
+	snapDev2, err := wal.OpenFile(dir + "/snap.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snapDev2.Close()
+	rec, _, err := Recover(walDev2, snapDev2, DurabilityOptions{CheckpointEvery: 2})
+	if err != nil {
+		t.Fatalf("Recover from files: %v", err)
+	}
+	got, err := rec.QueryView("v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRows(t, "file-backed recovery", got, want)
+	tx := rec.Begin()
+	if _, err := tx.Insert("r", tuple.I(14), tuple.I(2), tuple.S("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("post-recovery commit on files: %v", err)
+	}
+}
+
+// TestEnableDurabilityRejectsDoubleEnable pins the API contract and
+// checks a failed enable leaves the engine usable without a WAL.
+func TestEnableDurabilityRejectsDoubleEnable(t *testing.T) {
+	db := newSPDatabase(t, Immediate, 10)
+	if err := db.EnableDurability(storage.NewFaultDisk(), storage.NewFaultDisk(), DurabilityOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.EnableDurability(storage.NewFaultDisk(), storage.NewFaultDisk(), DurabilityOptions{}); err == nil {
+		t.Error("double enable accepted")
+	}
+
+	db2 := newSPDatabase(t, Immediate, 10)
+	bad := storage.NewFaultDisk()
+	bad.FailSync(1, errors.New("boom"))
+	if err := db2.EnableDurability(storage.NewFaultDisk(), bad, DurabilityOptions{}); err == nil {
+		t.Fatal("enable with a failing snapshot device succeeded")
+	}
+	if db2.DurabilityEnabled() {
+		t.Error("failed enable left durability attached")
+	}
+	tx := db2.Begin()
+	if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Errorf("engine unusable after failed enable: %v", err)
+	}
+}
+
+// TestRecoverAggregateView replays commits over an aggregate and
+// checks the folded value, covering the aggregate page in the replay
+// path end to end.
+func TestRecoverAggregateView(t *testing.T) {
+	walDev, snapDev := storage.NewFaultDisk(), storage.NewFaultDisk()
+	db := newAggDatabase(t, Deferred, agg.Sum, 30)
+	if err := db.EnableDurability(walDev, snapDev, DurabilityOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := tx.Insert("r", tuple.I(15), tuple.I(1000), tuple.S("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want, wantOK, err := db.QueryAggregate("sumv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := Recover(walDev.DurableDevice(), snapDev.DurableDevice(), DurabilityOptions{})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	got, ok, err := rec.QueryAggregate("sumv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != wantOK || math.Abs(got-want) > 1e-9 {
+		t.Errorf("recovered aggregate = %v (defined=%v), want %v (defined=%v)", got, ok, want, wantOK)
+	}
+}

@@ -75,6 +75,10 @@ type Database struct {
 	// transactions, catalog changes and every refresh.
 	mu sync.RWMutex
 
+	// dur, when non-nil, is the engine's WAL attachment (durability.go);
+	// guarded by mu. All record appends happen under the write lock.
+	dur *durability
+
 	clock    atomic.Uint64
 	rels     map[string]*relation.Relation
 	hrs      map[string]*hr.HR
@@ -165,7 +169,9 @@ func (db *Database) SetJoinVariantBlakeley(view string, on bool) error {
 		return fmt.Errorf("core: view %q is not a join view", view)
 	}
 	vs.blakeley = on
-	return nil
+	// The variant changes future refresh results, so it must be in the
+	// recovery snapshot before any logged refresh depends on it.
+	return db.catalogCheckpointLocked()
 }
 
 // Options configures a Database.
@@ -292,7 +298,7 @@ func (db *Database) CreateRelationBTree(name string, schema *tuple.Schema, keyCo
 		return nil, err
 	}
 	db.rels[name] = r
-	return r, nil
+	return r, db.catalogCheckpointLocked()
 }
 
 // CreateRelationHash creates a base relation clustered by hashing on
@@ -308,7 +314,7 @@ func (db *Database) CreateRelationHash(name string, schema *tuple.Schema, keyCol
 		return nil, err
 	}
 	db.rels[name] = r
-	return r, nil
+	return r, db.catalogCheckpointLocked()
 }
 
 // Relation returns a base relation by name.
@@ -430,7 +436,9 @@ func (db *Database) CreateView(def Def, strategy Strategy) error {
 	}
 
 	db.views[def.Name] = vs
-	return nil
+	// Catalog changes are checkpointed, not logged: every later WAL
+	// record replays over a snapshot that already knows this view.
+	return db.catalogCheckpointLocked()
 }
 
 func dependsOn(vs *viewState, rel string) bool {
@@ -479,7 +487,7 @@ func (db *Database) SetDefaultPlan(view string, plan QueryPlan) error {
 		return fmt.Errorf("core: unknown view %q", view)
 	}
 	vs.plan = plan
-	return nil
+	return db.catalogCheckpointLocked()
 }
 
 // DropView removes a view, its t-locks and its materialization. Base
@@ -502,7 +510,7 @@ func (db *Database) DropView(name string) error {
 		db.disk.Remove(name + ".agg")
 	}
 	delete(db.views, name)
-	return nil
+	return db.catalogCheckpointLocked()
 }
 
 // populateView builds a fresh materialization from current base

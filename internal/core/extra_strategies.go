@@ -55,7 +55,7 @@ func (db *Database) SetSnapshotInterval(view string, commits int) error {
 		return fmt.Errorf("core: negative snapshot interval")
 	}
 	vs.snapshotEvery = commits
-	return nil
+	return db.catalogCheckpointLocked()
 }
 
 // RefreshSnapshot forces an immediate full recomputation of a snapshot
@@ -70,10 +70,14 @@ func (db *Database) RefreshSnapshot(view string) error {
 	if vs.strategy != Snapshot {
 		return fmt.Errorf("core: view %q is not a snapshot view", view)
 	}
+	clockBefore := db.clock.Load()
 	if err := db.pool.EvictAll(); err != nil {
 		return err
 	}
-	return db.inPhase(PhaseDefRefresh, func() error { return db.recomputeView(vs) })
+	if err := db.inPhase(PhaseDefRefresh, func() error { return db.recomputeView(vs) }); err != nil {
+		return err
+	}
+	return db.logRefreshLocked(view, refreshKindSnapshotForce, clockBefore)
 }
 
 // SnapshotStaleness returns how many commits have modified the

@@ -2,9 +2,11 @@ package core
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"viewmat/internal/agg"
 	"viewmat/internal/hr"
@@ -23,6 +25,12 @@ import (
 func (db *Database) Save(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.saveLocked(w)
+}
+
+// saveLocked is Save for callers already holding db.mu (the checkpoint
+// path holds the write lock).
+func (db *Database) saveLocked(w io.Writer) error {
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}
@@ -84,19 +92,42 @@ func (db *Database) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
+// ErrSnapshotTruncated and ErrSnapshotCorrupt classify Load failures:
+// a stream that ends before the encoding completes (the residue of a
+// torn write or an interrupted copy) versus bytes that decode to
+// something impossible. Callers deciding between "retry an older
+// snapshot" and "refuse the file" need the distinction.
+var (
+	ErrSnapshotTruncated = errors.New("core: snapshot truncated")
+	ErrSnapshotCorrupt   = errors.New("core: snapshot corrupt")
+)
+
+// classifySnapshotErr maps a gob decode failure to truncation (the
+// stream ran out) or corruption (everything else). gob reports a
+// mid-value cut as io.ErrUnexpectedEOF and a cut between fields with
+// messages wrapping "unexpected EOF"; a cut before any byte is io.EOF.
+func classifySnapshotErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		strings.Contains(err.Error(), "unexpected EOF") {
+		return ErrSnapshotTruncated
+	}
+	return ErrSnapshotCorrupt
+}
+
 // Load reconstructs a database saved with Save. The restored engine's
-// meter starts at zero (loading is setup, not workload).
+// meter starts at zero (loading is setup, not workload). Failures wrap
+// ErrSnapshotTruncated or ErrSnapshotCorrupt.
 func Load(r io.Reader) (*Database, error) {
 	var snap dbSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+		return nil, fmt.Errorf("%w: decoding: %v", classifySnapshotErr(err), err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("core: snapshot version %d, want %d", snap.Version, snapshotVersion)
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrSnapshotCorrupt, snap.Version, snapshotVersion)
 	}
 	disk, err := storage.RestoreDisk(snap.Disk)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
 	}
 	meter := storage.NewMeter()
 	db := &Database{
@@ -123,7 +154,7 @@ func Load(r io.Reader) (*Database, error) {
 	for _, hd := range snap.HRs {
 		base, ok := db.rels[hd.Relation]
 		if !ok {
-			return nil, fmt.Errorf("core: HR for unknown relation %q", hd.Relation)
+			return nil, fmt.Errorf("%w: HR for unknown relation %q", ErrSnapshotCorrupt, hd.Relation)
 		}
 		h, err := hr.Open(disk, db.pool, base, snap.HRConfig, hd.ADMeta)
 		if err != nil {
@@ -140,7 +171,7 @@ func Load(r io.Reader) (*Database, error) {
 		for _, rn := range def.Relations {
 			rel, ok := db.rels[rn]
 			if !ok {
-				return nil, fmt.Errorf("core: view %q references unknown relation %q", def.Name, rn)
+				return nil, fmt.Errorf("%w: view %q references unknown relation %q", ErrSnapshotCorrupt, def.Name, rn)
 			}
 			schemas = append(schemas, rel.Schema())
 		}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"testing"
 
 	"viewmat/internal/agg"
+	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
 )
 
@@ -183,12 +186,70 @@ func TestSaveLoadSecondaryIndexes(t *testing.T) {
 	}
 }
 
+// TestLoadRejectsGarbage checks Load classifies failures: a stream
+// that simply ends early (crash residue, interrupted copy) is
+// ErrSnapshotTruncated, impossible bytes are ErrSnapshotCorrupt.
+// Callers picking between "try an older snapshot" and "refuse the
+// file" rely on the distinction.
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
-		t.Error("garbage accepted")
+	var buf bytes.Buffer
+	if err := newSPDatabase(t, Deferred, 20).Save(&buf); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Load(bytes.NewReader(nil)); err == nil {
-		t.Error("empty stream accepted")
+	img := buf.Bytes()
+
+	encode := func(snap dbSnapshot) []byte {
+		var b bytes.Buffer
+		if err := gob.NewEncoder(&b).Encode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty stream", nil, ErrSnapshotTruncated},
+		{"one byte", img[:1], ErrSnapshotTruncated},
+		{"cut mid-type-descriptor", img[:40], ErrSnapshotTruncated},
+		{"cut mid-value", img[:len(img)/2], ErrSnapshotTruncated},
+		{"all but last byte", img[:len(img)-1], ErrSnapshotTruncated},
+		// gob reads the first byte of ASCII text as a message length
+		// far past the end of the stream, so prose classifies as
+		// truncation — the classification is best-effort below the
+		// type layer.
+		{"ascii garbage", []byte("not a snapshot"), ErrSnapshotTruncated},
+		{"type garbage", []byte{0x01, 0x02, 'g', 'a', 'r', 'b'}, ErrSnapshotCorrupt},
+		{"wrong version", encode(dbSnapshot{Version: snapshotVersion + 1}), ErrSnapshotCorrupt},
+		{"bad page size", encode(dbSnapshot{
+			Version: snapshotVersion, PoolFrames: 4,
+			Disk: &storage.DiskImage{PageSize: 0},
+		}), ErrSnapshotCorrupt},
+		{"HR without relation", encode(dbSnapshot{
+			Version: snapshotVersion, PageSize: 512, PoolFrames: 4,
+			Disk: &storage.DiskImage{PageSize: 512},
+			HRs:  []hrDTO{{Relation: "ghost"}},
+		}), ErrSnapshotCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	// Every truncation point must classify as truncated or, rarely,
+	// corrupt — never load successfully and never panic.
+	for cut := 0; cut < len(img); cut += 97 {
+		if _, err := Load(bytes.NewReader(img[:cut])); err == nil {
+			t.Fatalf("cut %d: truncated snapshot loaded", cut)
+		}
 	}
 }
 

@@ -32,7 +32,7 @@ func (db *Database) SetDeferredRefreshEvery(view string, n int) error {
 		return fmt.Errorf("core: negative refresh period")
 	}
 	vs.refreshEvery = n
-	return nil
+	return db.catalogCheckpointLocked()
 }
 
 // RefreshDeferredNow runs the deferred refresh cycle for a view
@@ -49,10 +49,14 @@ func (db *Database) RefreshDeferredNow(view string) error {
 	if vs.strategy != Deferred {
 		return fmt.Errorf("core: view %q is not deferred", view)
 	}
+	clockBefore := db.clock.Load()
 	if err := db.pool.EvictAll(); err != nil {
 		return err
 	}
-	return db.refreshDeferred(vs)
+	if err := db.refreshDeferred(vs); err != nil {
+		return err
+	}
+	return db.logRefreshLocked(view, refreshKindDeferredNow, clockBefore)
 }
 
 // runPeriodicDeferredRefresh is called at the end of Commit: deferred

@@ -103,6 +103,21 @@ func (tx *Tx) Commit() error {
 	db := tx.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	clockBefore := db.clock.Load()
+	if err := db.applyOpsLocked(tx.ops); err != nil {
+		return err
+	}
+	// With durability on, the commit is acknowledged only once its
+	// logical record is synced to the WAL (see durability.go).
+	return db.logCommitLocked(tx.ops, clockBefore)
+}
+
+// applyOpsLocked runs a transaction's queued ops through the full
+// commit pipeline: cold-cache eviction, base/AD writes, screening,
+// immediate refresh, periodic deferred refresh. It is the body of
+// Commit, split out so WAL replay can re-execute a logged transaction
+// through the identical code path. Caller holds the engine write lock.
+func (db *Database) applyOpsLocked(ops []txOp) error {
 	if err := db.pool.EvictAll(); err != nil {
 		return err
 	}
@@ -125,8 +140,8 @@ func (tx *Tx) Commit() error {
 
 	// Apply writes (PhaseCommitWrite).
 	err := db.inPhase(PhaseCommitWrite, func() error {
-		for i := range tx.ops {
-			op := &tx.ops[i]
+		for i := range ops {
+			op := &ops[i]
 			r := db.rels[op.rel]
 			h := db.hrs[op.rel]
 			switch op.kind {

@@ -4,7 +4,7 @@ import "math"
 
 // Extensions beyond the paper's three contenders: cost formulas for
 // the two further refresh mechanisms its introduction surveys, derived
-// from the same components (DESIGN.md §6). They let the advisor rank
+// from the same components (DESIGN.md §7). They let the advisor rank
 // all five strategies on one scale.
 //
 // Both strategies store the view and answer queries from it, so they

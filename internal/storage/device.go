@@ -1,0 +1,29 @@
+package storage
+
+import "io"
+
+// Device is a byte-addressed durable device — the backend of the
+// write-ahead log and the snapshot store. It is the only interface the
+// durability layer needs from its storage: positioned reads and writes,
+// a durability barrier (Sync), and truncation.
+//
+// Two implementations exist: wal.FileDevice wraps an *os.File for real
+// deployments, and FaultDisk (below) is an in-memory device with fault
+// injection for crash-recovery testing. The simulated Disk of the cost
+// model is deliberately not a Device: metered page I/O and durable log
+// I/O are different worlds, and keeping them apart is what makes the
+// WAL cost-invisible to the paper's accounting (see DESIGN.md §3).
+type Device interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync makes all preceding writes durable. A crash may lose any
+	// write that was not followed by a successful Sync, including a
+	// prefix of a single write (a torn write).
+	Sync() error
+	// Truncate resizes the device. The durability layer only truncates
+	// as a metadata operation (log reset), which real filesystems make
+	// effectively atomic; FaultDisk models it as immediately durable.
+	Truncate(size int64) error
+	// Size returns the device's current size in bytes.
+	Size() (int64, error)
+}

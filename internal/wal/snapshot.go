@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"viewmat/internal/storage"
+)
+
+// ErrNoSnapshot is returned by Latest when the store holds no complete
+// snapshot (a fresh device, or one whose only write was torn).
+var ErrNoSnapshot = errors.New("wal: no snapshot")
+
+// SnapshotStore keeps engine snapshots on a Device using the same
+// checksummed frame format as the log, with an 8-byte sequence number
+// prefixed to each payload. It is append-only: a new snapshot goes
+// after the previous one and only becomes the recovery root once its
+// frame is fully synced, so a crash mid-checkpoint leaves the prior
+// snapshot intact and Latest still finds it. The log is truncated only
+// after the snapshot frame is durable.
+type SnapshotStore struct {
+	log *Log
+}
+
+// OpenSnapshotStore opens (and, like OpenLog, tail-repairs) a snapshot
+// store on dev.
+func OpenSnapshotStore(dev storage.Device) (*SnapshotStore, error) {
+	l, err := OpenLog(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotStore{log: l}, nil
+}
+
+// Append durably stores a snapshot tagged with seq: frames it, appends
+// after the previous snapshot, and syncs before returning.
+func (s *SnapshotStore) Append(seq uint64, snapshot []byte) error {
+	payload := make([]byte, 8+len(snapshot))
+	binary.LittleEndian.PutUint64(payload[:8], seq)
+	copy(payload[8:], snapshot)
+	return s.log.AppendSync(payload)
+}
+
+// Latest returns the newest fully-written snapshot and its sequence
+// number, or ErrNoSnapshot if none survived.
+func (s *SnapshotStore) Latest() (seq uint64, snapshot []byte, err error) {
+	r, err := NewReader(s.log.dev)
+	if err != nil {
+		return 0, nil, err
+	}
+	var last []byte
+	for {
+		payload, err := r.Next()
+		if err != nil {
+			// A torn or corrupt tail is the expected residue of a crash
+			// mid-checkpoint; the previous snapshot (if any) still wins.
+			if errors.Is(err, io.EOF) || errors.Is(err, ErrTorn) || errors.Is(err, ErrCorrupt) {
+				break
+			}
+			return 0, nil, err
+		}
+		last = payload
+	}
+	if last == nil {
+		return 0, nil, ErrNoSnapshot
+	}
+	if len(last) < 8 {
+		return 0, nil, fmt.Errorf("%w: snapshot frame of %d bytes lacks a sequence number", ErrCorrupt, len(last))
+	}
+	return binary.LittleEndian.Uint64(last[:8]), last[8:], nil
+}

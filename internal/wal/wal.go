@@ -1,0 +1,217 @@
+// Package wal implements the durability substrate of the viewmat
+// engine: a checksummed, length-prefixed write-ahead log and an
+// append-only snapshot store, both over a storage.Device (a real file
+// or a fault-injecting in-memory disk).
+//
+// The frame format is deliberately minimal:
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// Replay reads frames in order and stops at the first sign of trouble:
+// a clean end (device boundary or zero fill), a torn record (length
+// runs past the device), or a corrupt record (checksum mismatch or an
+// absurd length). Torn and corrupt tails are the expected residue of a
+// crash mid-append; everything before them was synced and is valid.
+// Empty payloads are rejected on append so a zeroed region can never
+// masquerade as a record (length 0 + CRC 0 is the zero-fill pattern).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"viewmat/internal/storage"
+)
+
+const (
+	headerSize = 8
+	// MaxRecordSize caps a single record; longer lengths in a header
+	// are treated as corruption, which also keeps a fuzzer (or a bad
+	// disk) from tricking the reader into a giant allocation.
+	MaxRecordSize = 1 << 26
+)
+
+var (
+	// ErrTorn marks a record cut short by the end of the device — the
+	// tail a crash mid-append leaves behind. Everything before it is
+	// valid.
+	ErrTorn = errors.New("wal: torn record")
+	// ErrCorrupt marks a record whose checksum does not match its
+	// payload (or whose length field is impossible).
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C the frame codec uses; exported so tests
+// and fuzzers can verify records independently.
+func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, crcTable) }
+
+// Log is an appender of checksummed frames on a Device. Appends are
+// buffered by the device until Sync; AppendSync is the commit barrier.
+// Safe for concurrent use.
+type Log struct {
+	mu  sync.Mutex
+	dev storage.Device
+	off int64
+}
+
+// OpenLog opens a log for appending, scanning existing frames to find
+// the end of the valid prefix. A torn or corrupt tail (crash residue)
+// is truncated away so stale bytes can never follow a future append.
+func OpenLog(dev storage.Device) (*Log, error) {
+	r, err := NewReader(dev)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		_, err := r.Next()
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, ErrTorn) || errors.Is(err, ErrCorrupt) {
+			if err := dev.Truncate(r.Offset()); err != nil {
+				return nil, fmt.Errorf("wal: truncating damaged tail: %w", err)
+			}
+			if err := dev.Sync(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		return nil, err
+	}
+	return &Log{dev: dev, off: r.Offset()}, nil
+}
+
+// Append writes one frame at the tail without syncing.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("wal: empty payload")
+	}
+	if len(payload) > MaxRecordSize {
+		return fmt.Errorf("wal: payload of %d bytes exceeds max %d", len(payload), MaxRecordSize)
+	}
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], Checksum(payload))
+	copy(frame[headerSize:], payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.dev.WriteAt(frame, l.off); err != nil {
+		return err
+	}
+	l.off += int64(len(frame))
+	return nil
+}
+
+// Sync hardens all appended frames.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.Sync()
+}
+
+// AppendSync appends one frame and syncs — the commit barrier.
+func (l *Log) AppendSync(payload []byte) error {
+	if err := l.Append(payload); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// Reset truncates the log to empty (the checkpoint's log-truncation
+// step; the snapshot is synced first, so nothing here is needed).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.dev.Truncate(0); err != nil {
+		return err
+	}
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	l.off = 0
+	return nil
+}
+
+// Offset returns the current tail offset in bytes.
+func (l *Log) Offset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}
+
+// Reader iterates the frames of a device from the start.
+type Reader struct {
+	dev  storage.Device
+	off  int64
+	size int64
+}
+
+// NewReader positions a reader at the head of the device.
+func NewReader(dev storage.Device) (*Reader, error) {
+	size, err := dev.Size()
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{dev: dev, size: size}, nil
+}
+
+// Offset returns the byte offset of the next unread frame — after an
+// error, the boundary where the valid prefix ends.
+func (r *Reader) Offset() int64 { return r.off }
+
+// Next returns the next record's payload. It returns io.EOF at a clean
+// end (device boundary or zero fill), ErrTorn when a record runs past
+// the device, and ErrCorrupt on a checksum or length violation. After
+// any error the reader stays put: replay must stop, and Offset marks
+// the end of the valid prefix.
+func (r *Reader) Next() ([]byte, error) {
+	rem := r.size - r.off
+	if rem <= 0 {
+		return nil, io.EOF
+	}
+	if rem < headerSize {
+		tail := make([]byte, rem)
+		if _, err := io.ReadFull(io.NewSectionReader(r.dev, r.off, rem), tail); err != nil {
+			return nil, fmt.Errorf("%w: reading %d tail bytes: %v", ErrTorn, rem, err)
+		}
+		for _, b := range tail {
+			if b != 0 {
+				return nil, fmt.Errorf("%w: %d trailing bytes, no room for a header", ErrTorn, rem)
+			}
+		}
+		return nil, io.EOF
+	}
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(r.dev, r.off, headerSize), hdr); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrTorn, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 && crc == 0 {
+		return nil, io.EOF // zero fill: clean end
+	}
+	if length == 0 || length > MaxRecordSize {
+		return nil, fmt.Errorf("%w: record length %d", ErrCorrupt, length)
+	}
+	if r.off+headerSize+int64(length) > r.size {
+		return nil, fmt.Errorf("%w: record of %d bytes runs past device end", ErrTorn, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(io.NewSectionReader(r.dev, r.off+headerSize, int64(length)), payload); err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrTorn, err)
+	}
+	if Checksum(payload) != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, r.off)
+	}
+	r.off += headerSize + int64(length)
+	return payload, nil
+}

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"viewmat/internal/storage"
+)
+
+// readAll drains a reader, returning the payloads and the terminating
+// error.
+func readAll(t *testing.T, dev storage.Device) ([][]byte, error) {
+	t.Helper()
+	r, err := NewReader(dev)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var out [][]byte
+	for {
+		p, err := r.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dev := storage.NewFaultDisk()
+	l, err := OpenLog(dev)
+	if err != nil {
+		t.Fatalf("OpenLog: %v", err)
+	}
+	want := [][]byte{[]byte("one"), []byte("two two"), {0x00, 0xff, 0x00}}
+	for _, p := range want {
+		if err := l.AppendSync(p); err != nil {
+			t.Fatalf("AppendSync: %v", err)
+		}
+	}
+	got, err := readAll(t, dev)
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("terminating error = %v, want EOF", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendRejectsEmptyAndOversized(t *testing.T) {
+	l, err := OpenLog(storage.NewFaultDisk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(nil); err == nil {
+		t.Error("Append(nil) succeeded; empty payloads would alias the zero-fill end marker")
+	}
+	if err := l.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized Append succeeded")
+	}
+}
+
+// TestTornTailStopsReplay cuts a record at every possible byte boundary
+// and checks the reader yields exactly the whole records before the cut
+// and then ErrTorn (or clean EOF at frame boundaries / zero-filled
+// remainders).
+func TestTornTailStopsReplay(t *testing.T) {
+	build := func() ([]byte, []int) {
+		dev := storage.NewFaultDisk()
+		l, _ := OpenLog(dev)
+		var ends []int
+		for _, p := range [][]byte{[]byte("alpha"), []byte("beta-beta"), []byte("g")} {
+			if err := l.AppendSync(p); err != nil {
+				t.Fatal(err)
+			}
+			ends = append(ends, int(l.Offset()))
+		}
+		img := make([]byte, ends[len(ends)-1])
+		if _, err := dev.ReadAt(img, 0); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		return img, ends
+	}
+	img, ends := build()
+	for cut := 0; cut <= len(img); cut++ {
+		dev := storage.NewFaultDiskBytes(img[:cut])
+		got, err := readAll(t, dev)
+		wantWhole := 0
+		for _, e := range ends {
+			if cut >= e {
+				wantWhole++
+			}
+		}
+		if len(got) != wantWhole {
+			t.Fatalf("cut %d: %d records, want %d", cut, len(got), wantWhole)
+		}
+		atBoundary := cut == 0
+		for _, e := range ends {
+			if cut == e {
+				atBoundary = true
+			}
+		}
+		if atBoundary {
+			if !errors.Is(err, io.EOF) {
+				t.Errorf("cut %d (frame boundary): err = %v, want EOF", cut, err)
+			}
+		} else if !errors.Is(err, ErrTorn) {
+			t.Errorf("cut %d: err = %v, want ErrTorn", cut, err)
+		}
+	}
+}
+
+func TestZeroFillIsCleanEnd(t *testing.T) {
+	dev := storage.NewFaultDisk()
+	l, _ := OpenLog(dev)
+	if err := l.AppendSync([]byte("record")); err != nil {
+		t.Fatal(err)
+	}
+	// A pre-allocated file tail: zero bytes after the last record.
+	for _, pad := range []int{1, 7, 8, 64} {
+		padded := storage.NewFaultDiskBytes(nil)
+		img := make([]byte, l.Offset())
+		if _, err := dev.ReadAt(img, 0); err != nil && !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		if _, err := padded.WriteAt(append(img, make([]byte, pad)...), 0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readAll(t, padded)
+		if !errors.Is(err, io.EOF) {
+			t.Errorf("pad %d: err = %v, want EOF", pad, err)
+		}
+		if len(got) != 1 {
+			t.Errorf("pad %d: %d records, want 1", pad, len(got))
+		}
+	}
+}
+
+func TestCorruptRecordStopsReplay(t *testing.T) {
+	mk := func() (*storage.FaultDisk, int64) {
+		dev := storage.NewFaultDisk()
+		l, _ := OpenLog(dev)
+		for _, p := range [][]byte{[]byte("first"), []byte("second")} {
+			if err := l.AppendSync(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dev, l.Offset()
+	}
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		dev, _ := mk()
+		// Corrupt a payload byte of the second record (offset 8+5+8 = 21).
+		if _, err := dev.WriteAt([]byte{0xee}, 22); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readAll(t, dev)
+		if len(got) != 1 || !errors.Is(err, ErrCorrupt) {
+			t.Errorf("got %d records, err %v; want 1 record then ErrCorrupt", len(got), err)
+		}
+	})
+	t.Run("absurd length", func(t *testing.T) {
+		dev, _ := mk()
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], MaxRecordSize+1)
+		if _, err := dev.WriteAt(hdr[:], 13); err != nil { // second record's length field
+			t.Fatal(err)
+		}
+		got, err := readAll(t, dev)
+		if len(got) != 1 || !errors.Is(err, ErrCorrupt) {
+			t.Errorf("got %d records, err %v; want 1 record then ErrCorrupt", len(got), err)
+		}
+	})
+}
+
+// TestOpenLogRepairsTail checks OpenLog truncates crash residue so a
+// new append never leaves stale bytes after itself.
+func TestOpenLogRepairsTail(t *testing.T) {
+	dev := storage.NewFaultDisk()
+	l, _ := OpenLog(dev)
+	if err := l.AppendSync([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	kept := l.Offset()
+	// Simulate a torn append: half a frame of garbage.
+	if _, err := dev.WriteAt([]byte{9, 0, 0, 0, 1, 2}, kept); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenLog(dev)
+	if err != nil {
+		t.Fatalf("OpenLog over torn tail: %v", err)
+	}
+	if l2.Offset() != kept {
+		t.Fatalf("reopened offset %d, want %d", l2.Offset(), kept)
+	}
+	if err := l2.AppendSync([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, dev)
+	if !errors.Is(err, io.EOF) || len(got) != 2 || string(got[1]) != "after" {
+		t.Fatalf("after repair: records %q err %v", got, err)
+	}
+}
+
+func TestSnapshotStoreLatestSurvivesTornCheckpoint(t *testing.T) {
+	dev := storage.NewFaultDisk()
+	s, err := OpenSnapshotStore(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Latest(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("Latest on empty store: %v, want ErrNoSnapshot", err)
+	}
+	if err := s.Append(3, []byte("snap-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(9, []byte("snap-b")); err != nil {
+		t.Fatal(err)
+	}
+	seq, body, err := s.Latest()
+	if err != nil || seq != 9 || string(body) != "snap-b" {
+		t.Fatalf("Latest = (%d, %q, %v), want (9, snap-b, nil)", seq, body, err)
+	}
+	// Tear the tail of a third snapshot: the second must still win.
+	size, _ := dev.Size()
+	if _, err := dev.WriteAt([]byte{200, 1, 0, 0, 7, 7, 7, 7, 1, 2, 3}, size); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	seq, body, err = s.Latest()
+	if err != nil || seq != 9 || string(body) != "snap-b" {
+		t.Fatalf("Latest after torn checkpoint = (%d, %q, %v), want (9, snap-b, nil)", seq, body, err)
+	}
+}
+
+// TestFileDevice exercises the real-file backend end to end, including
+// its injectable failures.
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	dev, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	l, err := OpenLog(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.AppendSync([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen and verify the valid prefix survives the file round trip.
+	dev2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	got, err := readAll(t, dev2)
+	if !errors.Is(err, io.EOF) || len(got) != 5 {
+		t.Fatalf("reopened file: %d records, err %v", len(got), err)
+	}
+
+	boom := errors.New("boom")
+	dev2.FailWriteAt(1, boom)
+	l2, err := OpenLog(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("injected write failure: %v", err)
+	}
+	dev2.FailSync(1, boom)
+	if err := l2.AppendSync([]byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("injected sync failure: %v", err)
+	}
+}
