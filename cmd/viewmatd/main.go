@@ -1,0 +1,140 @@
+// Command viewmatd serves a viewmat engine over TCP: many clients
+// (internal/client, or anything speaking internal/proto) share one
+// thread-safe core.Database through the serving layer in
+// internal/server.
+//
+// Without flags it serves an empty volatile engine:
+//
+//	viewmatd -addr 127.0.0.1:7117
+//
+// With -wal DIR the engine is durable: if DIR holds a previous run's
+// WAL and snapshot store the database is recovered from them before
+// serving, otherwise a fresh durable engine is created. Every
+// acknowledged commit is synced to the WAL before its response goes
+// out, so a killed server restarted on the same directory answers with
+// every transaction it ever acknowledged:
+//
+//	viewmatd -addr 127.0.0.1:7117 -wal /var/lib/viewmat
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests
+// finish and their responses flush before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"viewmat/internal/core"
+	"viewmat/internal/server"
+	"viewmat/internal/wal"
+)
+
+const (
+	walFileName  = "wal.log"
+	snapFileName = "snapshots.log"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
+	walDir := flag.String("wal", "", "durability directory (WAL + snapshot store); empty = volatile")
+	ckptEvery := flag.Int("checkpoint-every", 8, "commits between automatic checkpoints (with -wal)")
+	maxInflight := flag.Int("max-inflight", 64, "admission-control cap on concurrently executing requests")
+	pageSize := flag.Int("page-size", 4000, "engine page size in bytes (fresh engines only)")
+	poolFrames := flag.Int("pool-frames", 256, "buffer-pool capacity in pages (fresh engines only)")
+	refreshWorkers := flag.Int("refresh-workers", 4, "RefreshAll worker pool bound")
+	flag.Parse()
+
+	if err := run(*addr, *walDir, *ckptEvery, *maxInflight, *pageSize, *poolFrames, *refreshWorkers); err != nil {
+		fmt.Fprintln(os.Stderr, "viewmatd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, walDir string, ckptEvery, maxInflight, pageSize, poolFrames, refreshWorkers int) error {
+	var db *core.Database
+	if walDir == "" {
+		db = core.NewDatabase(core.Options{PageSize: pageSize, PoolFrames: poolFrames, MaxRefreshWorkers: refreshWorkers})
+		fmt.Println("volatile engine (no -wal): state dies with the process")
+	} else {
+		var err error
+		db, err = openDurable(walDir, ckptEvery, pageSize, poolFrames, refreshWorkers)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv := server.New(db, server.Config{
+		Addr:        addr,
+		MaxInflight: maxInflight,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("caught %v; draining in-flight requests\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+
+	fmt.Printf("viewmatd listening on %s (max-inflight %d)\n", addr, maxInflight)
+	if err := srv.ListenAndServe(); err != nil {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("drained; bye")
+	return nil
+}
+
+// openDurable recovers an engine from dir's WAL and snapshot store, or
+// creates a fresh durable engine when the directory holds no usable
+// snapshot yet.
+func openDurable(dir string, ckptEvery, pageSize, poolFrames, refreshWorkers int) (*core.Database, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	walDev, err := wal.OpenFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		return nil, err
+	}
+	snapDev, err := wal.OpenFile(filepath.Join(dir, snapFileName))
+	if err != nil {
+		walDev.Close()
+		return nil, err
+	}
+	opts := core.DurabilityOptions{CheckpointEvery: ckptEvery}
+	db, info, err := core.Recover(walDev, snapDev, opts)
+	switch {
+	case err == nil:
+		db.SetMaxRefreshWorkers(refreshWorkers)
+		fmt.Printf("recovered from %s: snapshot seq %d, %d records replayed, %d skipped", dir, info.SnapshotSeq, info.Replayed, info.Skipped)
+		if info.TailDamage != "" {
+			fmt.Printf(", %s tail truncated", info.TailDamage)
+		}
+		fmt.Println()
+		return db, nil
+	case errors.Is(err, wal.ErrNoSnapshot):
+		db = core.NewDatabase(core.Options{PageSize: pageSize, PoolFrames: poolFrames, MaxRefreshWorkers: refreshWorkers})
+		if err := db.EnableDurability(walDev, snapDev, opts); err != nil {
+			return nil, err
+		}
+		fmt.Printf("fresh durable engine under %s (checkpoint every %d commits)\n", dir, ckptEvery)
+		return db, nil
+	default:
+		return nil, fmt.Errorf("recovering from %s: %w", dir, err)
+	}
+}

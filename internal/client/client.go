@@ -1,0 +1,240 @@
+// Package client is the Go client for viewmatd (internal/server). A
+// Client owns one TCP connection and speaks the strict
+// request/response protocol of internal/proto; it is safe for
+// concurrent use, serializing calls on its single connection. For
+// parallel load, open one Client per goroutine — the server's
+// concurrency unit is the connection.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"viewmat/internal/core"
+	"viewmat/internal/pred"
+	"viewmat/internal/proto"
+	"viewmat/internal/tuple"
+)
+
+// Typed failures a caller can dispatch on. Engine-side errors (unknown
+// view, schema mismatch, …) arrive as plain errors carrying the
+// server's message.
+var (
+	// ErrBusy: the server's admission cap was reached; the request was
+	// not executed and may be retried.
+	ErrBusy = errors.New("client: server busy")
+	// ErrShuttingDown: the server is draining and accepted no new work.
+	ErrShuttingDown = errors.New("client: server shutting down")
+	// ErrBadRequest: the server could not decode or validate the
+	// request.
+	ErrBadRequest = errors.New("client: bad request")
+)
+
+// Options tunes a Client.
+type Options struct {
+	// Timeout bounds each call end to end (dial, write, read).
+	// Default 30s.
+	Timeout time.Duration
+}
+
+// Client is a connection to a viewmatd server.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// Dial connects with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to a viewmatd server.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, timeout: opts.Timeout}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call sends one request and reads its response, mapping non-OK codes
+// to errors.
+func (c *Client) call(req *proto.Request) (*proto.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := time.Now().Add(c.timeout)
+	c.conn.SetDeadline(deadline)
+	if err := proto.WriteRequest(c.conn, req); err != nil {
+		return nil, fmt.Errorf("client: sending %v: %w", req.Op, err)
+	}
+	resp, err := proto.ReadResponse(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: reading %v response: %w", req.Op, err)
+	}
+	switch resp.Code {
+	case proto.CodeOK:
+		return resp, nil
+	case proto.CodeBusy:
+		return nil, ErrBusy
+	case proto.CodeShutdown:
+		return nil, ErrShuttingDown
+	case proto.CodeBadRequest:
+		return nil, fmt.Errorf("%w: %s", ErrBadRequest, resp.Err)
+	default:
+		return nil, errors.New(resp.Err)
+	}
+}
+
+// Ping checks the server is alive.
+func (c *Client) Ping() error {
+	_, err := c.call(&proto.Request{Op: proto.OpPing})
+	return err
+}
+
+// CreateRelationBTree creates a B+-tree-clustered base relation.
+func (c *Client) CreateRelationBTree(name string, schema *tuple.Schema, keyCol int) error {
+	_, err := c.call(&proto.Request{
+		Op: proto.OpCreateRelBTree, Name: name,
+		Schema: proto.SchemaToDTO(schema), KeyCol: keyCol,
+	})
+	return err
+}
+
+// CreateRelationHash creates a hash-clustered base relation.
+func (c *Client) CreateRelationHash(name string, schema *tuple.Schema, keyCol, buckets int) error {
+	_, err := c.call(&proto.Request{
+		Op: proto.OpCreateRelHash, Name: name,
+		Schema: proto.SchemaToDTO(schema), KeyCol: keyCol, Buckets: buckets,
+	})
+	return err
+}
+
+// CreateView registers a view with the given maintenance strategy.
+func (c *Client) CreateView(def core.Def, strategy core.Strategy) error {
+	dto := proto.DefToDTO(def)
+	_, err := c.call(&proto.Request{Op: proto.OpCreateView, View: &dto, Strategy: int(strategy)})
+	return err
+}
+
+// DropView removes a view.
+func (c *Client) DropView(name string) error {
+	_, err := c.call(&proto.Request{Op: proto.OpDropView, Name: name})
+	return err
+}
+
+// QueryView queries a select-project or join view, optionally
+// restricted to rg, under the view's default plan. Rows arrive as
+// value slices in the view's output schema.
+func (c *Client) QueryView(name string, rg *pred.Range) ([][]tuple.Value, error) {
+	return c.QueryViewPlan(name, rg, -1)
+}
+
+// QueryViewPlan is QueryView with an explicit query-modification plan
+// (pass a core.QueryPlan; negative = the view's default).
+func (c *Client) QueryViewPlan(name string, rg *pred.Range, plan int) ([][]tuple.Value, error) {
+	resp, err := c.call(&proto.Request{
+		Op: proto.OpQueryView, Name: name,
+		Range: proto.RangeToDTO(rg), Plan: plan,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]tuple.Value, len(resp.Rows))
+	for i, r := range resp.Rows {
+		rows[i] = proto.ValuesFromDTO(r)
+	}
+	return rows, nil
+}
+
+// QueryAggregate reads an aggregate view's value; ok is false when the
+// aggregate is undefined (MIN/MAX/AVG over the empty set).
+func (c *Client) QueryAggregate(name string) (value float64, ok bool, err error) {
+	resp, err := c.call(&proto.Request{Op: proto.OpQueryAggregate, Name: name})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Agg, resp.AggOK, nil
+}
+
+// RefreshAll brings every stale view current (the idle-time refresh).
+func (c *Client) RefreshAll() error {
+	_, err := c.call(&proto.Request{Op: proto.OpRefreshAll})
+	return err
+}
+
+// Checkpoint forces a durability checkpoint (errors if the server runs
+// without -wal).
+func (c *Client) Checkpoint() error {
+	_, err := c.call(&proto.Request{Op: proto.OpCheckpoint})
+	return err
+}
+
+// Health fetches the engine health snapshot.
+func (c *Client) Health() (core.Health, error) {
+	resp, err := c.call(&proto.Request{Op: proto.OpHealth})
+	if err != nil {
+		return core.Health{}, err
+	}
+	if resp.Health == nil {
+		return core.Health{}, errors.New("client: health response missing body")
+	}
+	return *resp.Health, nil
+}
+
+// Tx buffers one transaction client-side; Commit ships it as a single
+// OpCommit request the server applies atomically.
+type Tx struct {
+	c    *Client
+	ops  []proto.TxOpDTO
+	done bool
+}
+
+// Begin starts a client-side transaction buffer.
+func (c *Client) Begin() *Tx { return &Tx{c: c} }
+
+// Insert queues an insertion. The tuple's id is assigned server-side
+// and returned by Commit.
+func (tx *Tx) Insert(rel string, vals ...tuple.Value) {
+	tx.ops = append(tx.ops, proto.TxOpDTO{Kind: proto.TxInsert, Rel: rel, Vals: proto.ValuesToDTO(vals)})
+}
+
+// Delete queues the deletion of the tuple with the given clustering-key
+// value and id (from an earlier Commit's returned ids).
+func (tx *Tx) Delete(rel string, key tuple.Value, id uint64) {
+	tx.ops = append(tx.ops, proto.TxOpDTO{Kind: proto.TxDelete, Rel: rel, Key: proto.ValueToDTO(key), ID: id})
+}
+
+// Update queues the replacement of tuple (key, id) with vals; the
+// replacement's fresh id is returned by Commit.
+func (tx *Tx) Update(rel string, key tuple.Value, id uint64, vals ...tuple.Value) {
+	tx.ops = append(tx.ops, proto.TxOpDTO{Kind: proto.TxUpdate, Rel: rel, Key: proto.ValueToDTO(key), ID: id, Vals: proto.ValuesToDTO(vals)})
+}
+
+// Commit applies the buffered ops atomically. On success it returns
+// the ids assigned to inserts and updates, in the order those ops were
+// queued. A transaction acknowledged here is durable if the server
+// runs with a WAL: the server syncs the commit record before
+// responding.
+func (tx *Tx) Commit() ([]uint64, error) {
+	if tx.done {
+		return nil, errors.New("client: transaction already committed")
+	}
+	tx.done = true
+	resp, err := tx.c.call(&proto.Request{Op: proto.OpCommit, TxOps: tx.ops})
+	if err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}

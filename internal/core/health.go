@@ -1,0 +1,50 @@
+package core
+
+import "viewmat/internal/storage"
+
+// Health is a point-in-time snapshot of the engine's externally
+// observable state, assembled for serving-layer health/stats endpoints
+// (cmd/viewmatd exposes it over the wire). Counters are read under the
+// same guards their writers use, so a snapshot taken under concurrent
+// load is internally consistent per field, though fields sampled at
+// slightly different instants may straddle an in-flight operation.
+type Health struct {
+	// Relations and Views count catalog objects.
+	Relations int
+	Views     int
+	// Queries and Commits are the engine's lifetime operation counters
+	// (reset by ResetStats).
+	Queries int
+	Commits int
+	// Meter is the current metered cost snapshot.
+	Meter storage.Stats
+	// PoolResident and PoolCapacity describe buffer-pool occupancy.
+	PoolResident int
+	PoolCapacity int
+	// Durable reports whether a WAL is attached.
+	Durable bool
+	// RefreshLeaders and RefreshWaiters count single-flight refreshes
+	// led vs joined (see RefreshFlightStats).
+	RefreshLeaders int64
+	RefreshWaiters int64
+}
+
+// Health returns a snapshot of engine state for monitoring.
+func (db *Database) Health() Health {
+	h := Health{
+		Meter:        db.meter.Snapshot(),
+		PoolResident: db.pool.Resident(),
+		PoolCapacity: db.pool.Capacity(),
+	}
+	h.RefreshLeaders, h.RefreshWaiters = db.RefreshFlightStats()
+	db.mu.RLock()
+	h.Relations = len(db.rels)
+	h.Views = len(db.views)
+	h.Durable = db.dur != nil
+	db.mu.RUnlock()
+	db.statsMu.Lock()
+	h.Queries = db.Queries
+	h.Commits = db.Commits
+	db.statsMu.Unlock()
+	return h
+}

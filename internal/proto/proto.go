@@ -1,0 +1,429 @@
+// Package proto defines the wire protocol spoken between viewmatd
+// (internal/server) and its Go client (internal/client): gob-encoded
+// request/response messages carried in the same length-prefixed
+// CRC-32C frames the write-ahead log uses (internal/frame).
+//
+// The protocol is strictly request/response: a client writes one
+// request frame and reads exactly one response frame before sending
+// the next. Concurrency comes from many connections, not pipelining —
+// the server multiplexes all connections onto one thread-safe
+// core.Database.
+//
+// Engine types whose fields are unexported (tuple.Value, pred atoms)
+// cross the wire as explicit DTOs; conversions live here so the server
+// and client agree on exactly one encoding.
+package proto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/core"
+	"viewmat/internal/frame"
+	"viewmat/internal/pred"
+	"viewmat/internal/tuple"
+)
+
+// MaxFrame is the default cap on a message payload. Requests and
+// responses are small (a query result is the largest message); the cap
+// keeps a corrupt or hostile length header from forcing a giant
+// allocation.
+const MaxFrame = 1 << 24
+
+// ErrDecode marks bytes that arrived in a valid frame but do not
+// decode to a protocol message.
+var ErrDecode = errors.New("proto: malformed message")
+
+// Op enumerates the request operations.
+type Op uint8
+
+// Request operations.
+const (
+	// OpPing checks liveness; it carries no arguments.
+	OpPing Op = 1 + iota
+	// OpCreateRelBTree creates a B+-tree-clustered base relation
+	// (Name, Schema, KeyCol).
+	OpCreateRelBTree
+	// OpCreateRelHash creates a hash-clustered base relation (Name,
+	// Schema, KeyCol, Buckets).
+	OpCreateRelHash
+	// OpCreateView creates a view (View, Strategy).
+	OpCreateView
+	// OpDropView drops a view (Name).
+	OpDropView
+	// OpCommit applies one transaction's ops atomically (TxOps) and
+	// returns the ids assigned to inserts/updates, in op order.
+	OpCommit
+	// OpQueryView queries a select-project or join view (Name, Range,
+	// Plan).
+	OpQueryView
+	// OpQueryAggregate reads an aggregate view's value (Name).
+	OpQueryAggregate
+	// OpRefreshAll brings every stale view current.
+	OpRefreshAll
+	// OpCheckpoint forces a durability checkpoint.
+	OpCheckpoint
+	// OpHealth returns the engine health snapshot.
+	OpHealth
+)
+
+// String names the op for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpCreateRelBTree:
+		return "create-rel-btree"
+	case OpCreateRelHash:
+		return "create-rel-hash"
+	case OpCreateView:
+		return "create-view"
+	case OpDropView:
+		return "drop-view"
+	case OpCommit:
+		return "commit"
+	case OpQueryView:
+		return "query-view"
+	case OpQueryAggregate:
+		return "query-aggregate"
+	case OpRefreshAll:
+		return "refresh-all"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpHealth:
+		return "health"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Code classifies a response.
+type Code uint8
+
+// Response codes.
+const (
+	// CodeOK is a successful response.
+	CodeOK Code = iota
+	// CodeBusy means the admission-control cap was reached; the
+	// request was not executed and may be retried.
+	CodeBusy
+	// CodeBadRequest means the request could not be decoded or failed
+	// validation before touching the engine.
+	CodeBadRequest
+	// CodeError means the engine rejected or failed the operation; Err
+	// carries the message.
+	CodeError
+	// CodeShutdown means the server is draining and accepted no new
+	// work.
+	CodeShutdown
+)
+
+// Request is one client operation. Fields beyond Op are op-specific;
+// see the Op constants.
+type Request struct {
+	Op Op
+
+	// Name is the relation name for relation DDL and the view name for
+	// view operations.
+	Name string
+
+	// Schema, KeyCol, Buckets parameterize relation DDL.
+	Schema  []ColumnDTO
+	KeyCol  int
+	Buckets int
+
+	// View and Strategy parameterize OpCreateView.
+	View     *ViewDTO
+	Strategy int
+
+	// TxOps is OpCommit's op list.
+	TxOps []TxOpDTO
+
+	// Range optionally restricts OpQueryView to a key interval; Plan
+	// (< 0 = the view's default) selects the query-modification plan.
+	Range *RangeDTO
+	Plan  int
+}
+
+// Response answers one Request.
+type Response struct {
+	Code Code
+	// Err carries the failure message for non-OK codes.
+	Err string
+
+	// IDs are the tuple ids assigned by OpCommit, one per insert or
+	// update op, in op order.
+	IDs []uint64
+
+	// Rows is OpQueryView's result.
+	Rows [][]ValueDTO
+
+	// Agg and AggOK are OpQueryAggregate's result (AggOK false = the
+	// aggregate is undefined, e.g. AVG over the empty set).
+	Agg   float64
+	AggOK bool
+
+	// Health is OpHealth's result.
+	Health *core.Health
+}
+
+// WriteRequest frames and writes one request.
+func WriteRequest(w io.Writer, req *Request) error { return writeMsg(w, req) }
+
+// WriteResponse frames and writes one response.
+func WriteResponse(w io.Writer, resp *Response) error { return writeMsg(w, resp) }
+
+func writeMsg(w io.Writer, msg any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+		return fmt.Errorf("proto: encoding: %w", err)
+	}
+	return frame.Write(w, buf.Bytes(), MaxFrame)
+}
+
+// ReadRequest reads and decodes one request frame. Frame-level damage
+// surfaces as the frame package's typed errors; a frame that passes
+// its checksum but does not decode wraps ErrDecode. Neither ever
+// panics, whatever the bytes.
+func ReadRequest(r io.Reader) (*Request, error) {
+	payload, err := frame.Read(r, MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	var req Request
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return &req, nil
+}
+
+// ReadResponse reads and decodes one response frame.
+func ReadResponse(r io.Reader) (*Response, error) {
+	payload, err := frame.Read(r, MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return &resp, nil
+}
+
+// --- DTOs -----------------------------------------------------------------
+
+// ValueDTO is tuple.Value with exported fields.
+type ValueDTO struct {
+	T uint8
+	I int64
+	F float64
+	S string
+}
+
+// ValueToDTO converts a tuple.Value for the wire.
+func ValueToDTO(v tuple.Value) ValueDTO {
+	switch v.Type() {
+	case tuple.Float:
+		return ValueDTO{T: uint8(tuple.Float), F: v.Float()}
+	case tuple.String:
+		return ValueDTO{T: uint8(tuple.String), S: v.Str()}
+	default:
+		return ValueDTO{T: uint8(tuple.Int), I: v.Int()}
+	}
+}
+
+// ValueFromDTO converts a wire value back. Unknown type tags decode as
+// Int so hostile input degrades instead of panicking; schema
+// validation catches the mismatch server-side.
+func ValueFromDTO(d ValueDTO) tuple.Value {
+	switch tuple.Type(d.T) {
+	case tuple.Float:
+		return tuple.F(d.F)
+	case tuple.String:
+		return tuple.S(d.S)
+	default:
+		return tuple.I(d.I)
+	}
+}
+
+// ValuesToDTO converts a row of values.
+func ValuesToDTO(vals []tuple.Value) []ValueDTO {
+	out := make([]ValueDTO, len(vals))
+	for i, v := range vals {
+		out[i] = ValueToDTO(v)
+	}
+	return out
+}
+
+// ValuesFromDTO converts a wire row back.
+func ValuesFromDTO(dtos []ValueDTO) []tuple.Value {
+	out := make([]tuple.Value, len(dtos))
+	for i, d := range dtos {
+		out[i] = ValueFromDTO(d)
+	}
+	return out
+}
+
+// ColumnDTO is one schema column.
+type ColumnDTO struct {
+	Name string
+	Type uint8
+}
+
+// SchemaToDTO converts a schema for the wire.
+func SchemaToDTO(s *tuple.Schema) []ColumnDTO {
+	out := make([]ColumnDTO, len(s.Cols))
+	for i, c := range s.Cols {
+		out[i] = ColumnDTO{Name: c.Name, Type: uint8(c.Type)}
+	}
+	return out
+}
+
+// SchemaFromDTO converts a wire schema back.
+func SchemaFromDTO(cols []ColumnDTO) *tuple.Schema {
+	out := make([]tuple.Column, len(cols))
+	for i, c := range cols {
+		out[i] = tuple.Column{Name: c.Name, Type: tuple.Type(c.Type)}
+	}
+	return tuple.NewSchema(out...)
+}
+
+// AtomDTO is one predicate atom: a comparison (Join false) or a join
+// equality (Join true).
+type AtomDTO struct {
+	Join bool
+
+	// Comparison fields.
+	Rel, Col int
+	Op       uint8
+	Val      ValueDTO
+
+	// Join-equality fields.
+	LRel, LCol, RRel, RCol int
+}
+
+// ViewDTO is core.Def plus nothing: the definition's predicate atoms
+// are flattened into AtomDTOs.
+type ViewDTO struct {
+	Name       string
+	Kind       int
+	Relations  []string
+	Atoms      []AtomDTO
+	Project    [][]int
+	ViewKeyCol int
+	AggKind    uint8
+	AggCol     int
+	GroupBy    int
+}
+
+// DefToDTO converts a view definition for the wire.
+func DefToDTO(d core.Def) ViewDTO {
+	dto := ViewDTO{
+		Name:       d.Name,
+		Kind:       int(d.Kind),
+		Relations:  append([]string(nil), d.Relations...),
+		Project:    d.Project,
+		ViewKeyCol: d.ViewKeyCol,
+		AggKind:    uint8(d.AggKind),
+		AggCol:     d.AggCol,
+		GroupBy:    d.GroupBy,
+	}
+	if d.Pred != nil {
+		for _, a := range d.Pred.Atoms {
+			switch at := a.(type) {
+			case pred.Cmp:
+				dto.Atoms = append(dto.Atoms, AtomDTO{Rel: at.Rel, Col: at.Col, Op: uint8(at.Op), Val: ValueToDTO(at.Val)})
+			case pred.JoinEq:
+				dto.Atoms = append(dto.Atoms, AtomDTO{Join: true, LRel: at.LRel, LCol: at.LCol, RRel: at.RRel, RCol: at.RCol})
+			}
+		}
+	}
+	return dto
+}
+
+// DefFromDTO converts a wire view definition back. The result is not
+// yet validated; CreateView runs Def.Validate against the live schemas.
+func DefFromDTO(dto ViewDTO) core.Def {
+	atoms := make([]pred.Atom, 0, len(dto.Atoms))
+	for _, a := range dto.Atoms {
+		if a.Join {
+			atoms = append(atoms, pred.JoinEq{LRel: a.LRel, LCol: a.LCol, RRel: a.RRel, RCol: a.RCol})
+		} else {
+			atoms = append(atoms, pred.Cmp{Rel: a.Rel, Col: a.Col, Op: pred.Op(a.Op), Val: ValueFromDTO(a.Val)})
+		}
+	}
+	return core.Def{
+		Name:       dto.Name,
+		Kind:       core.Kind(dto.Kind),
+		Relations:  dto.Relations,
+		Pred:       pred.New(atoms...),
+		Project:    dto.Project,
+		ViewKeyCol: dto.ViewKeyCol,
+		AggKind:    agg.Kind(dto.AggKind),
+		AggCol:     dto.AggCol,
+		GroupBy:    dto.GroupBy,
+	}
+}
+
+// RangeDTO is pred.Range with explicit presence flags for the open
+// bounds.
+type RangeDTO struct {
+	HasLo, HasHi bool
+	Lo, Hi       ValueDTO
+	LoInc, HiInc bool
+}
+
+// RangeToDTO converts a query range (nil = unrestricted) for the wire.
+func RangeToDTO(rg *pred.Range) *RangeDTO {
+	if rg == nil {
+		return nil
+	}
+	out := &RangeDTO{LoInc: rg.LoInc, HiInc: rg.HiInc}
+	if rg.Lo != nil {
+		out.HasLo, out.Lo = true, ValueToDTO(*rg.Lo)
+	}
+	if rg.Hi != nil {
+		out.HasHi, out.Hi = true, ValueToDTO(*rg.Hi)
+	}
+	return out
+}
+
+// RangeFromDTO converts a wire range back (nil = unrestricted).
+func RangeFromDTO(d *RangeDTO) *pred.Range {
+	if d == nil {
+		return nil
+	}
+	out := &pred.Range{LoInc: d.LoInc, HiInc: d.HiInc}
+	if d.HasLo {
+		v := ValueFromDTO(d.Lo)
+		out.Lo = &v
+	}
+	if d.HasHi {
+		v := ValueFromDTO(d.Hi)
+		out.Hi = &v
+	}
+	return out
+}
+
+// Transaction op kinds for TxOpDTO.
+const (
+	// TxInsert inserts Vals.
+	TxInsert uint8 = iota
+	// TxDelete deletes the tuple (Key, ID).
+	TxDelete
+	// TxUpdate replaces the tuple (Key, ID) with Vals.
+	TxUpdate
+)
+
+// TxOpDTO is one operation inside an OpCommit request.
+type TxOpDTO struct {
+	Kind uint8
+	Rel  string
+	Vals []ValueDTO
+	Key  ValueDTO
+	ID   uint64
+}

@@ -1,0 +1,98 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/core"
+	"viewmat/internal/pred"
+	"viewmat/internal/tuple"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	def := core.Def{
+		Name:      "vjoin",
+		Kind:      core.Join,
+		Relations: []string{"r1", "r2"},
+		Pred: pred.New(
+			pred.Cmp{Rel: 0, Col: 0, Op: pred.Lt, Val: tuple.I(100)},
+			pred.JoinEq{LRel: 0, LCol: 1, RRel: 1, RCol: 0},
+		),
+		Project:    [][]int{{0, 2}, {1}},
+		ViewKeyCol: 0,
+		AggKind:    agg.Sum,
+		AggCol:     1,
+	}
+	dto := DefToDTO(def)
+	req := &Request{
+		Op:       OpCreateView,
+		View:     &dto,
+		Strategy: int(core.Deferred),
+		TxOps: []TxOpDTO{
+			{Kind: TxInsert, Rel: "r1", Vals: ValuesToDTO([]tuple.Value{tuple.I(4), tuple.F(2.5), tuple.S("x")})},
+			{Kind: TxDelete, Rel: "r1", Key: ValueToDTO(tuple.I(9)), ID: 77},
+		},
+		Range: RangeToDTO(pred.NewRange(tuple.I(1), tuple.I(50), true, false)),
+		Plan:  -1,
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip mutated request:\n got %+v\nwant %+v", got, req)
+	}
+
+	// The Def survives the DTO round trip semantically: same validation
+	// outcome and same rendered predicate.
+	back := DefFromDTO(*got.View)
+	if back.Name != def.Name || back.Kind != def.Kind || back.Pred.String() != def.Pred.String() {
+		t.Fatalf("Def round trip: got %+v", back)
+	}
+	rg := RangeFromDTO(got.Range)
+	if rg == nil || rg.Lo == nil || rg.Hi == nil || rg.Lo.Int() != 1 || rg.Hi.Int() != 50 || !rg.LoInc || rg.HiInc {
+		t.Fatalf("Range round trip: got %+v", rg)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		Code: CodeOK,
+		IDs:  []uint64{3, 9},
+		Rows: [][]ValueDTO{ValuesToDTO([]tuple.Value{tuple.I(1), tuple.S("a")})},
+		Health: &core.Health{
+			Relations: 2, Views: 3, Durable: true,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Fatalf("round trip mutated response:\n got %+v\nwant %+v", got, resp)
+	}
+}
+
+func TestReadRequestRejectsGarbagePayload(t *testing.T) {
+	// A well-framed payload that is not a gob Request must fail with
+	// ErrDecode, not panic.
+	var buf bytes.Buffer
+	if err := writeMsg(&buf, "not a request"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRequest(&buf); !errors.Is(err, ErrDecode) {
+		t.Fatalf("err = %v, want ErrDecode", err)
+	}
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"viewmat/internal/client"
+	"viewmat/internal/core"
+	"viewmat/internal/tuple"
+	"viewmat/internal/wal"
+)
+
+// openWALPair opens (or reopens) the WAL and snapshot files under dir.
+// Reopening the same paths with fresh handles while the killed
+// server's handles still exist models a process restart: only synced
+// bytes are shared state.
+func openWALPair(t *testing.T, dir string) (*wal.FileDevice, *wal.FileDevice) {
+	t.Helper()
+	w, err := wal.OpenFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := wal.OpenFile(filepath.Join(dir, "snapshots.log"))
+	if err != nil {
+		w.Close()
+		t.Fatal(err)
+	}
+	return w, s
+}
+
+const crashTotalTx = 24
+
+// crashDDL installs the durable test catalog through a client: r plus
+// a deferred select-project and a deferred sum over k ∈ [0, 1000).
+func crashDDL(c *client.Client) error {
+	if err := c.CreateRelationBTree("r", baseSchema(), 0); err != nil {
+		return err
+	}
+	if err := c.CreateView(spDef("vsp", 0, 1000), core.Deferred); err != nil {
+		return err
+	}
+	return c.CreateView(sumDef("vagg", 0, 1000), core.Deferred)
+}
+
+// crashTxNet runs logical transaction j through a client. Transactions
+// insert one row each; every fifth deletes the previous transaction's
+// row using the id acknowledged for it, exercising cross-restart id
+// stability. made maps tx index → inserted row.
+func crashTxNet(c *client.Client, j int, made map[int]liveRow) error {
+	tx := c.Begin()
+	if j%5 == 4 {
+		prev := made[j-1]
+		tx.Delete("r", tuple.I(prev.key), prev.id)
+	}
+	key := int64(j * 7 % 1000)
+	tx.Insert("r", tuple.I(key), tuple.I(int64(j*3)), tuple.S(fmt.Sprintf("t%d", j)))
+	ids, err := tx.Commit()
+	if err != nil {
+		return err
+	}
+	made[j] = liveRow{key, ids[len(ids)-1]}
+	return nil
+}
+
+// crashOracle replays DDL plus the first n transactions serially on a
+// volatile in-process engine and returns its comparison state.
+func crashOracle(t *testing.T, n int) map[string][]string {
+	t.Helper()
+	db := core.NewDatabase(testDBOpts())
+	if _, err := db.CreateRelationBTree("r", baseSchema(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView(spDef("vsp", 0, 1000), core.Deferred); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView(sumDef("vagg", 0, 1000), core.Deferred); err != nil {
+		t.Fatal(err)
+	}
+	made := map[int]liveRow{}
+	for j := 0; j < n; j++ {
+		tx := db.Begin()
+		if j%5 == 4 {
+			prev := made[j-1]
+			if err := tx.Delete("r", tuple.I(prev.key), prev.id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		key := int64(j * 7 % 1000)
+		id, err := tx.Insert("r", tuple.I(key), tuple.I(int64(j*3)), tuple.S(fmt.Sprintf("t%d", j)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		made[j] = liveRow{key, id}
+	}
+	return crashState(t, db)
+}
+
+// crashState is the durable subset of the comparison state: the two
+// views that exist in the crash catalog.
+func crashState(t *testing.T, db *core.Database) map[string][]string {
+	t.Helper()
+	if err := db.RefreshAll(); err != nil {
+		t.Fatal(err)
+	}
+	state := map[string][]string{}
+	rows, err := db.QueryView("vsp", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state["vsp"] = sortedKeys(resultRowsToVals(rows))
+	sum, ok, err := db.QueryAggregate("vagg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state["vagg"] = []string{fmt.Sprintf("%v/%v", sum, ok)}
+	return state
+}
+
+func sameState(a, b map[string][]string) bool {
+	for _, v := range []string{"vsp", "vagg"} {
+		if len(a[v]) != len(b[v]) {
+			return false
+		}
+		for i := range a[v] {
+			if a[v][i] != b[v][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func diffCrashStates(t *testing.T, label string, got, want map[string][]string) {
+	t.Helper()
+	if !sameState(got, want) {
+		t.Errorf("%s: state diverged from oracle:\n got %v\nwant %v", label, got, want)
+	}
+}
+
+// TestCrashRestartRecoversAcknowledgedPrefix kills the server between
+// acknowledged transactions at several points. Every transaction the
+// server acknowledged was synced to the WAL before its response, so
+// the recovered engine must equal the oracle's replay of exactly that
+// prefix — then a restarted server must carry the workload to the same
+// final state as a run that never crashed.
+func TestCrashRestartRecoversAcknowledgedPrefix(t *testing.T) {
+	for _, kill := range []int{0, 3, 11, 17} {
+		kill := kill
+		t.Run(fmt.Sprintf("afterTx%d", kill), func(t *testing.T) {
+			dir := t.TempDir()
+			walDev, snapDev := openWALPair(t, dir)
+
+			db := core.NewDatabase(testDBOpts())
+			if err := db.EnableDurability(walDev, snapDev, core.DurabilityOptions{CheckpointEvery: 4}); err != nil {
+				t.Fatal(err)
+			}
+			srv, addr := startServer(t, db, Config{MaxInflight: 8})
+			c := dialClient(t, addr)
+			if err := crashDDL(c); err != nil {
+				t.Fatal(err)
+			}
+			made := map[int]liveRow{}
+			for j := 0; j < kill; j++ {
+				if err := crashTxNet(c, j, made); err != nil {
+					t.Fatalf("tx %d: %v", j, err)
+				}
+			}
+
+			srv.Kill() // crash: no drain, no checkpoint, nothing flushed beyond acked syncs
+
+			// "Restart": recover from the same files with fresh handles.
+			walDev2, snapDev2 := openWALPair(t, dir)
+			rdb, _, err := core.Recover(walDev2, snapDev2, core.DurabilityOptions{CheckpointEvery: 4})
+			if err != nil {
+				t.Fatalf("recover after tx %d: %v", kill, err)
+			}
+			diffCrashStates(t, "recovered", crashState(t, rdb), crashOracle(t, kill))
+
+			// The revived server continues the workload to completion.
+			_, addr2 := startServer(t, rdb, Config{MaxInflight: 8})
+			c2 := dialClient(t, addr2)
+			for j := kill; j < crashTotalTx; j++ {
+				if err := crashTxNet(c2, j, made); err != nil {
+					t.Fatalf("post-restart tx %d: %v", j, err)
+				}
+			}
+			diffCrashStates(t, "resumed", crashState(t, rdb), crashOracle(t, crashTotalTx))
+		})
+	}
+}
+
+// TestCrashDuringCommit kills the server while one commit is in
+// flight. The commit raced the crash, so the recovered state must be
+// the oracle at either acked or acked+1 transactions — nothing else —
+// mirroring PR-4's prefix/prefix+1 legality for torn WAL tails.
+func TestCrashDuringCommit(t *testing.T) {
+	const acked = 6
+	dir := t.TempDir()
+	walDev, snapDev := openWALPair(t, dir)
+
+	db := core.NewDatabase(testDBOpts())
+	if err := db.EnableDurability(walDev, snapDev, core.DurabilityOptions{CheckpointEvery: 4}); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, db, Config{MaxInflight: 8})
+	c := dialClient(t, addr)
+	if err := crashDDL(c); err != nil {
+		t.Fatal(err)
+	}
+	made := map[int]liveRow{}
+	for j := 0; j < acked; j++ {
+		if err := crashTxNet(c, j, made); err != nil {
+			t.Fatalf("tx %d: %v", j, err)
+		}
+	}
+
+	// Race one more commit against Kill. Its outcome is unknowable by
+	// design: the client may see an error or a success whose response
+	// died on the wire.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c2, err := client.Dial(addr)
+		if err != nil {
+			return
+		}
+		defer c2.Close()
+		tx := c2.Begin()
+		key := int64(acked * 7 % 1000)
+		tx.Insert("r", tuple.I(key), tuple.I(int64(acked*3)), tuple.S(fmt.Sprintf("t%d", acked)))
+		tx.Commit() // error or not — the WAL decides what survived
+	}()
+	srv.Kill()
+	wg.Wait()
+
+	walDev2, snapDev2 := openWALPair(t, dir)
+	rdb, _, err := core.Recover(walDev2, snapDev2, core.DurabilityOptions{CheckpointEvery: 4})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	got := crashState(t, rdb)
+	atAcked := crashOracle(t, acked)
+	atNext := crashOracle(t, acked+1)
+	if !sameState(got, atAcked) && !sameState(got, atNext) {
+		t.Errorf("recovered state matches neither oracle(%d) nor oracle(%d):\n got %v\n o%d %v\n o%d %v",
+			acked, acked+1, got, acked, atAcked, acked+1, atNext)
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+
+	"viewmat/internal/core"
+	"viewmat/internal/proto"
+)
+
+// process executes one admitted request against the engine. Handler
+// panics (which a hostile request must never be able to provoke, but
+// defense in depth is cheap) are converted to CodeError so the
+// connection goroutine survives whatever the engine does.
+func (s *Server) process(req *proto.Request) (resp *proto.Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Logf("server: recovered panic handling %v: %v", req.Op, r)
+			resp = &proto.Response{Code: proto.CodeError, Err: fmt.Sprintf("internal: %v", r)}
+		}
+	}()
+
+	switch req.Op {
+	case proto.OpPing:
+		return &proto.Response{Code: proto.CodeOK}
+
+	case proto.OpCreateRelBTree:
+		if len(req.Schema) == 0 {
+			return badRequest("create-rel-btree: empty schema")
+		}
+		_, err := s.db.CreateRelationBTree(req.Name, proto.SchemaFromDTO(req.Schema), req.KeyCol)
+		return statusOnly(err)
+
+	case proto.OpCreateRelHash:
+		if len(req.Schema) == 0 {
+			return badRequest("create-rel-hash: empty schema")
+		}
+		_, err := s.db.CreateRelationHash(req.Name, proto.SchemaFromDTO(req.Schema), req.KeyCol, req.Buckets)
+		return statusOnly(err)
+
+	case proto.OpCreateView:
+		if req.View == nil {
+			return badRequest("create-view: missing definition")
+		}
+		if req.Strategy < int(core.QueryModification) || req.Strategy > int(core.RecomputeOnDemand) {
+			return badRequest(fmt.Sprintf("create-view: unknown strategy %d", req.Strategy))
+		}
+		return statusOnly(s.db.CreateView(proto.DefFromDTO(*req.View), core.Strategy(req.Strategy)))
+
+	case proto.OpDropView:
+		return statusOnly(s.db.DropView(req.Name))
+
+	case proto.OpCommit:
+		return s.processCommit(req)
+
+	case proto.OpQueryView:
+		var rows []core.ResultRow
+		var err error
+		rg := proto.RangeFromDTO(req.Range)
+		if req.Plan < 0 {
+			rows, err = s.db.QueryView(req.Name, rg)
+		} else {
+			rows, err = s.db.QueryViewPlan(req.Name, rg, core.QueryPlan(req.Plan))
+		}
+		if err != nil {
+			return engineError(err)
+		}
+		out := make([][]proto.ValueDTO, len(rows))
+		for i, r := range rows {
+			out[i] = proto.ValuesToDTO(r.Vals)
+		}
+		return &proto.Response{Code: proto.CodeOK, Rows: out}
+
+	case proto.OpQueryAggregate:
+		v, ok, err := s.db.QueryAggregate(req.Name)
+		if err != nil {
+			return engineError(err)
+		}
+		return &proto.Response{Code: proto.CodeOK, Agg: v, AggOK: ok}
+
+	case proto.OpRefreshAll:
+		return statusOnly(s.db.RefreshAll())
+
+	case proto.OpCheckpoint:
+		return statusOnly(s.db.Checkpoint())
+
+	case proto.OpHealth:
+		h := s.db.Health()
+		return &proto.Response{Code: proto.CodeOK, Health: &h}
+
+	default:
+		return badRequest(fmt.Sprintf("unknown op %d", req.Op))
+	}
+}
+
+// processCommit runs one transaction: ops are validated and queued in
+// request order and applied atomically by Commit. The response carries
+// the id assigned to each insert and update, in op order, so clients
+// can address those tuples in later transactions.
+func (s *Server) processCommit(req *proto.Request) *proto.Response {
+	if len(req.TxOps) == 0 {
+		return badRequest("commit: empty transaction")
+	}
+	tx := s.db.Begin()
+	ids := make([]uint64, 0, len(req.TxOps))
+	for i, op := range req.TxOps {
+		switch op.Kind {
+		case proto.TxInsert:
+			id, err := tx.Insert(op.Rel, proto.ValuesFromDTO(op.Vals)...)
+			if err != nil {
+				return engineError(fmt.Errorf("op %d: %w", i, err))
+			}
+			ids = append(ids, id)
+		case proto.TxDelete:
+			if err := tx.Delete(op.Rel, proto.ValueFromDTO(op.Key), op.ID); err != nil {
+				return engineError(fmt.Errorf("op %d: %w", i, err))
+			}
+		case proto.TxUpdate:
+			id, err := tx.Update(op.Rel, proto.ValueFromDTO(op.Key), op.ID, proto.ValuesFromDTO(op.Vals)...)
+			if err != nil {
+				return engineError(fmt.Errorf("op %d: %w", i, err))
+			}
+			ids = append(ids, id)
+		default:
+			return badRequest(fmt.Sprintf("commit: op %d has unknown kind %d", i, op.Kind))
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return engineError(err)
+	}
+	return &proto.Response{Code: proto.CodeOK, IDs: ids}
+}
+
+func statusOnly(err error) *proto.Response {
+	if err != nil {
+		return engineError(err)
+	}
+	return &proto.Response{Code: proto.CodeOK}
+}
+
+func engineError(err error) *proto.Response {
+	return &proto.Response{Code: proto.CodeError, Err: err.Error()}
+}
+
+func badRequest(msg string) *proto.Response {
+	return &proto.Response{Code: proto.CodeBadRequest, Err: msg}
+}

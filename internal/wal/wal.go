@@ -3,7 +3,8 @@
 // append-only snapshot store, both over a storage.Device (a real file
 // or a fault-injecting in-memory disk).
 //
-// The frame format is deliberately minimal:
+// The frame format is the shared codec of internal/frame (also spoken
+// by the network protocol):
 //
 //	[4B little-endian payload length][4B CRC-32C of payload][payload]
 //
@@ -17,18 +18,17 @@
 package wal
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"sync"
 
+	"viewmat/internal/frame"
 	"viewmat/internal/storage"
 )
 
 const (
-	headerSize = 8
+	headerSize = frame.HeaderSize
 	// MaxRecordSize caps a single record; longer lengths in a header
 	// are treated as corruption, which also keeps a fuzzer (or a bad
 	// disk) from tricking the reader into a giant allocation.
@@ -45,11 +45,9 @@ var (
 	ErrCorrupt = errors.New("wal: corrupt record")
 )
 
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
-
 // Checksum returns the CRC-32C the frame codec uses; exported so tests
 // and fuzzers can verify records independently.
-func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, crcTable) }
+func Checksum(payload []byte) uint32 { return frame.Checksum(payload) }
 
 // Log is an appender of checksummed frames on a Device. Appends are
 // buffered by the device until Sync; AppendSync is the commit barrier.
@@ -98,16 +96,16 @@ func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecordSize {
 		return fmt.Errorf("wal: payload of %d bytes exceeds max %d", len(payload), MaxRecordSize)
 	}
-	frame := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], Checksum(payload))
-	copy(frame[headerSize:], payload)
+	f, err := frame.Encode(payload)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := l.dev.WriteAt(frame, l.off); err != nil {
+	if _, err := l.dev.WriteAt(f, l.off); err != nil {
 		return err
 	}
-	l.off += int64(len(frame))
+	l.off += int64(len(f))
 	return nil
 }
 
@@ -194,8 +192,7 @@ func (r *Reader) Next() ([]byte, error) {
 	if _, err := io.ReadFull(io.NewSectionReader(r.dev, r.off, headerSize), hdr); err != nil {
 		return nil, fmt.Errorf("%w: reading header: %v", ErrTorn, err)
 	}
-	length := binary.LittleEndian.Uint32(hdr[0:4])
-	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	length, crc := frame.ParseHeader(hdr)
 	if length == 0 && crc == 0 {
 		return nil, io.EOF // zero fill: clean end
 	}
