@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+
+	"viewmat/internal/storage"
 )
 
 // This file implements the engine's concurrency machinery beyond the
@@ -155,13 +158,56 @@ func (db *Database) refreshStaleLocked(vs *viewState) error {
 	return nil
 }
 
+// refreshUnit is one independently schedulable batch of RefreshAll
+// work: either a deferred connected component (represented by one of
+// its views — refreshDeferred pulls in the rest through shared
+// hypothetical relations) or a batch of stale snapshot/recompute views
+// over the same relation list.
+type refreshUnit struct {
+	rep    *viewState   // deferred-component representative (nil for an extras batch)
+	extras []*viewState // stale snapshot / recompute-on-demand views
+}
+
+func (u refreshUnit) names() []string {
+	if u.rep != nil {
+		return []string{u.rep.def.Name}
+	}
+	out := make([]string, len(u.extras))
+	for i, vs := range u.extras {
+		out[i] = vs.def.Name
+	}
+	return out
+}
+
+// RefreshUnitStat records one RefreshAll unit's work: the views it was
+// scheduled under, the metered I/O spanning its refresh (exact in
+// serial runs, approximate when workers interleave on the shared
+// meter), and the join delta-expansion passes it ran. Tests and the
+// scheduler-quality assertions consume this instead of wall-clock time.
+type RefreshUnitStat struct {
+	Views      []string
+	IO         storage.Stats
+	DeltaScans int64
+}
+
+// LastRefreshUnits returns the per-unit stats of the most recent
+// RefreshAll (nil if none ran or nothing was stale).
+func (db *Database) LastRefreshUnits() []RefreshUnitStat {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	out := make([]RefreshUnitStat, len(db.lastRefreshUnits))
+	copy(out, db.lastRefreshUnits)
+	return out
+}
+
 // RefreshAll brings every stale materialized view current — the §4
 // idle-time refresh for the whole catalog, so subsequent queries find
-// their views fresh and pay only the read. Independent stale views
+// their views fresh and pay only the read. Independent stale units
 // (views sharing no base relation, directly or transitively) are
 // refreshed in parallel by up to MaxRefreshWorkers workers; deferred
 // views connected through shared hypothetical relations refresh
-// together as one unit, exactly as a query-triggered refresh would.
+// together as one unit — and share delta sub-plans within it — exactly
+// as a query-triggered refresh would.
 func (db *Database) RefreshAll() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -172,6 +218,15 @@ func (db *Database) RefreshAll() error {
 	if err := db.pool.EvictAll(); err != nil {
 		return err
 	}
+	stats := make([]RefreshUnitStat, len(units))
+	for i, u := range units {
+		stats[i].Views = u.names()
+	}
+	defer func() {
+		db.statsMu.Lock()
+		db.lastRefreshUnits = stats
+		db.statsMu.Unlock()
+	}()
 	workers := db.maxRefreshWorkers
 	if db.dur != nil {
 		// WAL replay is a serial program: with durability on, units
@@ -183,34 +238,48 @@ func (db *Database) RefreshAll() error {
 		workers = len(units)
 	}
 	if workers <= 1 {
-		for _, vs := range units {
-			clockBefore := db.clock.Load()
-			if err := db.refreshStaleLocked(vs); err != nil {
-				return err
+		for i, u := range units {
+			before := db.meter.Snapshot()
+			scansBefore := db.deltaScans.Load()
+			for _, vs := range u.all() {
+				clockBefore := db.clock.Load()
+				if err := db.refreshStaleLocked(vs); err != nil {
+					return err
+				}
+				if err := db.logRefreshLocked(vs.def.Name, refreshKindStale, clockBefore); err != nil {
+					return err
+				}
 			}
-			if err := db.logRefreshLocked(vs.def.Name, refreshKindStale, clockBefore); err != nil {
-				return err
-			}
+			stats[i].IO = db.meter.Snapshot().Sub(before)
+			stats[i].DeltaScans = db.deltaScans.Load() - scansBefore
 		}
 		return nil
 	}
-	jobs := make(chan *viewState)
+	jobs := make(chan int)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for vs := range jobs {
+			for i := range jobs {
 				if errs[w] != nil {
 					continue // drain remaining jobs after a failure
 				}
-				errs[w] = db.refreshStaleLocked(vs)
+				before := db.meter.Snapshot()
+				scansBefore := db.deltaScans.Load()
+				for _, vs := range units[i].all() {
+					if errs[w] = db.refreshStaleLocked(vs); errs[w] != nil {
+						break
+					}
+				}
+				stats[i].IO = db.meter.Snapshot().Sub(before)
+				stats[i].DeltaScans = db.deltaScans.Load() - scansBefore
 			}
 		}(w)
 	}
-	for _, vs := range units {
-		jobs <- vs
+	for i := range units {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
@@ -222,14 +291,25 @@ func (db *Database) RefreshAll() error {
 	return nil
 }
 
-// staleUnitsLocked returns one representative viewState per independent
-// stale refresh unit: each connected component of deferred views (over
-// shared relations) with pending HR changes, plus each stale snapshot /
-// recompute-on-demand view. Units touch disjoint base files — deferred
-// components by construction, snapshot recomputes because CreateView
-// rejects base-file readers sharing a relation with deferred views —
-// so they are safe to refresh in parallel. Caller holds the write lock.
-func (db *Database) staleUnitsLocked() []*viewState {
+// all returns the views the unit refreshes directly (the deferred rep,
+// or each extra in turn).
+func (u refreshUnit) all() []*viewState {
+	if u.rep != nil {
+		return []*viewState{u.rep}
+	}
+	return u.extras
+}
+
+// staleUnitsLocked returns the independent stale refresh units: each
+// connected component of deferred views (over shared relations) with
+// pending HR changes, plus the stale snapshot / recompute-on-demand
+// views batched by their relation list (so recomputes over the same
+// base scan back-to-back rather than racing for its pages). Units touch
+// disjoint base files — deferred components by construction, snapshot
+// recomputes because CreateView rejects base-file readers sharing a
+// relation with deferred views — so they are safe to refresh in
+// parallel. Caller holds the write lock.
+func (db *Database) staleUnitsLocked() []refreshUnit {
 	names := db.viewNamesLocked()
 	relToViews := map[string][]*viewState{}
 	for _, n := range names {
@@ -241,8 +321,9 @@ func (db *Database) staleUnitsLocked() []*viewState {
 			relToViews[rn] = append(relToViews[rn], vs)
 		}
 	}
-	var units []*viewState
+	var units []refreshUnit
 	seen := map[string]bool{}
+	extraIdx := map[string]int{}
 	for _, n := range names {
 		vs := db.views[n]
 		switch vs.strategy {
@@ -269,12 +350,20 @@ func (db *Database) staleUnitsLocked() []*viewState {
 				}
 			}
 			if stale {
-				units = append(units, vs)
+				units = append(units, refreshUnit{rep: vs})
 			}
 		case Snapshot, RecomputeOnDemand:
-			if db.viewStale(vs) {
-				units = append(units, vs)
+			if !db.viewStale(vs) {
+				continue
 			}
+			key := strings.Join(vs.def.Relations, "\x00")
+			i, ok := extraIdx[key]
+			if !ok {
+				i = len(units)
+				extraIdx[key] = i
+				units = append(units, refreshUnit{})
+			}
+			units[i].extras = append(units[i].extras, vs)
 		}
 	}
 	return units

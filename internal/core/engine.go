@@ -88,12 +88,28 @@ type Database struct {
 	// maxRefreshWorkers bounds RefreshAll's worker pool (≤1 = serial).
 	maxRefreshWorkers int
 
+	// shareDeltas selects the shared-delta refresh mode; guarded by mu.
+	shareDeltas ShareDeltaMode
+
+	// deltaScans counts base-relation delta-expansion passes (the probe
+	// or scan pass a join refresh runs over base files to expand its
+	// delta) — one per view when unshared, one per group when shared.
+	// adScans counts AD-file net-change reads, one per relation per
+	// refresh unit. Both are observability counters for tests and
+	// benchmarks; the priced I/O stays in the storage.Meter.
+	deltaScans atomic.Int64
+	adScans    atomic.Int64
+
 	// statsMu guards breakdown and the operation counters, which are
 	// bumped from concurrent readers. Phase attribution windows overlap
 	// when operations run concurrently, so Breakdown is exact in serial
 	// runs and approximate under concurrent load.
 	statsMu   sync.Mutex
 	breakdown map[Phase]storage.Stats
+
+	// lastRefreshUnits records the per-unit work of the most recent
+	// RefreshAll; guarded by statsMu.
+	lastRefreshUnits []RefreshUnitStat
 
 	// planObserver, when set, is invoked after every operator-tree
 	// execution with the captured plan; guarded by statsMu.
@@ -174,6 +190,39 @@ func (db *Database) SetJoinVariantBlakeley(view string, on bool) error {
 	return db.catalogCheckpointLocked()
 }
 
+// ShareDeltaMode controls whether RefreshAll and the deferred refresh
+// path materialize a delta sub-plan once per group of views whose
+// differential plans share it, instead of expanding it per view.
+type ShareDeltaMode int
+
+const (
+	// ShareDeltasAuto (the default) shares a group's delta sub-plan
+	// whenever the costmodel estimate says reuse pays — always for
+	// single-relation net-change streams (their build is free), and by
+	// the share-vs-rescan estimate for join expansions.
+	ShareDeltasAuto ShareDeltaMode = iota
+	// ShareDeltasOff disables sharing: every view runs its private
+	// differential plan, exactly the pre-sharing engine.
+	ShareDeltasOff
+	// ShareDeltasAlways shares every eligible group of two or more
+	// views regardless of the estimate (tests and benchmarks).
+	ShareDeltasAlways
+)
+
+// String names the mode.
+func (m ShareDeltaMode) String() string {
+	switch m {
+	case ShareDeltasAuto:
+		return "auto"
+	case ShareDeltasOff:
+		return "off"
+	case ShareDeltasAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("share-deltas(%d)", int(m))
+	}
+}
+
 // Options configures a Database.
 type Options struct {
 	// PageSize in bytes (the paper's B). Default 4000.
@@ -195,6 +244,10 @@ type Options struct {
 	// overlap their I/O waits as they would on a real device. Zero
 	// (the default) leaves all operations CPU-bound.
 	SimulatedIOLatency time.Duration
+	// ShareDeltas selects the shared-delta refresh mode. The zero
+	// value, ShareDeltasAuto, shares when the cost model says reuse
+	// pays; ShareDeltasOff restores strictly per-view refresh.
+	ShareDeltas ShareDeltaMode
 }
 
 // NewDatabase creates an empty engine.
@@ -215,9 +268,33 @@ func NewDatabase(opts Options) *Database {
 	}
 	db.hrConfig = opts.HR
 	db.maxRefreshWorkers = opts.MaxRefreshWorkers
+	db.shareDeltas = opts.ShareDeltas
 	disk.SetIOLatency(opts.SimulatedIOLatency)
 	return db
 }
+
+// SetShareDeltas switches the shared-delta refresh mode at runtime.
+func (db *Database) SetShareDeltas(m ShareDeltaMode) {
+	db.mu.Lock()
+	db.shareDeltas = m
+	db.mu.Unlock()
+}
+
+// ShareDeltas returns the configured shared-delta refresh mode.
+func (db *Database) ShareDeltas() ShareDeltaMode {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.shareDeltas
+}
+
+// DeltaScanCount returns how many base-relation delta-expansion passes
+// refreshes have run since the last ResetStats — per view when
+// unshared, per group when shared.
+func (db *Database) DeltaScanCount() int64 { return db.deltaScans.Load() }
+
+// ADScanCount returns how many AD-file net-change reads refreshes have
+// issued since the last ResetStats (one per relation per refresh unit).
+func (db *Database) ADScanCount() int64 { return db.adScans.Load() }
 
 // Meter exposes the cost meter.
 func (db *Database) Meter() *storage.Meter { return db.meter }
@@ -245,6 +322,8 @@ func (db *Database) Breakdown() map[Phase]storage.Stats {
 // experiments call it after loading data so measurements exclude setup.
 func (db *Database) ResetStats() {
 	db.meter.Reset()
+	db.deltaScans.Store(0)
+	db.adScans.Store(0)
 	db.statsMu.Lock()
 	db.breakdown = map[Phase]storage.Stats{}
 	db.Queries = 0

@@ -107,8 +107,14 @@ type GroupRow struct {
 // the affected group's row (a MIN/MAX extreme delete recomputes that
 // group from the base relation inside the sink's bracket).
 func (db *Database) refreshGroupAgg(vs *viewState, d *deltas) error {
-	kind := vs.def.AggKind
 	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	return db.runPlan(vs, PlanPathRefresh, db.groupAggRefreshTree(vs, src))
+}
+
+// groupAggRefreshTree is the grouped-aggregate apply pipeline over an
+// arbitrary delta source (private DeltaSource or shared replay).
+func (db *Database) groupAggRefreshTree(vs *viewState, src exec.Operator) exec.Operator {
+	kind := vs.def.AggKind
 	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
 	apply := exec.NewDeltaApply(db.meter, vs.def.Name+".groups", filt,
 		func(row exec.Row) error {
@@ -147,7 +153,7 @@ func (db *Database) refreshGroupAgg(vs *viewState, d *deltas) error {
 			}
 			return vs.groups.put(group, s, &stored, 0)
 		})
-	return db.runPlan(vs, PlanPathRefresh, apply)
+	return apply
 }
 
 // recomputeGroup rebuilds one group's state from the base relation (a

@@ -238,6 +238,19 @@ var planScenarios = []struct {
 		}
 		return db, "g"
 	}},
+	{"shared-delta-join-leader", func(t *testing.T) (*Database, string) {
+		// Three deferred join views over one base pair refresh as one
+		// shared-delta group; the first consumer by name (j0) carries
+		// the SharedDelta build subtree in its refresh plan.
+		db := sharedFanoutScenario(t)
+		return db, "j0"
+	}},
+	{"shared-delta-join-follower", func(t *testing.T) (*Database, string) {
+		// A follower consumer renders a zero-cost SharedDeltaRef naming
+		// the view the build was charged to.
+		db := sharedFanoutScenario(t)
+		return db, "j1"
+	}},
 	{"snapshot-sp", func(t *testing.T) (*Database, string) {
 		db := newSPDatabase(t, Snapshot, 200)
 		tx := db.Begin()
@@ -265,6 +278,28 @@ var planScenarios = []struct {
 		}
 		return db, "v"
 	}},
+}
+
+// sharedFanoutScenario stales the 3-views-one-base fixture with churn
+// on both join sides and refreshes it through the shared-delta path.
+func sharedFanoutScenario(t *testing.T) *Database {
+	t.Helper()
+	db := newFanJoinDatabase(t, ShareDeltasAuto, Deferred, 60, 10)
+	tx := db.Begin()
+	if _, err := tx.Insert("r1", tuple.I(25), tuple.I(5), tuple.S("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("r1", tuple.I(5), 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete("r2", tuple.I(4), 5); err != nil {
+		t.Fatal(err)
+	}
+	tx.MustCommit()
+	if _, err := db.QueryView("j0", nil); err != nil {
+		t.Fatal(err)
+	}
+	return db
 }
 
 // renderScenario runs Explain and flattens the per-path trees into one

@@ -207,6 +207,7 @@ func (db *Database) refreshDeferred(root *viewState) error {
 			if err != nil {
 				return err
 			}
+			db.adScans.Add(1)
 			nets[rn] = &deltas{adds: anet, dels: dnet}
 		}
 		return nil
@@ -228,21 +229,10 @@ func (db *Database) refreshDeferred(root *viewState) error {
 		return err
 	}
 
-	// Differential refresh per view.
+	// Differential refresh per view, with delta sub-plans shared across
+	// views whose fingerprints coincide (see shared_refresh.go).
 	return db.inPhase(PhaseDefRefresh, func() error {
-		for _, vs := range viewSet {
-			slots := map[int]*deltas{}
-			for slot, rn := range vs.def.Relations {
-				if d := nets[rn]; d != nil {
-					slots[slot] = d
-				}
-			}
-			if err := db.refreshView(vs, slots); err != nil {
-				return err
-			}
-			vs.refreshes++
-		}
-		return nil
+		return db.refreshUnitViews(viewSet, nets)
 	})
 }
 

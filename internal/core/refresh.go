@@ -72,9 +72,16 @@ func slotOrEmpty(slots map[int]*deltas, i int) *deltas {
 // (the model's C2·(3+Hvi)·X term).
 func (db *Database) refreshSP(vs *viewState, d *deltas) error {
 	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	return db.runPlan(vs, PlanPathRefresh, db.spRefreshTree(vs, src))
+}
+
+// spRefreshTree is the Model-1 apply pipeline over an arbitrary delta
+// source — the per-view half shared by the private and shared-delta
+// refresh paths.
+func (db *Database) spRefreshTree(vs *viewState, src exec.Operator) exec.Operator {
 	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
 	proj := exec.NewProject(vs.def.Name, filt, projectSP(vs))
-	return db.runPlan(vs, PlanPathRefresh, db.matApply(vs, proj))
+	return db.matApply(vs, proj)
 }
 
 // refreshJoin applies Model-2 deltas with the corrected expansion,
@@ -86,6 +93,7 @@ func (db *Database) refreshJoin(vs *viewState, d1, d2 *deltas) error {
 	if err != nil {
 		return err
 	}
+	db.deltaScans.Add(1)
 	a1IDs := idSet(d1.adds)
 	a2IDs := idSet(d2.adds)
 
@@ -127,6 +135,7 @@ func (db *Database) refreshJoinBlakeley(vs *viewState, d1, d2 *deltas) error {
 	if err != nil {
 		return err
 	}
+	db.deltaScans.Add(1)
 	a2IDs := idSet(d2.adds)
 	var phases []exec.Operator
 
@@ -168,9 +177,15 @@ func (db *Database) refreshJoinBlakeley(vs *viewState, d1, d2 *deltas) error {
 // of the current extreme triggers a recomputation scan of the base
 // relation (a charged clustered scan).
 func (db *Database) refreshAggregate(vs *viewState, d *deltas) error {
+	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	return db.runPlan(vs, PlanPathRefresh, db.aggRefreshTree(vs, src))
+}
+
+// aggRefreshTree is the Model-3 fold pipeline over an arbitrary delta
+// source (private DeltaSource or shared replay).
+func (db *Database) aggRefreshTree(vs *viewState, src exec.Operator) exec.Operator {
 	changed := false
 	needRecompute := false
-	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
 	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
 	fold := exec.NewAggFold(vs.def.Name, filt, func(row exec.Row) {
 		v := row.T0.Vals[vs.def.AggCol].AsFloat()
@@ -197,7 +212,7 @@ func (db *Database) refreshAggregate(vs *viewState, d *deltas) error {
 		}
 		return db.writeAggState(vs)
 	}))
-	return db.runPlan(vs, PlanPathRefresh, exec.NewSeq("refresh-agg("+vs.def.Name+")", phases...))
+	return exec.NewSeq("refresh-agg("+vs.def.Name+")", phases...)
 }
 
 // rebuildAggregate recomputes the aggregate state from the (end-state)

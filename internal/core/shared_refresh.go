@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"viewmat/internal/costmodel"
+	"viewmat/internal/exec"
+	"viewmat/internal/pred"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+)
+
+// Shared-delta refresh: the planner half of the multi-query-optimized
+// maintenance path. When several views in one deferred refresh unit
+// have differential plans over the same delta sub-expression — the same
+// net-change stream for select-project/aggregate views, or the same
+// corrected join expansion (base relation, join columns, probed inner)
+// for join views — the unit materializes that sub-plan once and feeds
+// every consumer's apply step from the transient rows, instead of
+// re-expanding the delta per view. The per-view work collapses from
+// O(views · delta-expansion) to O(delta-expansion + views · apply).
+//
+// Equivalence argument (what the recompute-oracle test layer checks):
+// the shared build runs the same operator pipeline as a private refresh
+// with the per-view restriction removed; each consumer then applies its
+// full view predicate to every replayed row. A row the private plan
+// would have dropped before probing is instead produced and dropped at
+// the consumer's screen, and a row the private plan kept survives with
+// the same polarity in the same relative position — the pipelines are
+// order-preserving — so the applied delta sequence per view is
+// identical and the stored view bytes match the unshared path.
+//
+// Meter attribution: the build's charges land once, inside the plan
+// tree of the group's first consumer (by name), wrapped in a
+// SharedDelta node; every other consumer records a zero-cost
+// SharedDeltaRef naming the charged view. Each recorded per-view meter
+// delta therefore still equals its tree's TotalCost exactly.
+
+// deltaFingerprintOf classifies a view's differential plan for sharing.
+// Blakeley-foil joins are deliberately unshareable: the foil reproduces
+// the original algorithm's (buggy) expansion, which has no place in a
+// shared build.
+func (db *Database) deltaFingerprintOf(vs *viewState) exec.DeltaFingerprint {
+	switch vs.def.Kind {
+	case SelectProject, Aggregate, GroupedAggregate:
+		return exec.DeltaFingerprint{Kind: "delta", Rel1: vs.def.Relations[0]}
+	case Join:
+		if vs.blakeley {
+			return exec.DeltaFingerprint{}
+		}
+		ja, ok := vs.def.JoinAtom()
+		if !ok {
+			return exec.DeltaFingerprint{}
+		}
+		return exec.DeltaFingerprint{
+			Kind: "join",
+			Rel1: vs.def.Relations[0],
+			Rel2: vs.def.Relations[1],
+			Col1: joinCol(ja, 0),
+			Col2: joinCol(ja, 1),
+		}
+	}
+	return exec.DeltaFingerprint{}
+}
+
+// refreshUnitViews runs the differential refresh for every view of one
+// deferred refresh unit, sharing delta sub-plans across views whose
+// fingerprints coincide. Views are processed in name order so the
+// shared and unshared paths assign view-row ids identically. Caller
+// holds the engine write lock (PhaseDefRefresh).
+func (db *Database) refreshUnitViews(viewSet map[string]*viewState, nets map[string]*deltas) error {
+	names := make([]string, 0, len(viewSet))
+	for n := range viewSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	type group struct {
+		fp    exec.DeltaFingerprint
+		views []*viewState
+	}
+	var groups []group
+	idx := map[exec.DeltaFingerprint]int{}
+	for _, n := range names {
+		vs := viewSet[n]
+		fp := db.deltaFingerprintOf(vs)
+		if db.shareDeltas == ShareDeltasOff || !fp.Shareable() {
+			// Unshareable plans refresh privately, each as its own
+			// singleton group.
+			groups = append(groups, group{views: []*viewState{vs}})
+			continue
+		}
+		i, ok := idx[fp]
+		if !ok {
+			i = len(groups)
+			idx[fp] = i
+			groups = append(groups, group{fp: fp})
+		}
+		groups[i].views = append(groups[i].views, vs)
+	}
+
+	for _, g := range groups {
+		if len(g.views) >= 2 && db.shouldShare(g.fp, g.views, nets) {
+			if err := db.refreshGroupShared(g.fp, g.views, nets); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, vs := range g.views {
+			if err := db.refreshViewPrivate(vs, nets); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// refreshViewPrivate is the per-view unshared path: route the net
+// change sets into the view's slots and run its own differential plan.
+func (db *Database) refreshViewPrivate(vs *viewState, nets map[string]*deltas) error {
+	slots := map[int]*deltas{}
+	for slot, rn := range vs.def.Relations {
+		if d := nets[rn]; d != nil {
+			slots[slot] = d
+		}
+	}
+	if err := db.refreshView(vs, slots); err != nil {
+		return err
+	}
+	vs.refreshes++
+	return nil
+}
+
+// shouldShare applies the cost gate. Always forces sharing; Auto asks
+// the cost model. A single-relation net-change stream is already in
+// memory, so replaying it to every consumer costs nothing extra and
+// saves nothing — but it also skips per-view DeltaSource setup and
+// keeps one plan shape, so Auto shares it unconditionally. Join groups
+// weigh the probe/scan build against per-consumer screening.
+func (db *Database) shouldShare(fp exec.DeltaFingerprint, views []*viewState, nets map[string]*deltas) bool {
+	if db.shareDeltas == ShareDeltasAlways {
+		return true
+	}
+	if fp.Kind != "join" {
+		return true
+	}
+	d1 := netOrEmpty(nets, fp.Rel1)
+	d2 := netOrEmpty(nets, fp.Rel2)
+	r2 := db.rels[fp.Rel2]
+	probePages := 1.0
+	if r2 != nil && r2.Len() > 0 {
+		// A probe reads the index path plus the matching chain; the
+		// chain depth is approximated by the relation's average pages
+		// per distinct key, floored at one page.
+		if pp := float64(r2.Pages()) * avgDupFactor(r2); pp > probePages {
+			probePages = pp
+		}
+	}
+	var scanPages float64
+	if len(d2.adds)+len(d2.dels) > 0 {
+		r1 := db.rels[fp.Rel1]
+		if r1 != nil {
+			scanPages = float64(r1.Pages())
+		}
+	}
+	est := costmodel.SharedDeltaEstimate{
+		Views:      len(views),
+		D1:         len(d1.adds) + len(d1.dels),
+		D2:         len(d2.adds) + len(d2.dels),
+		ProbePages: probePages,
+		ScanPages:  scanPages,
+		Rows:       float64(len(d1.adds) + len(d1.dels) + len(d2.adds) + len(d2.dels)),
+	}
+	return est.Share(costmodel.Default())
+}
+
+// avgDupFactor estimates the fraction of a relation's pages one
+// key-equal chain occupies: pages per tuple, i.e. assuming distinct
+// keys. Hash relations with long chains under-report here, which only
+// makes the gate conservative.
+func avgDupFactor(r interface {
+	Pages() int
+	Len() int
+}) float64 {
+	if r.Len() == 0 {
+		return 1
+	}
+	return 1 / float64(r.Len())
+}
+
+func netOrEmpty(nets map[string]*deltas, rel string) *deltas {
+	if d := nets[rel]; d != nil {
+		return d
+	}
+	return &deltas{}
+}
+
+// refreshGroupShared materializes the group's shared delta once and
+// replays it through every consumer's apply pipeline. The first view
+// (groups are built in name order) carries the build's charges in its
+// recorded plan; the others record zero-cost references.
+func (db *Database) refreshGroupShared(fp exec.DeltaFingerprint, views []*viewState, nets map[string]*deltas) error {
+	rows, buildNode, buildDelta, err := db.buildSharedDelta(fp, views, nets)
+	if err != nil {
+		return err
+	}
+	leader := views[0].def.Name
+	for i, vs := range views {
+		tree, err := db.sharedConsumerTree(vs, fp, rows)
+		if err != nil {
+			return err
+		}
+		node, delta, _, runErr := db.runTree(tree, false)
+		var full *exec.PlanNode
+		fullDelta := delta
+		if i == 0 {
+			full = exec.Node("shared-refresh("+vs.def.Name+")",
+				exec.SharedDeltaNode(fp, len(views), buildNode), node)
+			fullDelta = fullDelta.Add(buildDelta)
+		} else {
+			full = exec.Node("shared-refresh("+vs.def.Name+")",
+				exec.SharedDeltaRef(fp, leader), node)
+		}
+		db.recordPlan(vs, PlanPathRefresh, full, fullDelta)
+		if runErr != nil {
+			return runErr
+		}
+		vs.refreshes++
+	}
+	return nil
+}
+
+// buildSharedDelta materializes the group's delta rows, returning them
+// with the executed build plan and its meter delta.
+func (db *Database) buildSharedDelta(fp exec.DeltaFingerprint, views []*viewState, nets map[string]*deltas) ([]exec.Row, *exec.PlanNode, storage.Stats, error) {
+	if fp.Kind == "join" {
+		return db.buildSharedJoinDelta(fp, views, nets)
+	}
+	// Single-relation stream: the AD net changes are already in memory;
+	// the build is an uncharged replay buffer over them.
+	d := netOrEmpty(nets, fp.Rel1)
+	src := exec.NewDeltaSource(fp.Rel1, d.adds, d.dels)
+	node, delta, rows, err := db.runTree(src, true)
+	return rows, node, delta, err
+}
+
+// buildSharedJoinDelta runs the corrected delta expansion of §2.1 once
+// for the whole group, with the per-view restriction lifted: every
+// R1-delta tuple is handled (charged C1) and probed, the R1' scan
+// covers the union of the consumers' predicate intervals, and the
+// joined rows carry both slots so each consumer can evaluate its full
+// predicate downstream.
+func (db *Database) buildSharedJoinDelta(fp exec.DeltaFingerprint, views []*viewState, nets map[string]*deltas) ([]exec.Row, *exec.PlanNode, storage.Stats, error) {
+	d1 := netOrEmpty(nets, fp.Rel1)
+	d2 := netOrEmpty(nets, fp.Rel2)
+	r2 := db.rels[fp.Rel2]
+	a1IDs := idSet(d1.adds)
+	a2IDs := idSet(d2.adds)
+	outerVal := func(row exec.Row) tuple.Value { return row.T0.Vals[fp.Col1] }
+	db.deltaScans.Add(1)
+
+	var phases []exec.Operator
+
+	// A1×R2' and D1×R2': every delta tuple charges its handling screen
+	// here (the private plans charge it at their restriction filter),
+	// then probes R2 skipping A2 ids.
+	handled := exec.NewFilter(db.meter, fp.Rel1+".handling",
+		exec.NewDeltaSource(fp.Rel1, d1.adds, d1.dels), nil, true)
+	phases = append(phases, exec.NewLoopJoin(db.meter, exec.LoopJoinSpec{
+		Input:   handled,
+		Inner:   r2,
+		JoinVal: outerVal,
+		SkipIDs: a2IDs,
+	}))
+
+	// R1'×A2 and R1'×D2: one restricted scan over the union of the
+	// consumers' intervals, skipping A1 ids.
+	if len(d2.adds)+len(d2.dels) > 0 {
+		outer := exec.NewFilter(db.meter, fp.Rel1+"'", db.groupRestrictedScan(views, fp.Rel1),
+			func(row exec.Row) bool { return !a1IDs[row.T0.ID] }, false)
+		phases = append(phases, exec.NewMatchDeltas(db.meter, outer, d2.adds, d2.dels,
+			outerVal, fp.Col2, nil, int64(len(d2.adds)+len(d2.dels))))
+	}
+
+	// A1×A2 insert and D1×D2 delete cross terms.
+	phases = append(phases, exec.NewCrossDeltas(d1.adds, d2.adds, d1.dels, d2.dels, fp.Col1, fp.Col2, nil))
+
+	root := exec.NewSeq("shared-delta("+fp.String()+")", phases...)
+	node, delta, rows, err := db.runTree(root, true)
+	return rows, node, delta, err
+}
+
+// groupRestrictedScan scans a relation over the union of the group
+// views' predicate intervals on its clustering column — predicate
+// subsumption: every consumer's restriction interval is contained in
+// the union, so one scan feeds them all. Any unconstrained view forces
+// a full scan.
+func (db *Database) groupRestrictedScan(views []*viewState, rel string) exec.Operator {
+	r := db.rels[rel]
+	return exec.NewScan(db.meter, r, unionInterval(views, r.KeyCol()))
+}
+
+// unionInterval widens the views' slot-0 restriction intervals on the
+// given column into one covering range; nil when any view is
+// unconstrained there.
+func unionInterval(views []*viewState, keyCol int) *pred.Range {
+	var out *pred.Range
+	for _, vs := range views {
+		rg, constrained := vs.def.Pred.IntervalFor(0, keyCol)
+		if !constrained {
+			return nil
+		}
+		if out == nil {
+			out = &pred.Range{Lo: rg.Lo, Hi: rg.Hi, LoInc: rg.LoInc, HiInc: rg.HiInc}
+			continue
+		}
+		if out.Lo != nil {
+			if rg.Lo == nil {
+				out.Lo, out.LoInc = nil, false
+			} else if c := tuple.Compare(*rg.Lo, *out.Lo); c < 0 || (c == 0 && rg.LoInc && !out.LoInc) {
+				out.Lo, out.LoInc = rg.Lo, rg.LoInc
+			}
+		}
+		if out.Hi != nil {
+			if rg.Hi == nil {
+				out.Hi, out.HiInc = nil, false
+			} else if c := tuple.Compare(*rg.Hi, *out.Hi); c > 0 || (c == 0 && rg.HiInc && !out.HiInc) {
+				out.Hi, out.HiInc = rg.Hi, rg.HiInc
+			}
+		}
+	}
+	return out
+}
+
+// sharedConsumerTree builds one view's apply pipeline over the replayed
+// shared rows: its full predicate screen (charged per replayed row —
+// the k·apply term), projection, and materialized-store fold.
+func (db *Database) sharedConsumerTree(vs *viewState, fp exec.DeltaFingerprint, rows []exec.Row) (exec.Operator, error) {
+	src := exec.NewSharedDeltaScan(fp, rows)
+	switch vs.def.Kind {
+	case SelectProject:
+		return db.spRefreshTree(vs, src), nil
+	case Aggregate:
+		return db.aggRefreshTree(vs, src), nil
+	case GroupedAggregate:
+		return db.groupAggRefreshTree(vs, src), nil
+	case Join:
+		c, err := db.joinCtx(vs)
+		if err != nil {
+			return nil, err
+		}
+		filt := exec.NewFilter(db.meter, vs.def.Name+".screen", src, c.onFull, true)
+		return db.applyJoin(c, filt), nil
+	}
+	return nil, fmt.Errorf("core: shared refresh of unknown view kind %v", vs.def.Kind)
+}

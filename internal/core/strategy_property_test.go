@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"viewmat/internal/agg"
+	"viewmat/internal/pred"
 	"viewmat/internal/tuple"
 )
 
@@ -434,6 +435,246 @@ func TestPropertyModel3StrategiesEquivalent(t *testing.T) {
 				if err := runModel3(kind, steps); err != nil {
 					min := shrinkScript(steps, func(s []propStep) bool { return runModel3(kind, s) != nil })
 					t.Fatalf("seed %d: %v\nminimal workload script:\n%s", seed, runModel3(kind, min), formatScript(min))
+				}
+			}
+		})
+	}
+}
+
+// --- shared-delta refresh property layer -----------------------------------
+//
+// For each model, three engines replay the same random script over a
+// fan of K=3 views with differing predicates on a shared base:
+//
+//	sharing  — Deferred views, ShareDeltasAlways: every query point
+//	           runs RefreshAll through the shared-delta path,
+//	unshared — Deferred views, ShareDeltasOff: the per-view private
+//	           differential plans,
+//	oracle   — RecomputeOnDemand views: full recompute from the base
+//	           files, no differential algebra at all.
+//
+// At every query point the sharing engine must match the unshared
+// engine row for row (the stored views are byte-identical, not merely
+// equal as multisets) and the oracle as a multiset. Failures shrink to
+// a minimal script like the strategy properties above.
+
+// diffRowsExact is diffRows without the sort: positional, so it proves
+// the stored view files are identical, not just equal contents.
+func diffRowsExact(a, b []ResultRow) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		ka := tuple.Tuple{Vals: a[i].Vals}.ValueKey()
+		kb := tuple.Tuple{Vals: b[i].Vals}.ValueKey()
+		if ka != kb {
+			return fmt.Errorf("row %d differs: %q vs %q", i, ka, kb)
+		}
+	}
+	return nil
+}
+
+// sharedPropViews returns the K=3 view definitions for one model.
+func sharedPropViews(model int) []Def {
+	switch model {
+	case 1:
+		a := spDef("a")
+		b := spDef("b")
+		b.Pred = pred.New(
+			pred.Cmp{Rel: 0, Col: 0, Op: pred.Ge, Val: tuple.I(5)},
+			pred.Cmp{Rel: 0, Col: 0, Op: pred.Lt, Val: tuple.I(45)},
+		)
+		c := spDef("c")
+		c.Pred = pred.New(pred.Cmp{Rel: 0, Col: 0, Op: pred.Lt, Val: tuple.I(60)})
+		c.Project = [][]int{{0}}
+		return []Def{a, b, c}
+	case 2:
+		return []Def{fanJoinDef("j0", 0, 100), fanJoinDef("j1", 0, 50), fanJoinDef("j2", 20, 80)}
+	default:
+		a := aggDef("a0", agg.Sum)
+		b := aggDef("a1", agg.Min)
+		b.Pred = pred.New(
+			pred.Cmp{Rel: 0, Col: 0, Op: pred.Ge, Val: tuple.I(5)},
+			pred.Cmp{Rel: 0, Col: 0, Op: pred.Lt, Val: tuple.I(45)},
+		)
+		c := aggDef("a2", agg.Count)
+		c.Pred = pred.New(pred.Cmp{Rel: 0, Col: 0, Op: pred.Lt, Val: tuple.I(60)})
+		return []Def{a, b, c}
+	}
+}
+
+// buildSharedPropDB seeds the model's base relation(s) and creates the
+// view fan under the given strategy and sharing mode.
+func buildSharedPropDB(model int, mode ShareDeltaMode, st Strategy) (*Database, []liveRow, error) {
+	opts := testOpts()
+	opts.ShareDeltas = mode
+	db := NewDatabase(opts)
+	var live []liveRow
+	if model == 2 {
+		const n, m = 30, 8
+		s1, s2 := joinSchemas()
+		if _, err := db.CreateRelationBTree("r1", s1, 0); err != nil {
+			return nil, nil, err
+		}
+		if _, err := db.CreateRelationHash("r2", s2, 0, 8); err != nil {
+			return nil, nil, err
+		}
+		tx := db.Begin()
+		for j := 0; j < m; j++ {
+			if _, err := tx.Insert("r2", tuple.I(int64(j)), tuple.S("info"+sName(j))); err != nil {
+				return nil, nil, err
+			}
+		}
+		for i := 0; i < n; i++ {
+			if _, err := tx.Insert("r1", tuple.I(int64(i)), tuple.I(int64(i%m)), tuple.S("p"+sName(i))); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, nil, err
+		}
+		for k := 0; k < n; k++ {
+			live = append(live, liveRow{key: int64(k), id: uint64(m + k + 1)})
+		}
+	} else {
+		if _, err := db.CreateRelationBTree("r", spSchema(), 0); err != nil {
+			return nil, nil, err
+		}
+		tx := db.Begin()
+		for i := 0; i < 30; i++ {
+			if _, err := tx.Insert("r", tuple.I(int64(i)), tuple.I(int64(i*2)), tuple.S(sName(i))); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, nil, err
+		}
+		for k := 0; k < 30; k++ {
+			live = append(live, liveRow{key: int64(k), id: uint64(k + 1)})
+		}
+	}
+	for _, d := range sharedPropViews(model) {
+		if err := db.CreateView(d, st); err != nil {
+			return nil, nil, err
+		}
+	}
+	return db, live, nil
+}
+
+// runSharedModel replays one script through the three engines.
+func runSharedModel(model int, steps []propStep) error {
+	type engine struct {
+		name string
+		db   *Database
+		live []liveRow
+	}
+	specs := []struct {
+		name string
+		mode ShareDeltaMode
+		st   Strategy
+	}{
+		{"sharing", ShareDeltasAlways, Deferred},
+		{"unshared", ShareDeltasOff, Deferred},
+		{"oracle", ShareDeltasOff, RecomputeOnDemand},
+	}
+	engines := make([]engine, len(specs))
+	for i, sp := range specs {
+		db, live, err := buildSharedPropDB(model, sp.mode, sp.st)
+		if err != nil {
+			return fmt.Errorf("setup %s: %w", sp.name, err)
+		}
+		engines[i] = engine{name: sp.name, db: db, live: live}
+	}
+	rel := "r"
+	vals := func(key, val int64) []tuple.Value {
+		return []tuple.Value{tuple.I(key), tuple.I(val), tuple.S(sName(int(val)))}
+	}
+	if model == 2 {
+		rel = "r1"
+		vals = func(key, val int64) []tuple.Value {
+			return []tuple.Value{tuple.I(key), tuple.I(val % 8), tuple.S("p" + sName(int(val)))}
+		}
+	}
+	viewNames := make([]string, 0, 3)
+	for _, d := range sharedPropViews(model) {
+		viewNames = append(viewNames, d.Name)
+	}
+	for _, s := range steps {
+		if s.op != "query" {
+			for i := range engines {
+				var err error
+				engines[i].live, err = applyStep(engines[i].db, engines[i].live, s, rel, vals)
+				if err != nil {
+					return fmt.Errorf("%s: %w", engines[i].name, err)
+				}
+			}
+			continue
+		}
+		for i := range engines {
+			if err := engines[i].db.RefreshAll(); err != nil {
+				return fmt.Errorf("%s: RefreshAll: %w", engines[i].name, err)
+			}
+		}
+		for _, v := range viewNames {
+			if model == 3 {
+				want, wantOK, err := engines[0].db.QueryAggregate(v)
+				if err != nil {
+					return fmt.Errorf("sharing %s: %w", v, err)
+				}
+				for _, e := range engines[1:] {
+					got, ok, err := e.db.QueryAggregate(v)
+					if err != nil {
+						return fmt.Errorf("%s %s: %w", e.name, v, err)
+					}
+					if ok != wantOK {
+						return fmt.Errorf("%s %s: defined=%v, sharing says %v", e.name, v, ok, wantOK)
+					}
+					if wantOK && math.Abs(got-want) > 1e-9 {
+						return fmt.Errorf("%s %s: %v, sharing says %v", e.name, v, got, want)
+					}
+				}
+				continue
+			}
+			got, err := engines[0].db.QueryView(v, nil)
+			if err != nil {
+				return fmt.Errorf("sharing %s: %w", v, err)
+			}
+			unsh, err := engines[1].db.QueryView(v, nil)
+			if err != nil {
+				return fmt.Errorf("unshared %s: %w", v, err)
+			}
+			if err := diffRowsExact(got, unsh); err != nil {
+				return fmt.Errorf("sharing vs unshared %s: %w", v, err)
+			}
+			orc, err := engines[2].db.QueryView(v, nil)
+			if err != nil {
+				return fmt.Errorf("oracle %s: %w", v, err)
+			}
+			if err := diffRows(got, orc); err != nil {
+				return fmt.Errorf("sharing vs oracle %s: %w", v, err)
+			}
+		}
+	}
+	return nil
+}
+
+func TestPropertySharedDeltaEquivalent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for model := 1; model <= 3; model++ {
+		model := model
+		t.Run(fmt.Sprintf("model%d", model), func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				rng := rand.New(rand.NewSource(seed + 2100))
+				keySpace := int64(40)
+				if model == 2 {
+					keySpace = 90
+				}
+				steps := genScript(rng, 5, keySpace)
+				if err := runSharedModel(model, steps); err != nil {
+					min := shrinkScript(steps, func(s []propStep) bool { return runSharedModel(model, s) != nil })
+					t.Fatalf("seed %d: %v\nminimal workload script:\n%s", seed, runSharedModel(model, min), formatScript(min))
 				}
 			}
 		})

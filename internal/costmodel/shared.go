@@ -1,0 +1,54 @@
+package costmodel
+
+// Shared-delta refresh pricing: when k views in one refresh unit share
+// a join-delta sub-plan, the engine can either expand the delta once
+// and replay it to every consumer (shared) or let each view expand it
+// privately (the per-view differential plans of §2.1). The two shapes
+// cost, in the model's units,
+//
+//	unshared ≈ k · (build + apply)
+//	shared   ≈ build + k · apply
+//
+// where build is the delta expansion (per-tuple handling at C1, index
+// probes and restricted scans at C2 per page) and apply is one
+// consumer's screening of the expanded rows. The estimate is
+// deliberately coarse — counts the engine has on hand, priced at the
+// paper's unit costs — because the decision only needs the right sign:
+// sharing pays whenever the build dominates and there is more than one
+// consumer.
+
+// SharedDeltaEstimate sizes one candidate join-refresh group.
+type SharedDeltaEstimate struct {
+	Views int // consumers in the group
+	D1    int // R1-side net delta tuples (probe passes over R2)
+	D2    int // R2-side net delta tuples (forces the R1' scan)
+	// ProbePages is the page cost of one R2 index probe (≥1; hash
+	// chains cost their depth).
+	ProbePages float64
+	// ScanPages is the R1' restricted-scan page count (0 when D2 is
+	// empty and the scan is skipped).
+	ScanPages float64
+	// Rows is the expected expanded-delta row count each consumer
+	// screens.
+	Rows float64
+}
+
+// Costs prices both shapes in milliseconds at the given unit costs.
+func (e SharedDeltaEstimate) Costs(p Params) (shared, unshared float64) {
+	build := float64(e.D1)*(p.C1+e.ProbePages*p.C2) + float64(e.D2)*p.C1 + e.ScanPages*p.C2
+	apply := e.Rows * p.C1
+	shared = build + float64(e.Views)*apply
+	unshared = float64(e.Views) * (build + apply)
+	return shared, unshared
+}
+
+// Share reports whether materializing the delta once is estimated
+// cheaper than per-view expansion. A single consumer never shares (the
+// shapes coincide), and a zero-cost build leaves nothing to save.
+func (e SharedDeltaEstimate) Share(p Params) bool {
+	if e.Views < 2 {
+		return false
+	}
+	shared, unshared := e.Costs(p)
+	return shared < unshared
+}

@@ -1,0 +1,49 @@
+package costmodel
+
+import "testing"
+
+func TestSharedDeltaSingleConsumerNeverShares(t *testing.T) {
+	e := SharedDeltaEstimate{Views: 1, D1: 100, ProbePages: 4, Rows: 100}
+	if e.Share(Default()) {
+		t.Fatal("one consumer must not share (shapes coincide)")
+	}
+}
+
+func TestSharedDeltaFanOutShares(t *testing.T) {
+	p := Default()
+	e := SharedDeltaEstimate{Views: 64, D1: 48, ProbePages: 2, Rows: 48}
+	shared, unshared := e.Costs(p)
+	if shared >= unshared {
+		t.Fatalf("fan-out 64 must favor sharing: shared=%v unshared=%v", shared, unshared)
+	}
+	if !e.Share(p) {
+		t.Fatal("Share() must agree with Costs()")
+	}
+}
+
+func TestSharedDeltaZeroBuildDeclines(t *testing.T) {
+	// With no build cost, shared == unshared == k·apply; strictly-less
+	// fails and the gate declines (nothing to save).
+	e := SharedDeltaEstimate{Views: 8, Rows: 10}
+	shared, unshared := e.Costs(Default())
+	if shared != unshared {
+		t.Fatalf("zero build: shared=%v unshared=%v, want equal", shared, unshared)
+	}
+	if e.Share(Default()) {
+		t.Fatal("zero-build group must not share under Auto costing")
+	}
+}
+
+func TestSharedDeltaCostShape(t *testing.T) {
+	p := Params{C1: 1, C2: 30, C3: 1}
+	e := SharedDeltaEstimate{Views: 3, D1: 2, D2: 1, ProbePages: 2, ScanPages: 5, Rows: 4}
+	build := 2.0*(1+2*30) + 1.0*1 + 5*30 // D1·(C1+probe·C2) + D2·C1 + scan·C2
+	apply := 4.0 * 1
+	shared, unshared := e.Costs(p)
+	if want := build + 3*apply; shared != want {
+		t.Fatalf("shared = %v, want %v", shared, want)
+	}
+	if want := 3 * (build + apply); unshared != want {
+		t.Fatalf("unshared = %v, want %v", unshared, want)
+	}
+}
