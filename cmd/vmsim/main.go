@@ -49,7 +49,23 @@ func main() {
 	walDir := flag.String("wal", "", "run a durable demo workload with WAL+snapshots under this directory")
 	recoverDir := flag.String("recover", "", "recover a database from the WAL+snapshots under this directory and report what survived")
 	ckptEvery := flag.Int("checkpoint-every", 8, "commits between automatic checkpoints (with -wal/-recover)")
+	batch := flag.String("batch", "on", "executor batching: on (vectorized) or off (row-at-a-time; identical results and charges)")
 	flag.Parse()
+
+	var batchSize int
+	switch *batch {
+	case "on":
+		batchSize = 0
+	case "off":
+		batchSize = 1
+	default:
+		fmt.Fprintf(os.Stderr, "vmsim: -batch must be on or off, got %q\n", *batch)
+		os.Exit(2)
+	}
+	if batchSize == 1 && (*sweep != "" || *allStrategies) {
+		fmt.Fprintln(os.Stderr, "vmsim: -batch=off is not supported with -sweep or -all-strategies")
+		os.Exit(2)
+	}
 
 	if *recoverDir != "" {
 		if err := runRecover(*recoverDir, *ckptEvery); err != nil {
@@ -116,7 +132,7 @@ func main() {
 	if *allStrategies {
 		cmps, err = sim.CompareAll(sim.Model(*model), p, *seed, *snapEvery)
 	} else {
-		cmps, err = compare(sim.Model(*model), p, *seed, kind, *skew)
+		cmps, err = compare(sim.Model(*model), p, *seed, kind, *skew, batchSize)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -135,7 +151,7 @@ func main() {
 
 	if *verbose || *plans {
 		for _, st := range []core.Strategy{core.QueryModification, core.Immediate, core.Deferred} {
-			res, err := sim.Run(sim.Config{Model: sim.Model(*model), Strategy: st, Params: p, Seed: *seed, AggKind: kind})
+			res, err := sim.Run(sim.Config{Model: sim.Model(*model), Strategy: st, Params: p, Seed: *seed, AggKind: kind, BatchSize: batchSize})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -163,10 +179,10 @@ func main() {
 	}
 }
 
-func compare(model sim.Model, p costmodel.Params, seed int64, kind agg.Kind, skew float64) ([]sim.Comparison, error) {
+func compare(model sim.Model, p costmodel.Params, seed int64, kind agg.Kind, skew float64, batchSize int) ([]sim.Comparison, error) {
 	out := make([]sim.Comparison, 0, 3)
 	for _, st := range []core.Strategy{core.QueryModification, core.Immediate, core.Deferred} {
-		res, err := sim.Run(sim.Config{Model: model, Strategy: st, Params: p, Seed: seed, AggKind: kind, Skew: skew})
+		res, err := sim.Run(sim.Config{Model: model, Strategy: st, Params: p, Seed: seed, AggKind: kind, Skew: skew, BatchSize: batchSize})
 		if err != nil {
 			return nil, err
 		}

@@ -227,12 +227,27 @@ func (d *Def) JoinAtom() (pred.JoinEq, bool) {
 	return pred.JoinEq{}, false
 }
 
-// ProjectValues builds the view row values for a binding of slots to
-// base tuples (for SelectProject, binding has only slot 0).
-func (d *Def) ProjectValues(binding map[int]tuple.Tuple) []tuple.Value {
+// ProjectSpec flattens the projection into output-ordered
+// (slot, column) pairs — the executor's column-gather form, which
+// projects batches by sharing column vectors instead of building a
+// per-row slot binding.
+func (d *Def) ProjectSpec() [][2]int {
+	out := make([][2]int, 0, 8)
+	for slot, idx := range d.Project {
+		for _, c := range idx {
+			out = append(out, [2]int{slot, c})
+		}
+	}
+	return out
+}
+
+// ProjectTuples builds the view row values from the bound slot tuples
+// (t1 is ignored for single-relation views).
+func (d *Def) ProjectTuples(t0, t1 tuple.Tuple) []tuple.Value {
+	slots := [2]tuple.Tuple{t0, t1}
 	out := make([]tuple.Value, 0, 8)
 	for slot, idx := range d.Project {
-		tp := binding[slot]
+		tp := slots[slot]
 		for _, c := range idx {
 			out = append(out, tp.Vals[c])
 		}

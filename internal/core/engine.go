@@ -91,6 +91,10 @@ type Database struct {
 	// shareDeltas selects the shared-delta refresh mode; guarded by mu.
 	shareDeltas ShareDeltaMode
 
+	// batchSize is the executor batch cap (0 = vectorized default,
+	// 1 = row-at-a-time); fixed at construction.
+	batchSize int
+
 	// deltaScans counts base-relation delta-expansion passes (the probe
 	// or scan pass a join refresh runs over base files to expand its
 	// delta) — one per view when unshared, one per group when shared.
@@ -248,6 +252,10 @@ type Options struct {
 	// value, ShareDeltasAuto, shares when the cost model says reuse
 	// pays; ShareDeltasOff restores strictly per-view refresh.
 	ShareDeltas ShareDeltaMode
+	// BatchSize caps the rows per executor batch. Zero selects the
+	// vectorized default (vec.DefaultBatchSize); 1 runs the executor
+	// row-at-a-time — same results and charges, no vectorized paths.
+	BatchSize int
 }
 
 // NewDatabase creates an empty engine.
@@ -269,6 +277,7 @@ func NewDatabase(opts Options) *Database {
 	db.hrConfig = opts.HR
 	db.maxRefreshWorkers = opts.MaxRefreshWorkers
 	db.shareDeltas = opts.ShareDeltas
+	db.batchSize = opts.BatchSize
 	disk.SetIOLatency(opts.SimulatedIOLatency)
 	return db
 }
@@ -298,6 +307,12 @@ func (db *Database) ADScanCount() int64 { return db.adScans.Load() }
 
 // Meter exposes the cost meter.
 func (db *Database) Meter() *storage.Meter { return db.meter }
+
+// execOpts is the executor configuration every planned tree runs
+// under: the engine meter plus the configured batch cap.
+func (db *Database) execOpts() exec.Options {
+	return exec.Options{Meter: db.meter, BatchSize: db.batchSize}
+}
 
 // Pool exposes the buffer pool (experiments tune write policy).
 func (db *Database) Pool() *storage.Pool { return db.pool }
@@ -597,22 +612,22 @@ func (db *Database) DropView(name string) error {
 func (db *Database) populateView(vs *viewState) error {
 	switch vs.def.Kind {
 	case SelectProject:
-		filt := exec.NewFilter(db.meter, vs.def.Name, db.baseSource(vs, 0), singlePred(vs), false)
-		proj := exec.NewProject(vs.def.Name, filt, projectSP(vs))
+		filt := exec.NewFilter(db.execOpts(), vs.def.Name, db.baseSource(vs, 0), singlePred(vs), false)
+		proj := db.projectSP(vs, filt)
 		return db.runPlan(vs, PlanPathPopulate, db.matInsert(vs, proj))
 	case Join:
 		c, err := db.joinCtx(vs)
 		if err != nil {
 			return err
 		}
-		outer := exec.NewFilter(db.meter, vs.def.Name+".outer", db.baseSource(vs, 0), singlePred(vs), false)
-		join := exec.NewLoopJoin(db.meter, exec.LoopJoinSpec{
+		outer := exec.NewFilter(db.execOpts(), vs.def.Name+".outer", db.baseSource(vs, 0), singlePred(vs), false)
+		join := exec.NewLoopJoin(db.execOpts(), exec.LoopJoinSpec{
 			Input:   outer,
 			Inner:   c.r2,
 			JoinVal: c.outerVal,
 			On:      c.onFull,
 		})
-		proj := exec.NewProject(vs.def.Name, join, c.projectJoin)
+		proj := db.projectJoinOp(c, join)
 		return db.runPlan(vs, PlanPathPopulate, db.matInsert(vs, proj))
 	}
 	return nil

@@ -107,7 +107,7 @@ type GroupRow struct {
 // the affected group's row (a MIN/MAX extreme delete recomputes that
 // group from the base relation inside the sink's bracket).
 func (db *Database) refreshGroupAgg(vs *viewState, d *deltas) error {
-	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	src := exec.NewDeltaSource(db.execOpts(), vs.def.Relations[0], d.adds, d.dels)
 	return db.runPlan(vs, PlanPathRefresh, db.groupAggRefreshTree(vs, src))
 }
 
@@ -115,8 +115,8 @@ func (db *Database) refreshGroupAgg(vs *viewState, d *deltas) error {
 // arbitrary delta source (private DeltaSource or shared replay).
 func (db *Database) groupAggRefreshTree(vs *viewState, src exec.Operator) exec.Operator {
 	kind := vs.def.AggKind
-	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
-	apply := exec.NewDeltaApply(db.meter, vs.def.Name+".groups", filt,
+	filt := exec.NewFilter(db.execOpts(), vs.def.Name, src, singlePred(vs), false)
+	apply := exec.NewDeltaApply(db.execOpts(), vs.def.Name+".groups", filt,
 		func(row exec.Row) error {
 			tp := row.T0
 			group := tp.Vals[vs.def.GroupBy]
@@ -227,9 +227,9 @@ func (db *Database) fillGroupStore(vs *viewState, r *relation.Relation) error {
 	gs := vs.groups
 	states := map[string]*agg.State{}
 	groups := map[string]tuple.Value{}
-	scan := exec.NewSeqScan(db.meter, r)
-	filt := exec.NewFilter(db.meter, vs.def.Name, scan, singlePred(vs), true)
-	fold := exec.NewAggFold(vs.def.Name+".groups", filt, func(row exec.Row) {
+	scan := exec.NewSeqScan(db.execOpts(), r)
+	filt := exec.NewFilter(db.execOpts(), vs.def.Name, scan, singlePred(vs), true)
+	fold := exec.NewAggFold(db.execOpts(), vs.def.Name+".groups", filt, exec.Fold{Row: func(row exec.Row) {
 		g := row.T0.Vals[vs.def.GroupBy]
 		key := g.String()
 		s, ok := states[key]
@@ -239,8 +239,8 @@ func (db *Database) fillGroupStore(vs *viewState, r *relation.Relation) error {
 			groups[key] = g
 		}
 		s.Insert(row.T0.Vals[vs.def.AggCol].AsFloat())
-	})
-	flush := exec.NewStateWrite(db.meter, vs.def.Name+".groups", func() error {
+	}})
+	flush := exec.NewStateWrite(db.execOpts(), vs.def.Name+".groups", func() error {
 		for key, s := range states {
 			if err := gs.put(groups[key], s, nil, db.nextID()); err != nil {
 				return err
@@ -276,8 +276,8 @@ func (db *Database) QueryGroups(name string, rg *pred.Range) ([]GroupRow, error)
 			rows, err = db.groupsFromBase(vs, rg)
 			return err
 		}
-		scan := exec.NewScan(db.meter, vs.groups.rel, orFull(rg))
-		screen := exec.NewFilter(db.meter, vs.def.Name+".groups", scan, nil, true)
+		scan := exec.NewScan(db.execOpts(), vs.groups.rel, orFull(rg))
+		screen := exec.NewFilter(db.execOpts(), vs.def.Name+".groups", scan, exec.Pred{}, true)
 		node, delta, stored, err := db.runTree(screen, true)
 		db.recordPlan(vs, PlanPathQuery, node, delta)
 		if err != nil {
@@ -303,9 +303,9 @@ func (db *Database) QueryGroups(name string, rg *pred.Range) ([]GroupRow, error)
 func (db *Database) groupsFromBase(vs *viewState, rg *pred.Range) ([]GroupRow, error) {
 	r := db.rels[vs.def.Relations[0]]
 	skip := map[uint64]bool{}
-	var source exec.Operator = exec.NewSeqScan(db.meter, r)
+	var source exec.Operator = exec.NewSeqScan(db.execOpts(), r)
 	if h, ok := db.hrs[vs.def.Relations[0]]; ok && h.ADLen() > 0 {
-		pending := exec.NewFuncSource(db.meter, fmt.Sprintf("PendingAD(%s)", vs.def.Relations[0]), func() ([]exec.Row, error) {
+		pending := exec.NewFuncSource(db.execOpts(), fmt.Sprintf("PendingAD(%s)", vs.def.Relations[0]), func() ([]exec.Row, error) {
 			anet, dnet, err := h.NetChanges()
 			if err != nil {
 				return nil, err
@@ -326,14 +326,9 @@ func (db *Database) groupsFromBase(vs *viewState, rg *pred.Range) ([]GroupRow, e
 	}
 	states := map[string]*agg.State{}
 	groups := map[string]tuple.Value{}
-	filt := exec.NewFilter(db.meter, vs.def.Name, source, func(row exec.Row) bool {
-		if skip[row.T0.ID] || !vs.def.Pred.EvalSingle(0, row.T0) {
-			return false
-		}
-		g := row.T0.Vals[vs.def.GroupBy]
-		return rg == nil || rg.Contains(g)
-	}, true)
-	fold := exec.NewAggFold(vs.def.Name+".groups", filt, func(row exec.Row) {
+	filt := exec.NewFilter(db.execOpts(), vs.def.Name, source,
+		exec.Pred{P: vs.def.Pred, SkipIDs: skip, Range: rg, RangeCol: vs.def.GroupBy}, true)
+	fold := exec.NewAggFold(db.execOpts(), vs.def.Name+".groups", filt, exec.Fold{Row: func(row exec.Row) {
 		g := row.T0.Vals[vs.def.GroupBy]
 		key := g.String()
 		s, ok := states[key]
@@ -343,7 +338,7 @@ func (db *Database) groupsFromBase(vs *viewState, rg *pred.Range) ([]GroupRow, e
 			groups[key] = g
 		}
 		s.Insert(row.T0.Vals[vs.def.AggCol].AsFloat())
-	})
+	}})
 	node, delta, _, err := db.runTree(fold, false)
 	db.recordPlan(vs, PlanPathQuery, node, delta)
 	if err != nil {

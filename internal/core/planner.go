@@ -139,23 +139,24 @@ func copyPlanNode(n *exec.PlanNode) *exec.PlanNode {
 
 // --- shared plan fragments --------------------------------------------------
 
-// singlePred is the slot-0 restriction test shared by every Model-1
-// pipeline and the outer side of the join pipelines.
-func singlePred(vs *viewState) func(exec.Row) bool {
-	return func(row exec.Row) bool { return vs.def.Pred.EvalSingle(0, row.T0) }
+// singlePred is the slot-0 restriction spec shared by every Model-1
+// pipeline and the outer side of the join pipelines. Handing the
+// executor the predicate itself (rather than a closure) lets Filter
+// run its vectorized per-atom kernels.
+func singlePred(vs *viewState) exec.Pred {
+	return exec.Pred{P: vs.def.Pred}
 }
 
-// projectSP is the slot-0 projection closure.
-func projectSP(vs *viewState) func(exec.Row) []tuple.Value {
-	return func(row exec.Row) []tuple.Value {
-		return vs.def.ProjectValues(row.Binding(1))
-	}
+// projectSP projects the slot-0 binding through the view's target
+// list in column-gather form.
+func (db *Database) projectSP(vs *viewState, input exec.Operator) exec.Operator {
+	return exec.NewProjectCols(db.execOpts(), vs.def.Name, input, vs.def.ProjectSpec())
 }
 
 // matApply is the materialized-store sink: polarity-routed duplicate
 // count maintenance.
 func (db *Database) matApply(vs *viewState, input exec.Operator) exec.Operator {
-	return exec.NewDeltaApply(db.meter, vs.def.Name, input,
+	return exec.NewDeltaApply(db.execOpts(), vs.def.Name, input,
 		func(row exec.Row) error { return vs.mat.InsertDelta(row.Vals, db.nextID()) },
 		func(row exec.Row) error { return vs.mat.DeleteDelta(row.Vals) })
 }
@@ -164,7 +165,7 @@ func (db *Database) matApply(vs *viewState, input exec.Operator) exec.Operator {
 // polarity, and every surviving row is an insert.
 func (db *Database) matInsert(vs *viewState, input exec.Operator) exec.Operator {
 	ins := func(row exec.Row) error { return vs.mat.InsertDelta(row.Vals, db.nextID()) }
-	return exec.NewDeltaApply(db.meter, vs.def.Name, input, ins, ins)
+	return exec.NewDeltaApply(db.execOpts(), vs.def.Name, input, ins, ins)
 }
 
 // restrictedScan is the clustered scan over the view predicate's
@@ -177,7 +178,7 @@ func (db *Database) restrictedScan(vs *viewState, slot int) exec.Operator {
 	if constrained {
 		scanRg = &rg
 	}
-	return exec.NewScan(db.meter, r, scanRg)
+	return exec.NewScan(db.execOpts(), r, scanRg)
 }
 
 // baseSource is restrictedScan when the relation is clustered, a full
@@ -187,7 +188,7 @@ func (db *Database) baseSource(vs *viewState, slot int) exec.Operator {
 	if r.Kind() == relation.ClusteredBTree {
 		return db.restrictedScan(vs, slot)
 	}
-	return exec.NewSeqScan(db.meter, r)
+	return exec.NewSeqScan(db.execOpts(), r)
 }
 
 // --- join delta expansion ---------------------------------------------------
@@ -215,20 +216,29 @@ func (db *Database) joinCtx(vs *viewState) (joinPlanCtx, error) {
 }
 
 // onFull is the full joined-binding predicate.
-func (c joinPlanCtx) onFull(row exec.Row) bool { return c.vs.def.Pred.Eval(row.Binding(2)) }
+func (c joinPlanCtx) onFull(row exec.Row) bool {
+	return c.vs.def.Pred.EvalJoined(row.T0, row.T1)
+}
+
+// onFullPred is onFull as a Filter spec (Full evaluates join atoms
+// and both slots' restrictions, vectorized per atom).
+func (c joinPlanCtx) onFullPred() exec.Pred {
+	return exec.Pred{P: c.vs.def.Pred, Full: true}
+}
 
 // outerVal extracts the outer row's join value.
 func (c joinPlanCtx) outerVal(row exec.Row) tuple.Value { return row.T0.Vals[c.col1] }
 
-// projectJoin is the two-slot projection closure.
-func (c joinPlanCtx) projectJoin(row exec.Row) []tuple.Value {
-	return c.vs.def.ProjectValues(row.Binding(2))
+// projectJoinOp projects the two-slot binding through the view's
+// target list in column-gather form.
+func (db *Database) projectJoinOp(c joinPlanCtx, input exec.Operator) exec.Operator {
+	return exec.NewProjectCols(db.execOpts(), c.vs.def.Name, input, c.vs.def.ProjectSpec())
 }
 
 // applyJoin finishes a join-delta pipeline: project the surviving
 // joined bindings and fold them into the materialized store.
 func (db *Database) applyJoin(c joinPlanCtx, input exec.Operator) exec.Operator {
-	return db.matApply(c.vs, exec.NewProject(c.vs.def.Name, input, c.projectJoin))
+	return db.matApply(c.vs, db.projectJoinOp(c, input))
 }
 
 // probeDeltas builds the delta-side probe pipeline shared by both
@@ -238,9 +248,9 @@ func (db *Database) applyJoin(c joinPlanCtx, input exec.Operator) exec.Operator 
 // start-state R2 together with addBack).
 func (db *Database) probeDeltas(c joinPlanCtx, label string, d *deltas, charge bool,
 	skipIDs map[uint64]bool, addBack []tuple.Tuple) exec.Operator {
-	src := exec.NewDeltaSource(label, d.adds, d.dels)
-	filt := exec.NewFilter(db.meter, label+".r1pred", src, singlePred(c.vs), charge)
-	probe := exec.NewLoopJoin(db.meter, exec.LoopJoinSpec{
+	src := exec.NewDeltaSource(db.execOpts(), label, d.adds, d.dels)
+	filt := exec.NewFilter(db.execOpts(), label+".r1pred", src, singlePred(c.vs), charge)
+	probe := exec.NewLoopJoin(db.execOpts(), exec.LoopJoinSpec{
 		Input:      filt,
 		Inner:      c.r2,
 		JoinVal:    c.outerVal,
@@ -258,13 +268,13 @@ func (db *Database) probeDeltas(c joinPlanCtx, label string, d *deltas, charge b
 // the corrected expansion's C1·(|A2|+|D2|) handling term.
 func (db *Database) matchR2Deltas(c joinPlanCtx, outer exec.Operator,
 	adds, dels []tuple.Tuple, flatScreens int64) exec.Operator {
-	md := exec.NewMatchDeltas(db.meter, outer, adds, dels, c.outerVal, c.col2, c.onFull, flatScreens)
+	md := exec.NewMatchDeltas(db.execOpts(), outer, adds, dels, c.outerVal, c.col2, c.onFull, flatScreens)
 	return db.applyJoin(c, md)
 }
 
 // crossDeltas builds the A1×A2-insert / D1×D2-delete cross-term
 // pipeline shared by both expansions.
 func (db *Database) crossDeltas(c joinPlanCtx, a1, a2, d1, d2 []tuple.Tuple) exec.Operator {
-	cross := exec.NewCrossDeltas(a1, a2, d1, d2, c.col1, c.col2, c.onFull)
+	cross := exec.NewCrossDeltas(db.execOpts(), a1, a2, d1, d2, c.col1, c.col2, c.onFull)
 	return db.applyJoin(c, cross)
 }

@@ -132,7 +132,7 @@ func (db *Database) QueryAggregate(name string) (value float64, ok bool, err err
 			// Read the one-page aggregate state (C_query3 = C2). The
 			// in-memory state is authoritative and identical to the
 			// page; the page read is the charged operation.
-			read := exec.NewFuncSource(db.meter, fmt.Sprintf("AggRead(%s)", vs.def.Name), func() ([]exec.Row, error) {
+			read := exec.NewFuncSource(db.execOpts(), fmt.Sprintf("AggRead(%s)", vs.def.Name), func() ([]exec.Row, error) {
 				fr, err := db.pool.Get(vs.aggFile, vs.aggPage)
 				if err != nil {
 					return nil, err
@@ -243,7 +243,7 @@ func (db *Database) refreshDeferred(root *viewState) error {
 // each stored row is screened against the query predicate at C1 (the
 // model's C1·f·fv·N term).
 func (db *Database) queryMaterialized(vs *viewState, rg *pred.Range) ([]ResultRow, error) {
-	scan := exec.NewFuncSource(db.meter, fmt.Sprintf("MatScan(%s%s)", vs.def.Name, matRangeSuffix(rg)), func() ([]exec.Row, error) {
+	scan := exec.NewFuncSource(db.execOpts(), fmt.Sprintf("MatScan(%s%s)", vs.def.Name, matRangeSuffix(rg)), func() ([]exec.Row, error) {
 		stored, err := vs.mat.Scan(rg)
 		if err != nil {
 			return nil, err
@@ -254,7 +254,7 @@ func (db *Database) queryMaterialized(vs *viewState, rg *pred.Range) ([]ResultRo
 		}
 		return out, nil
 	})
-	screen := exec.NewFilter(db.meter, vs.def.Name, scan, nil, true)
+	screen := exec.NewFilter(db.execOpts(), vs.def.Name, scan, exec.Pred{}, true)
 	node, delta, rows, err := db.runTree(screen, true)
 	db.recordPlan(vs, PlanPathQuery, node, delta)
 	if err != nil {
@@ -329,11 +329,11 @@ func (db *Database) queryModified(vs *viewState, rg *pred.Range, plan QueryPlan)
 		if r.Kind() != relation.ClusteredBTree || r.KeyCol() != col {
 			return nil, fmt.Errorf("core: clustered plan needs clustering on column %d of %q", col, r.Name())
 		}
-		source = exec.NewScan(db.meter, r, combineRange(vs.def.Pred, 0, col, rg))
+		source = exec.NewScan(db.execOpts(), r, combineRange(vs.def.Pred, 0, col, rg))
 	case PlanUnclustered:
-		source = exec.NewIndexFetch(db.meter, r, col, orFull(combineRange(vs.def.Pred, 0, col, rg)))
+		source = exec.NewIndexFetch(db.execOpts(), r, col, orFull(combineRange(vs.def.Pred, 0, col, rg)))
 	case PlanSequential:
-		source = exec.NewSeqScan(db.meter, r)
+		source = exec.NewSeqScan(db.execOpts(), r)
 	default:
 		return nil, fmt.Errorf("core: plan %v not applicable to %s view", plan, vs.def.Kind)
 	}
@@ -346,10 +346,9 @@ func (db *Database) queryModified(vs *viewState, rg *pred.Range, plan QueryPlan)
 	}
 	// One charged screen per candidate: the test against the
 	// (modified) view predicate.
-	filter := exec.NewFilter(db.meter, vs.def.Name, source, func(row exec.Row) bool {
-		return match(row.T0)
-	}, true)
-	root := db.overlayPendingSP(vs, match, exec.NewProject(vs.def.Name, filter, projectSP(vs)))
+	filter := exec.NewFilter(db.execOpts(), vs.def.Name, source,
+		exec.Pred{P: vs.def.Pred, Range: rg, RangeCol: col}, true)
+	root := db.overlayPendingSP(vs, match, db.projectSP(vs, filter))
 
 	node, delta, rows, err := db.runTree(root, true)
 	db.recordPlan(vs, PlanPathQuery, node, delta)
@@ -373,11 +372,11 @@ func (db *Database) overlayPendingSP(vs *viewState, match func(tuple.Tuple) bool
 	if !hasHR || h.ADLen() == 0 {
 		return input
 	}
-	return exec.NewMergePending(db.meter, vs.def.Name, input,
+	return exec.NewMergePending(db.execOpts(), vs.def.Name, input,
 		func() ([]tuple.Tuple, []tuple.Tuple, error) { return h.NetChanges() },
 		match,
 		func(tp tuple.Tuple) []tuple.Value {
-			return vs.def.ProjectValues(map[int]tuple.Tuple{0: tp})
+			return vs.def.ProjectTuples(tp, tuple.Tuple{})
 		},
 		func(vals []tuple.Value) string { return tuple.Tuple{Vals: vals}.ValueKey() },
 	)
@@ -408,22 +407,18 @@ func (db *Database) loopJoin(vs *viewState, rg *pred.Range) ([]ResultRow, error)
 		return nil, fmt.Errorf("core: join view %q clusters on inner column", vs.def.Name)
 	}
 
-	scan := exec.NewScan(db.meter, r1, orFull(combineRange(vs.def.Pred, 0, keyCol, rg)))
+	scan := exec.NewScan(db.execOpts(), r1, orFull(combineRange(vs.def.Pred, 0, keyCol, rg)))
 	// One charged screen per outer tuple, then per probed match.
-	outer := exec.NewFilter(db.meter, vs.def.Name+".outer", scan, func(row exec.Row) bool {
-		if !vs.def.Pred.EvalSingle(0, row.T0) {
-			return false
-		}
-		return rg == nil || rg.Contains(row.T0.Vals[keyCol])
-	}, true)
-	join := exec.NewLoopJoin(db.meter, exec.LoopJoinSpec{
+	outer := exec.NewFilter(db.execOpts(), vs.def.Name+".outer", scan,
+		exec.Pred{P: vs.def.Pred, Range: rg, RangeCol: keyCol}, true)
+	join := exec.NewLoopJoin(db.execOpts(), exec.LoopJoinSpec{
 		Input:       outer,
 		Inner:       c.r2,
 		JoinVal:     c.outerVal,
 		On:          c.onFull,
 		ChargeMatch: true,
 	})
-	root := exec.NewProject(vs.def.Name, join, c.projectJoin)
+	root := db.projectJoinOp(c, join)
 
 	node, delta, rows, err := db.runTree(root, true)
 	db.recordPlan(vs, PlanPathQuery, node, delta)
@@ -471,7 +466,7 @@ func (db *Database) computeAggregateFromBase(vs *viewState) (float64, bool, erro
 		// relation with deferred views stay correct: pending adds are
 		// streamed ahead of the base scan, pending deletes fill the
 		// skip set the filter below consults.
-		pending := exec.NewFuncSource(db.meter, fmt.Sprintf("PendingAD(%s)", vs.def.Relations[0]), func() ([]exec.Row, error) {
+		pending := exec.NewFuncSource(db.execOpts(), fmt.Sprintf("PendingAD(%s)", vs.def.Relations[0]), func() ([]exec.Row, error) {
 			anet, dnet, err := h.NetChanges()
 			if err != nil {
 				return nil, err
@@ -487,11 +482,11 @@ func (db *Database) computeAggregateFromBase(vs *viewState) (float64, bool, erro
 		})
 		source = exec.NewSeq("pending+base", pending, source)
 	}
-	filter := exec.NewFilter(db.meter, vs.def.Name, source, func(row exec.Row) bool {
-		return !skipDeleted[row.T0.ID] && vs.def.Pred.EvalSingle(0, row.T0)
-	}, true)
-	fold := exec.NewAggFold(vs.def.Name, filter, func(row exec.Row) {
-		state.Insert(row.T0.Vals[vs.def.AggCol].AsFloat())
+	filter := exec.NewFilter(db.execOpts(), vs.def.Name, source,
+		exec.Pred{P: vs.def.Pred, SkipIDs: skipDeleted}, true)
+	fold := exec.NewAggFold(db.execOpts(), vs.def.Name, filter, exec.Fold{
+		Col: vs.def.AggCol,
+		Val: func(v float64, _ bool) { state.Insert(v) },
 	})
 
 	node, delta, _, err := db.runTree(fold, false)

@@ -71,7 +71,7 @@ func slotOrEmpty(slots map[int]*deltas, i int) *deltas {
 // filter is uncharged; only the view I/O lands on the DeltaApply sink
 // (the model's C2·(3+Hvi)·X term).
 func (db *Database) refreshSP(vs *viewState, d *deltas) error {
-	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	src := exec.NewDeltaSource(db.execOpts(), vs.def.Relations[0], d.adds, d.dels)
 	return db.runPlan(vs, PlanPathRefresh, db.spRefreshTree(vs, src))
 }
 
@@ -79,9 +79,8 @@ func (db *Database) refreshSP(vs *viewState, d *deltas) error {
 // source — the per-view half shared by the private and shared-delta
 // refresh paths.
 func (db *Database) spRefreshTree(vs *viewState, src exec.Operator) exec.Operator {
-	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
-	proj := exec.NewProject(vs.def.Name, filt, projectSP(vs))
-	return db.matApply(vs, proj)
+	filt := exec.NewFilter(db.execOpts(), vs.def.Name, src, singlePred(vs), false)
+	return db.matApply(vs, db.projectSP(vs, filt))
 }
 
 // refreshJoin applies Model-2 deltas with the corrected expansion,
@@ -109,9 +108,8 @@ func (db *Database) refreshJoin(vs *viewState, d1, d2 *deltas) error {
 	// never updates R2; this path generalizes it. The flat screen is
 	// the per-delta handling term, C1·(|A2|+|D2|).
 	if len(d2.adds)+len(d2.dels) > 0 {
-		outer := exec.NewFilter(db.meter, "r1'", db.restrictedScan(vs, 0), func(row exec.Row) bool {
-			return !a1IDs[row.T0.ID] && vs.def.Pred.EvalSingle(0, row.T0)
-		}, false)
+		outer := exec.NewFilter(db.execOpts(), "r1'", db.restrictedScan(vs, 0),
+			exec.Pred{P: vs.def.Pred, SkipIDs: a1IDs}, false)
 		phases = append(phases, db.matchR2Deltas(c, outer, d2.adds, d2.dels, int64(len(d2.adds)+len(d2.dels))))
 	}
 
@@ -160,12 +158,11 @@ func (db *Database) refreshJoinBlakeley(vs *viewState, d1, d2 *deltas) error {
 	// skipping A1 ids, with the D1 tuples streamed back in.
 	if len(d2.dels) > 0 {
 		a1IDs := idSet(d1.adds)
-		surviving := exec.NewFilter(db.meter, "r1 minus A1", db.restrictedScan(vs, 0), func(row exec.Row) bool {
-			return !a1IDs[row.T0.ID]
-		}, false)
+		surviving := exec.NewFilter(db.execOpts(), "r1 minus A1", db.restrictedScan(vs, 0),
+			exec.Pred{SkipIDs: a1IDs}, false)
 		r1Start := exec.NewSeq("R1 start-state",
-			surviving, exec.NewDeltaSource("D1 add-back", nil, d1.dels))
-		outer := exec.NewFilter(db.meter, "r1pred", r1Start, singlePred(vs), false)
+			surviving, exec.NewDeltaSource(db.execOpts(), "D1 add-back", nil, d1.dels))
+		outer := exec.NewFilter(db.execOpts(), "r1pred", r1Start, singlePred(vs), false)
 		phases = append(phases, db.matchR2Deltas(c, outer, nil, d2.dels, 0))
 	}
 
@@ -177,7 +174,7 @@ func (db *Database) refreshJoinBlakeley(vs *viewState, d1, d2 *deltas) error {
 // of the current extreme triggers a recomputation scan of the base
 // relation (a charged clustered scan).
 func (db *Database) refreshAggregate(vs *viewState, d *deltas) error {
-	src := exec.NewDeltaSource(vs.def.Relations[0], d.adds, d.dels)
+	src := exec.NewDeltaSource(db.execOpts(), vs.def.Relations[0], d.adds, d.dels)
 	return db.runPlan(vs, PlanPathRefresh, db.aggRefreshTree(vs, src))
 }
 
@@ -186,27 +183,29 @@ func (db *Database) refreshAggregate(vs *viewState, d *deltas) error {
 func (db *Database) aggRefreshTree(vs *viewState, src exec.Operator) exec.Operator {
 	changed := false
 	needRecompute := false
-	filt := exec.NewFilter(db.meter, vs.def.Name, src, singlePred(vs), false)
-	fold := exec.NewAggFold(vs.def.Name, filt, func(row exec.Row) {
-		v := row.T0.Vals[vs.def.AggCol].AsFloat()
-		if row.Insert {
-			vs.aggState.Insert(v)
-		} else if vs.aggState.Delete(v) {
-			needRecompute = true
-		}
-		changed = true
+	filt := exec.NewFilter(db.execOpts(), vs.def.Name, src, singlePred(vs), false)
+	fold := exec.NewAggFold(db.execOpts(), vs.def.Name, filt, exec.Fold{
+		Col: vs.def.AggCol,
+		Val: func(v float64, insert bool) {
+			if insert {
+				vs.aggState.Insert(v)
+			} else if vs.aggState.Delete(v) {
+				needRecompute = true
+			}
+			changed = true
+		},
 	})
 	phases := []exec.Operator{fold}
 	// The later phases are planned lazily inside StateWrites, because
 	// whether the fold tripped a MIN/MAX recompute is only known after
 	// it ran; Seq's lazy opening keeps the ordering correct.
-	phases = append(phases, exec.NewStateWrite(db.meter, "rebuild-if-needed", func() error {
+	phases = append(phases, exec.NewStateWrite(db.execOpts(), "rebuild-if-needed", func() error {
 		if !needRecompute {
 			return nil
 		}
 		return db.rebuildAggregate(vs)
 	}))
-	phases = append(phases, exec.NewStateWrite(db.meter, vs.def.Name+".aggpage", func() error {
+	phases = append(phases, exec.NewStateWrite(db.execOpts(), vs.def.Name+".aggpage", func() error {
 		if !changed {
 			return nil
 		}
@@ -220,11 +219,12 @@ func (db *Database) aggRefreshTree(vs *viewState, src exec.Operator) exec.Operat
 // interval, then persists it.
 func (db *Database) rebuildAggregate(vs *viewState) error {
 	var vals []float64
-	filt := exec.NewFilter(db.meter, vs.def.Name, db.baseSource(vs, 0), singlePred(vs), true)
-	fold := exec.NewAggFold(vs.def.Name, filt, func(row exec.Row) {
-		vals = append(vals, row.T0.Vals[vs.def.AggCol].AsFloat())
+	filt := exec.NewFilter(db.execOpts(), vs.def.Name, db.baseSource(vs, 0), singlePred(vs), true)
+	fold := exec.NewAggFold(db.execOpts(), vs.def.Name, filt, exec.Fold{
+		Col: vs.def.AggCol,
+		Val: func(v float64, _ bool) { vals = append(vals, v) },
 	})
-	write := exec.NewStateWrite(db.meter, vs.def.Name+".aggpage", func() error {
+	write := exec.NewStateWrite(db.execOpts(), vs.def.Name+".aggpage", func() error {
 		vs.aggState.Rebuild(vals)
 		return db.writeAggState(vs)
 	})

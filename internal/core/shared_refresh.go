@@ -240,7 +240,7 @@ func (db *Database) buildSharedDelta(fp exec.DeltaFingerprint, views []*viewStat
 	// Single-relation stream: the AD net changes are already in memory;
 	// the build is an uncharged replay buffer over them.
 	d := netOrEmpty(nets, fp.Rel1)
-	src := exec.NewDeltaSource(fp.Rel1, d.adds, d.dels)
+	src := exec.NewDeltaSource(db.execOpts(), fp.Rel1, d.adds, d.dels)
 	node, delta, rows, err := db.runTree(src, true)
 	return rows, node, delta, err
 }
@@ -265,9 +265,9 @@ func (db *Database) buildSharedJoinDelta(fp exec.DeltaFingerprint, views []*view
 	// A1×R2' and D1×R2': every delta tuple charges its handling screen
 	// here (the private plans charge it at their restriction filter),
 	// then probes R2 skipping A2 ids.
-	handled := exec.NewFilter(db.meter, fp.Rel1+".handling",
-		exec.NewDeltaSource(fp.Rel1, d1.adds, d1.dels), nil, true)
-	phases = append(phases, exec.NewLoopJoin(db.meter, exec.LoopJoinSpec{
+	handled := exec.NewFilter(db.execOpts(), fp.Rel1+".handling",
+		exec.NewDeltaSource(db.execOpts(), fp.Rel1, d1.adds, d1.dels), exec.Pred{}, true)
+	phases = append(phases, exec.NewLoopJoin(db.execOpts(), exec.LoopJoinSpec{
 		Input:   handled,
 		Inner:   r2,
 		JoinVal: outerVal,
@@ -277,14 +277,14 @@ func (db *Database) buildSharedJoinDelta(fp exec.DeltaFingerprint, views []*view
 	// R1'×A2 and R1'×D2: one restricted scan over the union of the
 	// consumers' intervals, skipping A1 ids.
 	if len(d2.adds)+len(d2.dels) > 0 {
-		outer := exec.NewFilter(db.meter, fp.Rel1+"'", db.groupRestrictedScan(views, fp.Rel1),
-			func(row exec.Row) bool { return !a1IDs[row.T0.ID] }, false)
-		phases = append(phases, exec.NewMatchDeltas(db.meter, outer, d2.adds, d2.dels,
+		outer := exec.NewFilter(db.execOpts(), fp.Rel1+"'", db.groupRestrictedScan(views, fp.Rel1),
+			exec.Pred{SkipIDs: a1IDs}, false)
+		phases = append(phases, exec.NewMatchDeltas(db.execOpts(), outer, d2.adds, d2.dels,
 			outerVal, fp.Col2, nil, int64(len(d2.adds)+len(d2.dels))))
 	}
 
 	// A1×A2 insert and D1×D2 delete cross terms.
-	phases = append(phases, exec.NewCrossDeltas(d1.adds, d2.adds, d1.dels, d2.dels, fp.Col1, fp.Col2, nil))
+	phases = append(phases, exec.NewCrossDeltas(db.execOpts(), d1.adds, d2.adds, d1.dels, d2.dels, fp.Col1, fp.Col2, nil))
 
 	root := exec.NewSeq("shared-delta("+fp.String()+")", phases...)
 	node, delta, rows, err := db.runTree(root, true)
@@ -298,7 +298,7 @@ func (db *Database) buildSharedJoinDelta(fp exec.DeltaFingerprint, views []*view
 // a full scan.
 func (db *Database) groupRestrictedScan(views []*viewState, rel string) exec.Operator {
 	r := db.rels[rel]
-	return exec.NewScan(db.meter, r, unionInterval(views, r.KeyCol()))
+	return exec.NewScan(db.execOpts(), r, unionInterval(views, r.KeyCol()))
 }
 
 // unionInterval widens the views' slot-0 restriction intervals on the
@@ -337,7 +337,7 @@ func unionInterval(views []*viewState, keyCol int) *pred.Range {
 // shared rows: its full predicate screen (charged per replayed row —
 // the k·apply term), projection, and materialized-store fold.
 func (db *Database) sharedConsumerTree(vs *viewState, fp exec.DeltaFingerprint, rows []exec.Row) (exec.Operator, error) {
-	src := exec.NewSharedDeltaScan(fp, rows)
+	src := exec.NewSharedDeltaScan(db.execOpts(), fp, rows)
 	switch vs.def.Kind {
 	case SelectProject:
 		return db.spRefreshTree(vs, src), nil
@@ -350,7 +350,7 @@ func (db *Database) sharedConsumerTree(vs *viewState, fp exec.DeltaFingerprint, 
 		if err != nil {
 			return nil, err
 		}
-		filt := exec.NewFilter(db.meter, vs.def.Name+".screen", src, c.onFull, true)
+		filt := exec.NewFilter(db.execOpts(), vs.def.Name+".screen", src, c.onFullPred(), true)
 		return db.applyJoin(c, filt), nil
 	}
 	return nil, fmt.Errorf("core: shared refresh of unknown view kind %v", vs.def.Kind)

@@ -154,7 +154,11 @@ func applyStep(db *Database, live []liveRow, s propStep, rel string,
 // --- Model 1: select-project views ----------------------------------------
 
 func buildSPDB(st Strategy, n int) (*Database, error) {
-	db := NewDatabase(testOpts())
+	return buildSPDBOpts(testOpts(), st, n)
+}
+
+func buildSPDBOpts(opts Options, st Strategy, n int) (*Database, error) {
+	db := NewDatabase(opts)
 	if _, err := db.CreateRelationBTree("r", spSchema(), 0); err != nil {
 		return nil, err
 	}
@@ -243,7 +247,11 @@ func TestPropertyModel1StrategiesEquivalent(t *testing.T) {
 // --- Model 2: join views (updates on R1 only, the paper's shape) ----------
 
 func buildJoinDB(st Strategy, blakeley bool, n, m int) (*Database, error) {
-	db := NewDatabase(testOpts())
+	return buildJoinDBOpts(testOpts(), st, blakeley, n, m)
+}
+
+func buildJoinDBOpts(opts Options, st Strategy, blakeley bool, n, m int) (*Database, error) {
+	db := NewDatabase(opts)
 	s1, s2 := joinSchemas()
 	if _, err := db.CreateRelationBTree("r1", s1, 0); err != nil {
 		return nil, err
@@ -355,7 +363,11 @@ func TestPropertyModel2StrategiesEquivalent(t *testing.T) {
 // --- Model 3: aggregate views ---------------------------------------------
 
 func buildAggDB(st Strategy, kind agg.Kind, n int) (*Database, error) {
-	db := NewDatabase(testOpts())
+	return buildAggDBOpts(testOpts(), st, kind, n)
+}
+
+func buildAggDBOpts(opts Options, st Strategy, kind agg.Kind, n int) (*Database, error) {
+	db := NewDatabase(opts)
 	if _, err := db.CreateRelationBTree("r", spSchema(), 0); err != nil {
 		return nil, err
 	}

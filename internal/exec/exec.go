@@ -1,7 +1,11 @@
-// Package exec is the engine's physical-operator layer: a Volcano-style
-// iterator model (Open/Next/Close) over the storage substrates, with
-// per-operator instrumentation that rolls up into the same
-// storage.Meter the cost model prices.
+// Package exec is the engine's physical-operator layer: a batch-at-a-
+// time (MonetDB/X100-style) iterator model over the storage substrates,
+// with per-operator instrumentation that rolls up into the same
+// storage.Meter the cost model prices. Operators exchange *vec.Batch —
+// up to 1024 rows held as typed column vectors plus a selection vector
+// and delta-polarity bitmap — so filters, projections, and agg folds
+// run as tight typed loops; a thin row adapter (rowAt/appendRow)
+// bridges to the per-tuple callbacks core still supplies.
 //
 // The core.Database methods are thin planners — they translate a view
 // definition plus the current physical state (clustering, secondary
@@ -10,9 +14,11 @@
 // exactly one operator (leaves bracket their storage calls; Filter and
 // join operators record the C1 screens they issue themselves), so the
 // sum of per-operator stats over a tree equals the Meter delta spanning
-// its execution. That invariant is what lets Explain render a plan tree
-// whose per-operator measured costs add up to the strategy totals the
-// experiments report.
+// its execution. Batching preserves that invariant exactly: brackets
+// around a batch-filling loop absorb the same charges the per-row
+// brackets did, screens are issued per logical input row, and
+// OpStats.RowsOut still counts logical rows — only the new
+// OpStats.Batches differs from the serial row path.
 //
 // Operators share one Meter; when trees run concurrently (parallel
 // refresh workers) a bracket can absorb another goroutine's charges, so
@@ -24,11 +30,15 @@ package exec
 import (
 	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
 )
 
-// Row is the unit of data flowing between operators: slot bindings to
+// Row is the row-at-a-time view of one batch entry: slot bindings to
 // base tuples, the projected output values once a Project has run, and
-// the delta polarity for maintenance pipelines.
+// the delta polarity for maintenance pipelines. Core callbacks
+// (projection target lists, delta-apply effects) still speak Row; the
+// operators gather one out of a batch only where such a callback needs
+// it.
 type Row struct {
 	T0, T1 tuple.Tuple   // slot-0 / slot-1 bindings (T1 used by join rows)
 	Vals   []tuple.Value // projected output values
@@ -36,28 +46,53 @@ type Row struct {
 	Dup    int64         // duplicate count carried by materialized-store rows (0 = 1)
 }
 
-// Binding returns the slot→tuple map form of the row's bindings that
-// view definitions project from. nslots is 1 or 2.
-func (r Row) Binding(nslots int) map[int]tuple.Tuple {
-	if nslots == 2 {
-		return map[int]tuple.Tuple{0: r.T0, 1: r.T1}
+// Slot returns the tuple bound to relation slot i (0 or 1) — the
+// allocation-free successor of the old map-building Binding accessor.
+func (r Row) Slot(i int) tuple.Tuple {
+	if i == 1 {
+		return r.T1
 	}
-	return map[int]tuple.Tuple{0: r.T0}
+	return r.T0
 }
 
-// OpStats is one operator's instrumentation: rows it emitted and the
-// metered charges it issued (page I/O, C1 screens, C3 touches).
+// Options configures a plan's operators: the meter charges are issued
+// against, and the batch size rows are vectorized in. BatchSize 0
+// means vec.DefaultBatchSize; BatchSize 1 forces the row-at-a-time
+// adapter everywhere (each batch carries one row and filters evaluate
+// their per-row fallback), which is the `vmsim -batch=off` escape
+// hatch the batch-vs-row property tests compare against.
+type Options struct {
+	Meter     *storage.Meter
+	BatchSize int
+}
+
+// size returns the effective batch capacity.
+func (o Options) size() int {
+	if o.BatchSize <= 0 {
+		return vec.DefaultBatchSize
+	}
+	return o.BatchSize
+}
+
+// rowMode reports whether vectorized fast paths are disabled.
+func (o Options) rowMode() bool { return o.BatchSize == 1 }
+
+// OpStats is one operator's instrumentation: rows and batches it
+// emitted and the metered charges it issued (page I/O, C1 screens, C3
+// touches).
 type OpStats struct {
 	RowsOut int64
+	Batches int64
 	Cost    storage.Stats
 }
 
-// Operator is a physical operator in the Volcano iterator style.
+// Operator is a physical operator in the batch-at-a-time style.
 type Operator interface {
 	// Open prepares the operator (and its inputs) for iteration.
 	Open() error
-	// Next returns the next row; ok is false at end of stream.
-	Next() (row Row, ok bool, err error)
+	// NextBatch returns the next non-empty batch, or nil at end of
+	// stream. Emitted batches are owned by the consumer.
+	NextBatch() (*vec.Batch, error)
 	// Close releases resources; stats remain readable after Close.
 	Close() error
 	// Describe names the operator and its arguments for plan rendering.
@@ -70,17 +105,22 @@ type Operator interface {
 
 // base carries the instrumentation shared by every operator.
 type base struct {
-	meter *storage.Meter
-	rows  int64
-	cost  storage.Stats
+	meter   *storage.Meter
+	rows    int64
+	batches int64
+	cost    storage.Stats
 }
 
-// emit counts an output row.
-func (b *base) emit() { b.rows++ }
+// emitBatch counts an output batch and its live rows.
+func (b *base) emitBatch(bt *vec.Batch) *vec.Batch {
+	b.rows += int64(bt.LiveCount())
+	b.batches++
+	return bt
+}
 
 // stats snapshots the instrumentation.
 func (b *base) stats() OpStats {
-	return OpStats{RowsOut: b.rows, Cost: b.cost}
+	return OpStats{RowsOut: b.rows, Batches: b.batches, Cost: b.cost}
 }
 
 // bracket runs fn and attributes its metered delta to this operator.
@@ -102,8 +142,59 @@ func (b *base) screen(n int64) {
 	b.cost.Screens += n
 }
 
-// Drain opens root, pulls it dry, closes it, and returns every row
-// produced. The first error aborts the drain (after closing).
+// tupleRef adapts a by-value tuple to the batch append contract: nil
+// marks an absent slot. The zero tuple (no id, no values) is the "slot
+// unused" sentinel rows like projected materialized-store entries carry.
+func tupleRef(t *tuple.Tuple) *tuple.Tuple {
+	if t.ID == 0 && len(t.Vals) == 0 {
+		return nil
+	}
+	return t
+}
+
+// appendRow adds a row to a batch, reporting false when the batch is
+// full or the row's shape doesn't match the batch's.
+func appendRow(b *vec.Batch, r Row, max int) bool {
+	return b.TryAppend(tupleRef(&r.T0), tupleRef(&r.T1), r.Vals, r.Insert, r.Dup, max)
+}
+
+// rowAt gathers one batch entry back into a Row for per-tuple callbacks.
+func rowAt(b *vec.Batch, i int) Row {
+	return Row{
+		T0:     b.TupleAt(0, i),
+		T1:     b.TupleAt(1, i),
+		Vals:   b.OutAt(i),
+		Insert: b.InsertAt(i),
+		Dup:    b.DupAt(i),
+	}
+}
+
+// rowPacker converts a buffered row slice into size-capped batches,
+// splitting at shape changes (sources whose generators mix row shapes
+// stay correct, just in smaller batches).
+type rowPacker struct {
+	rows []Row
+	i    int
+	size int
+}
+
+func (p *rowPacker) next() *vec.Batch {
+	if p.i >= len(p.rows) {
+		return nil
+	}
+	b := &vec.Batch{}
+	for p.i < len(p.rows) {
+		if !appendRow(b, p.rows[p.i], p.size) {
+			break
+		}
+		p.i++
+	}
+	return b
+}
+
+// Drain opens root, pulls it dry, closes it, and returns every live
+// row produced, gathered back to row form. The first error aborts the
+// drain (after closing).
 func Drain(root Operator) ([]Row, error) {
 	if err := root.Open(); err != nil {
 		root.Close()
@@ -111,15 +202,17 @@ func Drain(root Operator) ([]Row, error) {
 	}
 	var out []Row
 	for {
-		row, ok, err := root.Next()
+		b, err := root.NextBatch()
 		if err != nil {
 			root.Close()
 			return out, err
 		}
-		if !ok {
+		if b == nil {
 			break
 		}
-		out = append(out, row)
+		for k := 0; k < b.LiveCount(); k++ {
+			out = append(out, rowAt(b, b.LiveIndex(k)))
+		}
 	}
 	return out, root.Close()
 }
@@ -132,12 +225,12 @@ func Run(root Operator) error {
 		return err
 	}
 	for {
-		_, ok, err := root.Next()
+		b, err := root.NextBatch()
 		if err != nil {
 			root.Close()
 			return err
 		}
-		if !ok {
+		if b == nil {
 			return root.Close()
 		}
 	}

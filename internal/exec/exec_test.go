@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"viewmat/internal/pred"
 	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
 )
@@ -17,7 +18,7 @@ func tp(id uint64, vals ...int64) tuple.Tuple {
 }
 
 func TestDeltaSourcePolarityAndOrder(t *testing.T) {
-	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 10), tp(2, 20)}, []tuple.Tuple{tp(3, 30)})
+	src := NewDeltaSource(Options{}, "r", []tuple.Tuple{tp(1, 10), tp(2, 20)}, []tuple.Tuple{tp(3, 30)})
 	rows, err := Drain(src)
 	if err != nil {
 		t.Fatal(err)
@@ -37,31 +38,69 @@ func TestDeltaSourcePolarityAndOrder(t *testing.T) {
 	if got := src.Stats().RowsOut; got != 3 {
 		t.Errorf("RowsOut = %d, want 3", got)
 	}
+	if got := src.Stats().Batches; got != 1 {
+		t.Errorf("Batches = %d, want 1", got)
+	}
 }
 
 func TestFilterChargesOneScreenPerInputRow(t *testing.T) {
-	m := storage.NewMeter()
-	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 5), tp(2, 15), tp(3, 25)}, nil)
-	f := NewFilter(m, "keep>10", src, func(r Row) bool { return r.T0.Vals[0].Int() > 10 }, true)
-	rows, err := Drain(f)
-	if err != nil {
-		t.Fatal(err)
+	for _, bs := range []int{0, 1} {
+		m := storage.NewMeter()
+		o := Options{Meter: m, BatchSize: bs}
+		src := NewDeltaSource(o, "r", []tuple.Tuple{tp(1, 5), tp(2, 15), tp(3, 25)}, nil)
+		f := NewFilter(o, "keep>10", src, Pred{Fn: func(r Row) bool { return r.T0.Vals[0].Int() > 10 }}, true)
+		rows, err := Drain(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Errorf("bs=%d: rows = %d, want 2", bs, len(rows))
+		}
+		if got := m.Snapshot().Screens; got != 3 {
+			t.Errorf("bs=%d: meter screens = %d, want 3 (every input row)", bs, got)
+		}
+		if got := f.Stats().Cost.Screens; got != 3 {
+			t.Errorf("bs=%d: operator screens = %d, want 3", bs, got)
+		}
 	}
-	if len(rows) != 2 {
-		t.Errorf("rows = %d, want 2", len(rows))
+}
+
+func TestVectorizedFilterMatchesRowSemantics(t *testing.T) {
+	// Mixed-type column: tuple.Compare orders Int < Float < String, and
+	// the vectorized kernel must reproduce that tag ordering exactly.
+	mixed := []tuple.Tuple{
+		{ID: 1, Vals: []tuple.Value{tuple.I(5)}},
+		{ID: 2, Vals: []tuple.Value{tuple.F(1.5)}},
+		{ID: 3, Vals: []tuple.Value{tuple.S("x")}},
+		{ID: 4, Vals: []tuple.Value{tuple.I(40)}},
 	}
-	if got := m.Snapshot().Screens; got != 3 {
-		t.Errorf("meter screens = %d, want 3 (every input row)", got)
+	p := pred.New(pred.Cmp{Rel: 0, Col: 0, Op: pred.Gt, Val: tuple.I(10)})
+	var got [2][]uint64
+	for mode, bs := range map[int]int{0: 0, 1: 1} {
+		src := NewDeltaSource(Options{BatchSize: bs}, "r", mixed, nil)
+		f := NewFilter(Options{BatchSize: bs}, "p", src, Pred{P: p}, false)
+		rows, err := Drain(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			got[mode] = append(got[mode], r.T0.ID)
+		}
 	}
-	if got := f.Stats().Cost.Screens; got != 3 {
-		t.Errorf("operator screens = %d, want 3", got)
+	if fmt.Sprint(got[0]) != fmt.Sprint(got[1]) {
+		t.Errorf("vectorized ids %v != row-mode ids %v", got[0], got[1])
+	}
+	// Floats and strings both outrank the Int constant's type tag.
+	if fmt.Sprint(got[0]) != "[2 3 4]" {
+		t.Errorf("ids = %v, want [2 3 4]", got[0])
 	}
 }
 
 func TestUnchargedFilterChargesNothing(t *testing.T) {
 	m := storage.NewMeter()
-	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 5)}, nil)
-	f := NewFilter(m, "pass", src, nil, false)
+	o := Options{Meter: m}
+	src := NewDeltaSource(o, "r", []tuple.Tuple{tp(1, 5)}, nil)
+	f := NewFilter(o, "pass", src, Pred{}, false)
 	if _, err := Drain(f); err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +112,7 @@ func TestUnchargedFilterChargesNothing(t *testing.T) {
 func TestSeqOpensInputsLazily(t *testing.T) {
 	var order []string
 	gen := func(name string, n int) *FuncSource {
-		return NewFuncSource(nil, name, func() ([]Row, error) {
+		return NewFuncSource(Options{BatchSize: 1}, name, func() ([]Row, error) {
 			order = append(order, name)
 			rows := make([]Row, n)
 			return rows, nil
@@ -86,24 +125,24 @@ func TestSeqOpensInputsLazily(t *testing.T) {
 	if len(order) != 0 {
 		t.Fatalf("Open ran generators eagerly: %v", order)
 	}
-	// Pull the first input's rows; the second generator must not have
-	// run until the first is exhausted.
+	// Pull the first input's single-row batches; the second generator
+	// must not have run until the first is exhausted.
 	for i := 0; i < 2; i++ {
-		if _, ok, err := seq.Next(); err != nil || !ok {
-			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		if b, err := seq.NextBatch(); err != nil || b == nil {
+			t.Fatalf("NextBatch %d: b=%v err=%v", i, b, err)
 		}
 		if len(order) != 1 || order[0] != "first" {
-			t.Fatalf("after row %d generators run = %v, want [first]", i, order)
+			t.Fatalf("after batch %d generators run = %v, want [first]", i, order)
 		}
 	}
-	if _, ok, err := seq.Next(); err != nil || !ok {
-		t.Fatalf("third row: ok=%v err=%v", ok, err)
+	if b, err := seq.NextBatch(); err != nil || b == nil {
+		t.Fatalf("third batch: b=%v err=%v", b, err)
 	}
 	if len(order) != 2 || order[1] != "second" {
 		t.Errorf("generators run = %v, want [first second]", order)
 	}
-	if _, ok, _ := seq.Next(); ok {
-		t.Error("Seq produced rows past its inputs")
+	if b, _ := seq.NextBatch(); b != nil {
+		t.Error("Seq produced batches past its inputs")
 	}
 	if err := seq.Close(); err != nil {
 		t.Fatal(err)
@@ -112,15 +151,16 @@ func TestSeqOpensInputsLazily(t *testing.T) {
 
 func TestMergePendingCancelsAndAppends(t *testing.T) {
 	m := storage.NewMeter()
+	o := Options{Meter: m}
 	// Input stream carries projected values 10 and 20; pending deletes
 	// cancel the 10, pending adds append a 30.
-	input := NewFuncSource(m, "base", func() ([]Row, error) {
+	input := NewFuncSource(o, "base", func() ([]Row, error) {
 		return []Row{
 			{Vals: []tuple.Value{tuple.I(10)}},
 			{Vals: []tuple.Value{tuple.I(20)}},
 		}, nil
 	})
-	mp := NewMergePending(m, "v", input,
+	mp := NewMergePending(o, "v", input,
 		func() ([]tuple.Tuple, []tuple.Tuple, error) {
 			return []tuple.Tuple{tp(7, 30)}, []tuple.Tuple{tp(8, 10)}, nil
 		},
@@ -147,7 +187,7 @@ func TestMergePendingCancelsAndAppends(t *testing.T) {
 }
 
 func TestCrossDeltasEmitsInsertThenDeletePairs(t *testing.T) {
-	cd := NewCrossDeltas(
+	cd := NewCrossDeltas(Options{},
 		[]tuple.Tuple{tp(1, 5)}, []tuple.Tuple{tp(2, 5), tp(3, 6)},
 		[]tuple.Tuple{tp(4, 6)}, []tuple.Tuple{tp(5, 6)},
 		0, 0, nil)
@@ -168,10 +208,11 @@ func TestCrossDeltasEmitsInsertThenDeletePairs(t *testing.T) {
 
 func TestMatchDeltasFlatScreensAndPolarity(t *testing.T) {
 	m := storage.NewMeter()
-	outer := NewFuncSource(m, "r1", func() ([]Row, error) {
+	o := Options{Meter: m}
+	outer := NewFuncSource(o, "r1", func() ([]Row, error) {
 		return []Row{{T0: tp(1, 7)}}, nil
 	})
-	md := NewMatchDeltas(m, outer,
+	md := NewMatchDeltas(o, outer,
 		[]tuple.Tuple{tp(2, 7)}, []tuple.Tuple{tp(3, 7), tp(4, 8)},
 		func(r Row) tuple.Value { return r.T0.Vals[0] }, 0, nil, 5)
 	rows, err := Drain(md)
@@ -194,8 +235,8 @@ func TestMatchDeltasFlatScreensAndPolarity(t *testing.T) {
 
 func TestDeltaApplyRoutesByPolarity(t *testing.T) {
 	var ins, del []uint64
-	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 1)}, []tuple.Tuple{tp(2, 2)})
-	da := NewDeltaApply(nil, "v", src,
+	src := NewDeltaSource(Options{}, "r", []tuple.Tuple{tp(1, 1)}, []tuple.Tuple{tp(2, 2)})
+	da := NewDeltaApply(Options{}, "v", src,
 		func(r Row) error { ins = append(ins, r.T0.ID); return nil },
 		func(r Row) error { del = append(del, r.T0.ID); return nil })
 	if err := Run(da); err != nil {
@@ -206,11 +247,51 @@ func TestDeltaApplyRoutesByPolarity(t *testing.T) {
 	}
 }
 
+func TestDeltaApplyStopsAtFirstError(t *testing.T) {
+	var applied []uint64
+	src := NewDeltaSource(Options{}, "r", []tuple.Tuple{tp(1, 1), tp(2, 2), tp(3, 3)}, nil)
+	da := NewDeltaApply(Options{}, "v", src,
+		func(r Row) error {
+			if r.T0.ID == 2 {
+				return fmt.Errorf("boom")
+			}
+			applied = append(applied, r.T0.ID)
+			return nil
+		},
+		func(Row) error { return nil })
+	if err := Run(da); err == nil {
+		t.Fatal("expected error")
+	}
+	// Rows before the failing one were applied; rows after were not.
+	if fmt.Sprint(applied) != "[1]" {
+		t.Errorf("applied = %v, want [1] (prefix before error)", applied)
+	}
+}
+
+func TestProjectColsGathersFromSlots(t *testing.T) {
+	src := NewDeltaSource(Options{}, "r", []tuple.Tuple{tp(1, 10, 11), tp(2, 20, 21)}, nil)
+	p := NewProjectCols(Options{}, "v", src, [][2]int{{0, 1}, {0, 0}})
+	rows, err := Drain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	if rows[0].Vals[0].Int() != 11 || rows[0].Vals[1].Int() != 10 {
+		t.Errorf("row 0 vals = %v, want [11 10]", rows[0].Vals)
+	}
+	if !rows[0].Insert || rows[1].T0.ID != 2 {
+		t.Errorf("projection must preserve polarity and bindings: %+v", rows)
+	}
+}
+
 func TestTreeStatsSumEqualsMeterDelta(t *testing.T) {
 	m := storage.NewMeter()
-	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 5), tp(2, 15)}, []tuple.Tuple{tp(3, 25)})
-	f := NewFilter(m, "all", src, nil, true)
-	md := NewMatchDeltas(m, f, nil, nil, func(r Row) tuple.Value { return r.T0.Vals[0] }, 0, nil, 4)
+	o := Options{Meter: m}
+	src := NewDeltaSource(o, "r", []tuple.Tuple{tp(1, 5), tp(2, 15)}, []tuple.Tuple{tp(3, 25)})
+	f := NewFilter(o, "all", src, Pred{}, true)
+	md := NewMatchDeltas(o, f, nil, nil, func(r Row) tuple.Value { return r.T0.Vals[0] }, 0, nil, 4)
 	before := m.Snapshot()
 	if err := Run(md); err != nil {
 		t.Fatal(err)
@@ -224,14 +305,18 @@ func TestTreeStatsSumEqualsMeterDelta(t *testing.T) {
 
 func TestCaptureAndRender(t *testing.T) {
 	m := storage.NewMeter()
-	src := NewDeltaSource("r", []tuple.Tuple{tp(1, 5)}, nil)
-	f := NewFilter(m, "v", src, nil, true)
+	o := Options{Meter: m}
+	src := NewDeltaSource(o, "r", []tuple.Tuple{tp(1, 5)}, nil)
+	f := NewFilter(o, "v", src, Pred{}, true)
 	if err := Run(f); err != nil {
 		t.Fatal(err)
 	}
 	n := Capture(f)
 	if n.Name != "Screen(v)" || len(n.Children) != 1 {
 		t.Fatalf("capture = %+v", n)
+	}
+	if n.Stats.Batches != 1 {
+		t.Errorf("batches = %d, want 1", n.Stats.Batches)
 	}
 	out := Render(n, 1, 30, 1)
 	if out == "" {

@@ -4,9 +4,46 @@ import (
 	"fmt"
 
 	"viewmat/internal/relation"
-	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
 )
+
+// joinEmitter accumulates joined rows into a size-capped output batch,
+// carrying a row over when the current batch is full (or its shape
+// changed) so charges already issued for the row aren't repeated.
+type joinEmitter struct {
+	size  int
+	out   *vec.Batch
+	carry *Row
+}
+
+// add appends a produced row, reporting false when the current batch
+// must be emitted first (the row is carried into the next batch).
+func (e *joinEmitter) add(r Row) bool {
+	if e.out == nil {
+		e.out = &vec.Batch{}
+	}
+	if appendRow(e.out, r, e.size) {
+		return true
+	}
+	e.carry = &r
+	return false
+}
+
+// take hands over the current batch and seeds the next with any
+// carried row.
+func (e *joinEmitter) take() *vec.Batch {
+	b := e.out
+	e.out = &vec.Batch{}
+	if e.carry != nil {
+		appendRow(e.out, *e.carry, e.size)
+		e.carry = nil
+	}
+	return b
+}
+
+// pending reports whether any rows are buffered.
+func (e *joinEmitter) pending() bool { return e.out != nil && e.out.NumRows() > 0 }
 
 // LoopJoin is the nested-loop join of Model 2: for each outer row it
 // probes the inner relation's clustering index by join value (the
@@ -28,10 +65,13 @@ type LoopJoin struct {
 	addBackCol  int
 	chargeMatch bool
 
+	em      joinEmitter
+	inb     *vec.Batch
+	k       int // next live position in inb
 	cur     Row
+	hasCur  bool
 	matches []tuple.Tuple
 	mi      int
-	hasCur  bool
 }
 
 // LoopJoinSpec configures a LoopJoin.
@@ -49,19 +89,21 @@ type LoopJoinSpec struct {
 }
 
 // NewLoopJoin builds an index nested-loop join.
-func NewLoopJoin(m *storage.Meter, spec LoopJoinSpec) *LoopJoin {
+func NewLoopJoin(o Options, spec LoopJoinSpec) *LoopJoin {
 	return &LoopJoin{
-		base: base{meter: m}, input: spec.Input, inner: spec.Inner,
+		base: base{meter: o.Meter}, input: spec.Input, inner: spec.Inner,
 		joinVal: spec.JoinVal, on: spec.On, skipIDs: spec.SkipIDs,
 		addBack: spec.AddBack, addBackCol: spec.AddBackCol, chargeMatch: spec.ChargeMatch,
+		em: joinEmitter{size: o.size()},
 	}
 }
 
 func (j *LoopJoin) Open() error { return j.input.Open() }
 
-func (j *LoopJoin) Next() (Row, bool, error) {
+func (j *LoopJoin) NextBatch() (*vec.Batch, error) {
 	for {
-		for j.mi < len(j.matches) {
+		// Drain the current outer row's surviving matches.
+		for j.hasCur && j.mi < len(j.matches) {
 			t2 := j.matches[j.mi]
 			j.mi++
 			if j.chargeMatch {
@@ -69,13 +111,21 @@ func (j *LoopJoin) Next() (Row, bool, error) {
 			}
 			row := Row{T0: j.cur.T0, T1: t2, Insert: j.cur.Insert}
 			if j.on == nil || j.on(row) {
-				j.emit()
-				return row, true, nil
+				if !j.em.add(row) {
+					return j.emitBatch(j.em.take()), nil
+				}
 			}
 		}
-		cur, ok, err := j.input.Next()
-		if err != nil || !ok {
-			return Row{}, false, err
+		// Advance to the next outer row, probing the inner relation.
+		cur, ok, err := j.nextOuter()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if j.em.pending() {
+				return j.emitBatch(j.em.take()), nil
+			}
+			return nil, nil
 		}
 		j.cur, j.hasCur = cur, true
 		v := j.joinVal(cur)
@@ -86,7 +136,7 @@ func (j *LoopJoin) Next() (Row, bool, error) {
 			return e
 		})
 		if err != nil {
-			return Row{}, false, err
+			return nil, err
 		}
 		j.matches = j.matches[:0]
 		for _, t2 := range probed {
@@ -101,6 +151,23 @@ func (j *LoopJoin) Next() (Row, bool, error) {
 			}
 		}
 		j.mi = 0
+	}
+}
+
+// nextOuter pulls the next live outer row, fetching input batches as
+// needed.
+func (j *LoopJoin) nextOuter() (Row, bool, error) {
+	for {
+		if j.inb != nil && j.k < j.inb.LiveCount() {
+			i := j.inb.LiveIndex(j.k)
+			j.k++
+			return rowAt(j.inb, i), true, nil
+		}
+		b, err := j.input.NextBatch()
+		if err != nil || b == nil {
+			return Row{}, false, err
+		}
+		j.inb, j.k = b, 0
 	}
 }
 
@@ -132,6 +199,9 @@ type MatchDeltas struct {
 	on          func(Row) bool
 	flatScreens int64
 
+	em     joinEmitter
+	inb    *vec.Batch
+	k      int
 	cur    Row
 	hasCur bool
 	phase  int // 0 = adds, 1 = dels
@@ -139,11 +209,12 @@ type MatchDeltas struct {
 }
 
 // NewMatchDeltas builds a delta-matching join against the outer stream.
-func NewMatchDeltas(m *storage.Meter, input Operator, adds, dels []tuple.Tuple,
+func NewMatchDeltas(o Options, input Operator, adds, dels []tuple.Tuple,
 	outerVal func(Row) tuple.Value, deltaCol int, on func(Row) bool, flatScreens int64) *MatchDeltas {
 	return &MatchDeltas{
-		base: base{meter: m}, input: input, adds: adds, dels: dels,
+		base: base{meter: o.Meter}, input: input, adds: adds, dels: dels,
 		outerVal: outerVal, deltaCol: deltaCol, on: on, flatScreens: flatScreens,
+		em: joinEmitter{size: o.size()},
 	}
 }
 
@@ -154,7 +225,7 @@ func (md *MatchDeltas) Open() error {
 	return md.input.Open()
 }
 
-func (md *MatchDeltas) Next() (Row, bool, error) {
+func (md *MatchDeltas) NextBatch() (*vec.Batch, error) {
 	for {
 		if md.hasCur {
 			list := md.adds
@@ -170,8 +241,9 @@ func (md *MatchDeltas) Next() (Row, bool, error) {
 				}
 				row := Row{T0: md.cur.T0, T1: t2, Insert: insert}
 				if md.on == nil || md.on(row) {
-					md.emit()
-					return row, true, nil
+					if !md.em.add(row) {
+						return md.emitBatch(md.em.take()), nil
+					}
 				}
 			}
 			if md.phase == 0 {
@@ -180,12 +252,33 @@ func (md *MatchDeltas) Next() (Row, bool, error) {
 			}
 			md.hasCur = false
 		}
-		cur, ok, err := md.input.Next()
-		if err != nil || !ok {
-			return Row{}, false, err
+		cur, ok, err := md.nextOuter()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if md.em.pending() {
+				return md.emitBatch(md.em.take()), nil
+			}
+			return nil, nil
 		}
 		md.cur, md.hasCur = cur, true
 		md.phase, md.di = 0, 0
+	}
+}
+
+func (md *MatchDeltas) nextOuter() (Row, bool, error) {
+	for {
+		if md.inb != nil && md.k < md.inb.LiveCount() {
+			i := md.inb.LiveIndex(md.k)
+			md.k++
+			return rowAt(md.inb, i), true, nil
+		}
+		b, err := md.input.NextBatch()
+		if err != nil || b == nil {
+			return Row{}, false, err
+		}
+		md.inb, md.k = b, 0
 	}
 }
 
@@ -205,18 +298,20 @@ type CrossDeltas struct {
 	col0, col1     int
 	on             func(Row) bool
 
+	em     joinEmitter
 	phase  int // 0 = A1×A2, 1 = D1×D2
 	i, jdx int
 }
 
 // NewCrossDeltas builds the cross-term source.
-func NewCrossDeltas(a1, a2, d1, d2 []tuple.Tuple, col0, col1 int, on func(Row) bool) *CrossDeltas {
-	return &CrossDeltas{a1: a1, a2: a2, d1: d1, d2: d2, col0: col0, col1: col1, on: on}
+func NewCrossDeltas(o Options, a1, a2, d1, d2 []tuple.Tuple, col0, col1 int, on func(Row) bool) *CrossDeltas {
+	return &CrossDeltas{a1: a1, a2: a2, d1: d1, d2: d2, col0: col0, col1: col1, on: on,
+		em: joinEmitter{size: o.size()}}
 }
 
 func (cd *CrossDeltas) Open() error { return nil }
 
-func (cd *CrossDeltas) Next() (Row, bool, error) {
+func (cd *CrossDeltas) NextBatch() (*vec.Batch, error) {
 	for {
 		outer, inner := cd.a1, cd.a2
 		insert := true
@@ -228,7 +323,10 @@ func (cd *CrossDeltas) Next() (Row, bool, error) {
 				cd.phase, cd.i, cd.jdx = 1, 0, 0
 				continue
 			}
-			return Row{}, false, nil
+			if cd.em.pending() {
+				return cd.emitBatch(cd.em.take()), nil
+			}
+			return nil, nil
 		}
 		if cd.jdx >= len(inner) {
 			cd.i++
@@ -242,8 +340,9 @@ func (cd *CrossDeltas) Next() (Row, bool, error) {
 		}
 		row := Row{T0: t1, T1: t2, Insert: insert}
 		if cd.on == nil || cd.on(row) {
-			cd.emit()
-			return row, true, nil
+			if !cd.em.add(row) {
+				return cd.emitBatch(cd.em.take()), nil
+			}
 		}
 	}
 }

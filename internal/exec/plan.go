@@ -63,7 +63,7 @@ func renderInto(sb *strings.Builder, n *PlanNode, prefix string, isRoot, isLast 
 		sb.WriteString(connector)
 	}
 	sb.WriteString(n.Name)
-	fmt.Fprintf(sb, " rows=%d", n.Stats.RowsOut)
+	fmt.Fprintf(sb, " rows=%d batches=%d", n.Stats.RowsOut, n.Stats.Batches)
 	if c := n.Stats.Cost; c.Reads+c.Writes+c.Screens+c.ADTouches > 0 {
 		fmt.Fprintf(sb, " io{r=%d w=%d s=%d ad=%d}", c.Reads, c.Writes, c.Screens, c.ADTouches)
 	}

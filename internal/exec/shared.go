@@ -2,6 +2,8 @@ package exec
 
 import (
 	"fmt"
+
+	"viewmat/internal/vec"
 )
 
 // Shared-delta plan nodes: when several views in one refresh unit have
@@ -54,32 +56,29 @@ func (fp DeltaFingerprint) String() string {
 type SharedDeltaScan struct {
 	base
 	fp   DeltaFingerprint
-	rows []Row
-	i    int
+	pack rowPacker
 }
 
 // NewSharedDeltaScan builds a replay source over the shared rows.
-func NewSharedDeltaScan(fp DeltaFingerprint, rows []Row) *SharedDeltaScan {
-	return &SharedDeltaScan{fp: fp, rows: rows}
+func NewSharedDeltaScan(o Options, fp DeltaFingerprint, rows []Row) *SharedDeltaScan {
+	return &SharedDeltaScan{fp: fp, pack: rowPacker{rows: rows, size: o.size()}}
 }
 
-func (s *SharedDeltaScan) Open() error { s.i = 0; return nil }
+func (s *SharedDeltaScan) Open() error { s.pack.i = 0; return nil }
 
-func (s *SharedDeltaScan) Next() (Row, bool, error) {
-	if s.i >= len(s.rows) {
-		return Row{}, false, nil
+func (s *SharedDeltaScan) NextBatch() (*vec.Batch, error) {
+	b := s.pack.next()
+	if b == nil {
+		return nil, nil
 	}
-	r := s.rows[s.i]
-	s.i++
-	s.emit()
-	return r, true, nil
+	return s.emitBatch(b), nil
 }
 
 func (s *SharedDeltaScan) Close() error         { return nil }
 func (s *SharedDeltaScan) Children() []Operator { return nil }
 func (s *SharedDeltaScan) Stats() OpStats       { return s.stats() }
 func (s *SharedDeltaScan) Describe() string {
-	return fmt.Sprintf("SharedDeltaScan(%s rows=%d)", s.fp, len(s.rows))
+	return fmt.Sprintf("SharedDeltaScan(%s rows=%d)", s.fp, len(s.pack.rows))
 }
 
 // SharedDeltaNode wraps the executed build subtree for the one view

@@ -37,7 +37,7 @@ func TestSharedDeltaScanReplaysRowsUncharged(t *testing.T) {
 		{T0: tuple.Tuple{ID: 2, Vals: []tuple.Value{tuple.I(2)}}, Insert: false, Dup: 3},
 	}
 	fp := DeltaFingerprint{Kind: "delta", Rel1: "r"}
-	s := NewSharedDeltaScan(fp, rows)
+	s := NewSharedDeltaScan(Options{}, fp, rows)
 
 	// Two consecutive consumers replay the same rows (Open resets).
 	for pass := 0; pass < 2; pass++ {

@@ -3,15 +3,18 @@ package exec
 import (
 	"fmt"
 
-	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
 )
 
 // DeltaApply is the maintenance sink: each projected row is applied to
 // the materialized store with its polarity (insert increments the
 // duplicate count, delete decrements it). The store I/O is bracketed,
-// so the view-side C2·(3+Hvi)·X term lands on this operator. Rows pass
-// through so sequenced pipelines compose.
+// so the view-side C2·(3+Hvi)·X term lands on this operator. Rows are
+// applied strictly in stream order and the first error stops the
+// pipeline with the prefix applied (the duplicate-count underflow of
+// the uncorrected Blakeley expansion depends on exactly this); batches
+// pass through so sequenced pipelines compose.
 type DeltaApply struct {
 	base
 	label  string
@@ -22,28 +25,36 @@ type DeltaApply struct {
 
 // NewDeltaApply builds the materialization sink from the caller's
 // insert/delete effects.
-func NewDeltaApply(m *storage.Meter, label string, input Operator, insert, delete func(Row) error) *DeltaApply {
-	return &DeltaApply{base: base{meter: m}, label: label, input: input, insert: insert, delete: delete}
+func NewDeltaApply(o Options, label string, input Operator, insert, delete func(Row) error) *DeltaApply {
+	return &DeltaApply{base: base{meter: o.Meter}, label: label, input: input, insert: insert, delete: delete}
 }
 
 func (d *DeltaApply) Open() error { return d.input.Open() }
 
-func (d *DeltaApply) Next() (Row, bool, error) {
-	row, ok, err := d.input.Next()
-	if err != nil || !ok {
-		return Row{}, false, err
+func (d *DeltaApply) NextBatch() (*vec.Batch, error) {
+	b, err := d.input.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
 	}
 	err = d.bracket(func() error {
-		if row.Insert {
-			return d.insert(row)
+		for k := 0; k < b.LiveCount(); k++ {
+			row := rowAt(b, b.LiveIndex(k))
+			var e error
+			if row.Insert {
+				e = d.insert(row)
+			} else {
+				e = d.delete(row)
+			}
+			if e != nil {
+				return e
+			}
 		}
-		return d.delete(row)
+		return nil
 	})
 	if err != nil {
-		return Row{}, false, err
+		return nil, err
 	}
-	d.emit()
-	return row, true, nil
+	return d.emitBatch(b), nil
 }
 
 func (d *DeltaApply) Close() error         { return d.input.Close() }
@@ -51,31 +62,53 @@ func (d *DeltaApply) Children() []Operator { return []Operator{d.input} }
 func (d *DeltaApply) Stats() OpStats       { return d.stats() }
 func (d *DeltaApply) Describe() string     { return fmt.Sprintf("DeltaApply(%s)", d.label) }
 
+// Fold configures an AggFold: either a per-row closure, or a typed
+// fold over one slot-0 column (the value reaches the closure through
+// tuple.Value.AsFloat semantics) that skips the row gather entirely.
+type Fold struct {
+	// Row folds a gathered row (used when the fold needs more than one
+	// column, e.g. grouped aggregates).
+	Row func(Row)
+	// Col/Val fold slot-0 column Col as a float with the row's delta
+	// polarity — the vectorized fast path.
+	Col int
+	Val func(v float64, insert bool)
+}
+
 // AggFold folds each row into an aggregate state via the caller's
-// closure (Model 3's in-memory fold; the fold itself is uncharged —
-// any screening was paid upstream).
+// fold (Model 3's in-memory fold; the fold itself is uncharged — any
+// screening was paid upstream).
 type AggFold struct {
 	base
 	label string
 	input Operator
-	fold  func(Row)
+	fold  Fold
 }
 
 // NewAggFold builds the aggregate-fold sink.
-func NewAggFold(label string, input Operator, fold func(Row)) *AggFold {
+func NewAggFold(o Options, label string, input Operator, fold Fold) *AggFold {
 	return &AggFold{label: label, input: input, fold: fold}
 }
 
 func (a *AggFold) Open() error { return a.input.Open() }
 
-func (a *AggFold) Next() (Row, bool, error) {
-	row, ok, err := a.input.Next()
-	if err != nil || !ok {
-		return Row{}, false, err
+func (a *AggFold) NextBatch() (*vec.Batch, error) {
+	b, err := a.input.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
 	}
-	a.fold(row)
-	a.emit()
-	return row, true, nil
+	if a.fold.Val != nil && b.HasSlot(0) {
+		col := &b.Slots[0][a.fold.Col]
+		for k := 0; k < b.LiveCount(); k++ {
+			i := b.LiveIndex(k)
+			a.fold.Val(col.Float64(i), b.InsertAt(i))
+		}
+	} else {
+		for k := 0; k < b.LiveCount(); k++ {
+			a.fold.Row(rowAt(b, b.LiveIndex(k)))
+		}
+	}
+	return a.emitBatch(b), nil
 }
 
 func (a *AggFold) Close() error         { return a.input.Close() }
@@ -94,21 +127,21 @@ type StateWrite struct {
 }
 
 // NewStateWrite builds the side-effect step.
-func NewStateWrite(m *storage.Meter, label string, fn func() error) *StateWrite {
-	return &StateWrite{base: base{meter: m}, label: label, fn: fn}
+func NewStateWrite(o Options, label string, fn func() error) *StateWrite {
+	return &StateWrite{base: base{meter: o.Meter}, label: label, fn: fn}
 }
 
 func (w *StateWrite) Open() error { return nil }
 
-func (w *StateWrite) Next() (Row, bool, error) {
+func (w *StateWrite) NextBatch() (*vec.Batch, error) {
 	if w.done {
-		return Row{}, false, nil
+		return nil, nil
 	}
 	w.done = true
 	if err := w.bracket(w.fn); err != nil {
-		return Row{}, false, err
+		return nil, err
 	}
-	return Row{}, false, nil
+	return nil, nil
 }
 
 func (w *StateWrite) Close() error         { return nil }
@@ -133,8 +166,7 @@ type MergePending struct {
 	key     func([]tuple.Value) string
 
 	removed map[string]int
-	extra   []Row
-	ei      int
+	extra   rowPacker
 	drained bool
 }
 
@@ -142,14 +174,15 @@ type MergePending struct {
 // whether a pending tuple affects the result (screened at one C1
 // each); project maps a matching tuple to its row values; key gives
 // the multiset identity used to cancel input rows.
-func NewMergePending(m *storage.Meter, label string, input Operator,
+func NewMergePending(o Options, label string, input Operator,
 	pending func() ([]tuple.Tuple, []tuple.Tuple, error),
 	match func(tuple.Tuple) bool,
 	project func(tuple.Tuple) []tuple.Value,
 	key func([]tuple.Value) string) *MergePending {
 	return &MergePending{
-		base: base{meter: m}, label: label, input: input,
+		base: base{meter: o.Meter}, label: label, input: input,
 		pending: pending, match: match, project: project, key: key,
+		extra: rowPacker{size: o.size()},
 	}
 }
 
@@ -173,37 +206,42 @@ func (mp *MergePending) Open() error {
 	for _, tp := range adds {
 		mp.screen(1)
 		if mp.match(tp) {
-			mp.extra = append(mp.extra, Row{T0: tp, Vals: mp.project(tp), Insert: true})
+			mp.extra.rows = append(mp.extra.rows, Row{T0: tp, Vals: mp.project(tp), Insert: true})
 		}
 	}
 	return mp.input.Open()
 }
 
-func (mp *MergePending) Next() (Row, bool, error) {
+func (mp *MergePending) NextBatch() (*vec.Batch, error) {
 	for !mp.drained {
-		row, ok, err := mp.input.Next()
+		b, err := mp.input.NextBatch()
 		if err != nil {
-			return Row{}, false, err
+			return nil, err
 		}
-		if !ok {
+		if b == nil {
 			mp.drained = true
 			break
 		}
-		k := mp.key(row.Vals)
-		if mp.removed[k] > 0 {
-			mp.removed[k]--
+		keep := make([]int, 0, b.LiveCount())
+		for k := 0; k < b.LiveCount(); k++ {
+			i := b.LiveIndex(k)
+			key := mp.key(b.OutAt(i))
+			if mp.removed[key] > 0 {
+				mp.removed[key]--
+				continue
+			}
+			keep = append(keep, i)
+		}
+		if len(keep) == 0 {
 			continue
 		}
-		mp.emit()
-		return row, true, nil
+		b.Sel = keep
+		return mp.emitBatch(b), nil
 	}
-	if mp.ei < len(mp.extra) {
-		row := mp.extra[mp.ei]
-		mp.ei++
-		mp.emit()
-		return row, true, nil
+	if eb := mp.extra.next(); eb != nil {
+		return mp.emitBatch(eb), nil
 	}
-	return Row{}, false, nil
+	return nil, nil
 }
 
 func (mp *MergePending) Close() error         { return mp.input.Close() }

@@ -6,26 +6,31 @@ import (
 	"viewmat/internal/btree"
 	"viewmat/internal/pred"
 	"viewmat/internal/relation"
-	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
 )
 
 // Scan streams a clustered B+-tree range scan of a base relation (the
 // Model-1 "clustered" plan and every restricted outer scan). A nil
-// range scans the whole clustering order.
+// range scans the whole clustering order. Each batch fill is one
+// bracketed run of iterator pulls, so the page reads land on this
+// operator exactly as the per-row brackets did.
 type Scan struct {
 	base
-	rel *relation.Relation
-	rg  *pred.Range
-	it  *btree.Iterator
+	rel  *relation.Relation
+	rg   *pred.Range
+	it   *btree.Iterator
+	size int
+	done bool
 }
 
 // NewScan builds a clustered range scan.
-func NewScan(m *storage.Meter, rel *relation.Relation, rg *pred.Range) *Scan {
-	return &Scan{base: base{meter: m}, rel: rel, rg: rg}
+func NewScan(o Options, rel *relation.Relation, rg *pred.Range) *Scan {
+	return &Scan{base: base{meter: o.Meter}, rel: rel, rg: rg, size: o.size()}
 }
 
 func (s *Scan) Open() error {
+	s.done = false
 	return s.bracket(func() error {
 		it, err := s.rel.Iter(s.rg)
 		s.it = it
@@ -33,19 +38,34 @@ func (s *Scan) Open() error {
 	})
 }
 
-func (s *Scan) Next() (Row, bool, error) {
-	var tp tuple.Tuple
-	var ok bool
-	err := s.bracket(func() error {
-		var e error
-		tp, ok, e = s.it.Next()
-		return e
-	})
-	if err != nil || !ok {
-		return Row{}, false, err
+func (s *Scan) NextBatch() (*vec.Batch, error) {
+	if s.done {
+		return nil, nil
 	}
-	s.emit()
-	return Row{T0: tp}, true, nil
+	b := &vec.Batch{}
+	err := s.bracket(func() error {
+		for b.NumRows() < s.size {
+			tp, ok, e := s.it.Next()
+			if e != nil {
+				return e
+			}
+			if !ok {
+				s.done = true
+				return nil
+			}
+			if !appendRow(b, Row{T0: tp}, s.size) {
+				return fmt.Errorf("exec: scan of %s produced mixed-shape tuples", s.rel.Name())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if b.NumRows() == 0 {
+		return nil, nil
+	}
+	return s.emitBatch(b), nil
 }
 
 func (s *Scan) Close() error         { return nil }
@@ -59,17 +79,19 @@ func (s *Scan) Describe() string {
 // the only clustered access path a hash relation offers.
 type SeqScan struct {
 	base
-	rel *relation.Relation
-	buf []tuple.Tuple
-	i   int
+	rel  *relation.Relation
+	buf  []tuple.Tuple
+	i    int
+	size int
 }
 
 // NewSeqScan builds a full sequential scan.
-func NewSeqScan(m *storage.Meter, rel *relation.Relation) *SeqScan {
-	return &SeqScan{base: base{meter: m}, rel: rel}
+func NewSeqScan(o Options, rel *relation.Relation) *SeqScan {
+	return &SeqScan{base: base{meter: o.Meter}, rel: rel, size: o.size()}
 }
 
 func (s *SeqScan) Open() error {
+	s.i = 0
 	return s.bracket(func() error {
 		buf, err := s.rel.ScanAll()
 		s.buf = buf
@@ -77,14 +99,12 @@ func (s *SeqScan) Open() error {
 	})
 }
 
-func (s *SeqScan) Next() (Row, bool, error) {
-	if s.i >= len(s.buf) {
-		return Row{}, false, nil
+func (s *SeqScan) NextBatch() (*vec.Batch, error) {
+	b := packTuples(s.buf, &s.i, s.size)
+	if b == nil {
+		return nil, nil
 	}
-	tp := s.buf[s.i]
-	s.i++
-	s.emit()
-	return Row{T0: tp}, true, nil
+	return s.emitBatch(b), nil
 }
 
 func (s *SeqScan) Close() error         { s.buf = nil; return nil }
@@ -97,19 +117,21 @@ func (s *SeqScan) Describe() string     { return fmt.Sprintf("SeqScan(%s)", s.re
 // — the random-page behaviour the paper prices with y(N, b, ·).
 type IndexFetch struct {
 	base
-	rel *relation.Relation
-	col int
-	rg  *pred.Range
-	buf []tuple.Tuple
-	i   int
+	rel  *relation.Relation
+	col  int
+	rg   *pred.Range
+	buf  []tuple.Tuple
+	i    int
+	size int
 }
 
 // NewIndexFetch builds a secondary-index fetch on rel.col over rg.
-func NewIndexFetch(m *storage.Meter, rel *relation.Relation, col int, rg *pred.Range) *IndexFetch {
-	return &IndexFetch{base: base{meter: m}, rel: rel, col: col, rg: rg}
+func NewIndexFetch(o Options, rel *relation.Relation, col int, rg *pred.Range) *IndexFetch {
+	return &IndexFetch{base: base{meter: o.Meter}, rel: rel, col: col, rg: rg, size: o.size()}
 }
 
 func (s *IndexFetch) Open() error {
+	s.i = 0
 	return s.bracket(func() error {
 		buf, err := s.rel.LookupSecondary(s.col, s.rg)
 		s.buf = buf
@@ -117,14 +139,12 @@ func (s *IndexFetch) Open() error {
 	})
 }
 
-func (s *IndexFetch) Next() (Row, bool, error) {
-	if s.i >= len(s.buf) {
-		return Row{}, false, nil
+func (s *IndexFetch) NextBatch() (*vec.Batch, error) {
+	b := packTuples(s.buf, &s.i, s.size)
+	if b == nil {
+		return nil, nil
 	}
-	tp := s.buf[s.i]
-	s.i++
-	s.emit()
-	return Row{T0: tp}, true, nil
+	return s.emitBatch(b), nil
 }
 
 func (s *IndexFetch) Close() error         { s.buf = nil; return nil }
@@ -134,6 +154,22 @@ func (s *IndexFetch) Describe() string {
 	return fmt.Sprintf("IndexFetch(%s.%d%s)", s.rel.Name(), s.col, rangeSuffix(s.rg))
 }
 
+// packTuples fills one batch of slot-0 rows from buf starting at *i,
+// advancing *i past the rows consumed. nil means buf is exhausted.
+func packTuples(buf []tuple.Tuple, i *int, size int) *vec.Batch {
+	if *i >= len(buf) {
+		return nil
+	}
+	b := &vec.Batch{}
+	for *i < len(buf) {
+		if !appendRow(b, Row{T0: buf[*i]}, size) {
+			break
+		}
+		*i++
+	}
+	return b
+}
+
 // DeltaSource streams a transaction's (or epoch's) net change sets as
 // rows with polarity: the A set first (Insert=true), then the D set.
 type DeltaSource struct {
@@ -141,29 +177,35 @@ type DeltaSource struct {
 	label      string
 	adds, dels []tuple.Tuple
 	i          int
+	size       int
 }
 
 // NewDeltaSource builds a delta stream labeled for plan rendering.
-func NewDeltaSource(label string, adds, dels []tuple.Tuple) *DeltaSource {
-	return &DeltaSource{label: label, adds: adds, dels: dels}
+func NewDeltaSource(o Options, label string, adds, dels []tuple.Tuple) *DeltaSource {
+	return &DeltaSource{label: label, adds: adds, dels: dels, size: o.size()}
 }
 
 func (s *DeltaSource) Open() error { return nil }
 
-func (s *DeltaSource) Next() (Row, bool, error) {
-	if s.i < len(s.adds) {
-		tp := s.adds[s.i]
-		s.i++
-		s.emit()
-		return Row{T0: tp, Insert: true}, true, nil
+func (s *DeltaSource) NextBatch() (*vec.Batch, error) {
+	total := len(s.adds) + len(s.dels)
+	if s.i >= total {
+		return nil, nil
 	}
-	if s.i < len(s.adds)+len(s.dels) {
-		tp := s.dels[s.i-len(s.adds)]
+	b := &vec.Batch{}
+	for s.i < total {
+		var r Row
+		if s.i < len(s.adds) {
+			r = Row{T0: s.adds[s.i], Insert: true}
+		} else {
+			r = Row{T0: s.dels[s.i-len(s.adds)]}
+		}
+		if !appendRow(b, r, s.size) {
+			break
+		}
 		s.i++
-		s.emit()
-		return Row{T0: tp}, true, nil
 	}
-	return Row{}, false, nil
+	return s.emitBatch(b), nil
 }
 
 func (s *DeltaSource) Close() error         { return nil }
@@ -180,34 +222,32 @@ type FuncSource struct {
 	base
 	label string
 	gen   func() ([]Row, error)
-	buf   []Row
-	i     int
+	pack  rowPacker
 }
 
 // NewFuncSource builds a generator-backed source.
-func NewFuncSource(m *storage.Meter, label string, gen func() ([]Row, error)) *FuncSource {
-	return &FuncSource{base: base{meter: m}, label: label, gen: gen}
+func NewFuncSource(o Options, label string, gen func() ([]Row, error)) *FuncSource {
+	return &FuncSource{base: base{meter: o.Meter}, label: label, gen: gen, pack: rowPacker{size: o.size()}}
 }
 
 func (s *FuncSource) Open() error {
+	s.pack.i = 0
 	return s.bracket(func() error {
 		buf, err := s.gen()
-		s.buf = buf
+		s.pack.rows = buf
 		return err
 	})
 }
 
-func (s *FuncSource) Next() (Row, bool, error) {
-	if s.i >= len(s.buf) {
-		return Row{}, false, nil
+func (s *FuncSource) NextBatch() (*vec.Batch, error) {
+	b := s.pack.next()
+	if b == nil {
+		return nil, nil
 	}
-	r := s.buf[s.i]
-	s.i++
-	s.emit()
-	return r, true, nil
+	return s.emitBatch(b), nil
 }
 
-func (s *FuncSource) Close() error         { s.buf = nil; return nil }
+func (s *FuncSource) Close() error         { s.pack.rows = nil; return nil }
 func (s *FuncSource) Children() []Operator { return nil }
 func (s *FuncSource) Stats() OpStats       { return s.stats() }
 func (s *FuncSource) Describe() string     { return s.label }
@@ -233,28 +273,27 @@ func NewSeq(label string, inputs ...Operator) *Seq {
 
 func (s *Seq) Open() error { return nil }
 
-func (s *Seq) Next() (Row, bool, error) {
+func (s *Seq) NextBatch() (*vec.Batch, error) {
 	for {
 		if s.i >= len(s.inputs) {
-			return Row{}, false, nil
+			return nil, nil
 		}
 		in := s.inputs[s.i]
 		if !s.opened {
 			if err := in.Open(); err != nil {
-				return Row{}, false, err
+				return nil, err
 			}
 			s.opened = true
 		}
-		row, ok, err := in.Next()
+		b, err := in.NextBatch()
 		if err != nil {
-			return Row{}, false, err
+			return nil, err
 		}
-		if ok {
-			s.emit()
-			return row, true, nil
+		if b != nil {
+			return s.emitBatch(b), nil
 		}
 		if err := in.Close(); err != nil {
-			return Row{}, false, err
+			return nil, err
 		}
 		s.i++
 		s.opened = false

@@ -52,6 +52,11 @@ func (o Op) String() string {
 	}
 }
 
+// Holds reports whether "a op b" is true under tuple.Compare ordering
+// — the exported form the executor's vectorized filter kernels fall
+// back to for mixed-type cells.
+func (o Op) Holds(a, b tuple.Value) bool { return o.holds(a, b) }
+
 // holds reports whether "a op b" is true under tuple.Compare ordering.
 func (o Op) holds(a, b tuple.Value) bool {
 	c := tuple.Compare(a, b)
@@ -165,6 +170,39 @@ func (p *P) Eval(binding map[int]tuple.Tuple) bool {
 		case JoinEq:
 			l, lok := binding[at.LRel]
 			r, rok := binding[at.RRel]
+			if !lok || !rok || !tuple.Equal(l.Vals[at.LCol], r.Vals[at.RCol]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EvalJoined evaluates the full predicate against a two-slot binding
+// (slot 0 = t0, slot 1 = t1) without building the map Eval takes —
+// the allocation-free form joined-row screening uses. Atoms
+// referencing slots outside 0..1 make it false, matching Eval over an
+// unbound slot.
+func (p *P) EvalJoined(t0, t1 tuple.Tuple) bool {
+	slot := func(i int) (tuple.Tuple, bool) {
+		switch i {
+		case 0:
+			return t0, true
+		case 1:
+			return t1, true
+		}
+		return tuple.Tuple{}, false
+	}
+	for _, a := range p.Atoms {
+		switch at := a.(type) {
+		case Cmp:
+			t, ok := slot(at.Rel)
+			if !ok || !at.Op.holds(t.Vals[at.Col], at.Val) {
+				return false
+			}
+		case JoinEq:
+			l, lok := slot(at.LRel)
+			r, rok := slot(at.RRel)
 			if !lok || !rok || !tuple.Equal(l.Vals[at.LCol], r.Vals[at.RCol]) {
 				return false
 			}

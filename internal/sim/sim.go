@@ -53,6 +53,10 @@ type Config struct {
 	// Strategy is core.Snapshot; 0 refreshes at every read that
 	// follows a touching commit.
 	SnapshotEvery int
+	// BatchSize caps the rows per executor batch (0 = vectorized
+	// default, 1 = row-at-a-time). Results and metered charges are
+	// identical either way; only wall-clock time changes.
+	BatchSize int
 }
 
 // Result is one run's measurement.
@@ -184,6 +188,7 @@ func setup(cfg Config) (*core.Database, map[int64]uint64, error) {
 	db := core.NewDatabase(core.Options{
 		PageSize:   int(p.B),
 		PoolFrames: poolFramesFor(p),
+		BatchSize:  cfg.BatchSize,
 		HR: hr.Config{
 			ADBuckets: adBucketsFor(p),
 			BloomKeys: int(4 * p.U() * 2),
