@@ -50,6 +50,8 @@ func main() {
 	recoverDir := flag.String("recover", "", "recover a database from the WAL+snapshots under this directory and report what survived")
 	ckptEvery := flag.Int("checkpoint-every", 8, "commits between automatic checkpoints (with -wal/-recover)")
 	batch := flag.String("batch", "on", "executor batching: on (vectorized) or off (row-at-a-time; identical results and charges)")
+	page := flag.String("page", "col", "data-page layout: col (typed column chunks with zone maps) or row (row-major; identical results, charges differ only by pages zone maps prune)")
+	qmPlan := flag.String("qm-plan", "auto", "query-modification access path: auto, clustered, unclustered, or sequential (sequential scans prune via zone maps under -page=col)")
 	flag.Parse()
 
 	var batchSize int
@@ -64,6 +66,38 @@ func main() {
 	}
 	if batchSize == 1 && (*sweep != "" || *allStrategies) {
 		fmt.Fprintln(os.Stderr, "vmsim: -batch=off is not supported with -sweep or -all-strategies")
+		os.Exit(2)
+	}
+	var layout storage.PageLayout
+	switch *page {
+	case "col":
+		layout = storage.PageLayoutCol
+	case "row":
+		layout = storage.PageLayoutRow
+	default:
+		fmt.Fprintf(os.Stderr, "vmsim: -page must be col or row, got %q\n", *page)
+		os.Exit(2)
+	}
+	if layout == storage.PageLayoutRow && (*sweep != "" || *allStrategies) {
+		fmt.Fprintln(os.Stderr, "vmsim: -page=row is not supported with -sweep or -all-strategies")
+		os.Exit(2)
+	}
+	var plan core.QueryPlan
+	switch *qmPlan {
+	case "auto":
+		plan = core.PlanAuto
+	case "clustered":
+		plan = core.PlanClustered
+	case "unclustered":
+		plan = core.PlanUnclustered
+	case "sequential":
+		plan = core.PlanSequential
+	default:
+		fmt.Fprintf(os.Stderr, "vmsim: -qm-plan must be auto, clustered, unclustered, or sequential, got %q\n", *qmPlan)
+		os.Exit(2)
+	}
+	if plan != core.PlanAuto && (*sweep != "" || *allStrategies) {
+		fmt.Fprintln(os.Stderr, "vmsim: -qm-plan is not supported with -sweep or -all-strategies")
 		os.Exit(2)
 	}
 
@@ -132,7 +166,7 @@ func main() {
 	if *allStrategies {
 		cmps, err = sim.CompareAll(sim.Model(*model), p, *seed, *snapEvery)
 	} else {
-		cmps, err = compare(sim.Model(*model), p, *seed, kind, *skew, batchSize)
+		cmps, err = compare(sim.Model(*model), p, *seed, kind, *skew, batchSize, layout, plan)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -148,10 +182,15 @@ func main() {
 	}
 	fmt.Print(report.Table([]string{"strategy", "measured ms/query", "scope ms/query", "model ms/query"}, rows))
 	fmt.Println("\nscope = measured minus base-update phases (commit-write, fold); compare to model.")
+	pruned := make([]string, 0, len(cmps))
+	for _, c := range cmps {
+		pruned = append(pruned, fmt.Sprintf("%s %.1f/query", c.Strategy, c.PrunedPerQuery))
+	}
+	fmt.Printf("pages pruned (zone maps, layout=%s): %s\n", layout, strings.Join(pruned, ", "))
 
 	if *verbose || *plans {
 		for _, st := range []core.Strategy{core.QueryModification, core.Immediate, core.Deferred} {
-			res, err := sim.Run(sim.Config{Model: sim.Model(*model), Strategy: st, Params: p, Seed: *seed, AggKind: kind, BatchSize: batchSize})
+			res, err := sim.Run(sim.Config{Model: sim.Model(*model), Strategy: st, Plan: plan, Params: p, Seed: *seed, AggKind: kind, BatchSize: batchSize, PageLayout: layout})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -179,18 +218,20 @@ func main() {
 	}
 }
 
-func compare(model sim.Model, p costmodel.Params, seed int64, kind agg.Kind, skew float64, batchSize int) ([]sim.Comparison, error) {
+func compare(model sim.Model, p costmodel.Params, seed int64, kind agg.Kind, skew float64, batchSize int, layout storage.PageLayout, plan core.QueryPlan) ([]sim.Comparison, error) {
 	out := make([]sim.Comparison, 0, 3)
 	for _, st := range []core.Strategy{core.QueryModification, core.Immediate, core.Deferred} {
-		res, err := sim.Run(sim.Config{Model: model, Strategy: st, Params: p, Seed: seed, AggKind: kind, Skew: skew, BatchSize: batchSize})
+		res, err := sim.Run(sim.Config{Model: model, Strategy: st, Plan: plan, Params: p, Seed: seed, AggKind: kind, Skew: skew, BatchSize: batchSize, PageLayout: layout})
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, sim.Comparison{
-			Strategy:   st.String(),
-			Measured:   res.AvgPerQuery,
-			ModelScope: res.ModelScopeAvg,
-			Model:      res.Model,
+			Strategy:       st.String(),
+			Measured:       res.AvgPerQuery,
+			ModelScope:     res.ModelScopeAvg,
+			Model:          res.Model,
+			PagesPruned:    res.PagesPruned,
+			PrunedPerQuery: float64(res.PagesPruned) / float64(res.Queries),
 		})
 	}
 	return out, nil

@@ -15,15 +15,26 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"viewmat/internal/colpage"
 	"viewmat/internal/pred"
 	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
 )
 
 const (
 	pageLeaf     = 1
 	pageInternal = 2
+	// pageLeafCol is a leaf whose tuples are stored as a columnar chunk
+	// (internal/colpage) after the common leaf header. Which type a leaf
+	// is written as follows the disk's PageLayout policy at encode time;
+	// readers dispatch on the type byte, so mixed-layout files work.
+	pageLeafCol = 4
 )
+
+// isLeafPage reports whether a page type byte marks a leaf (either
+// layout).
+func isLeafPage(b byte) bool { return b == pageLeaf || b == pageLeafCol }
 
 // Tree is a clustered B+-tree. Not safe for concurrent use; the engine
 // serializes operations (the paper's model is single-user).
@@ -102,7 +113,7 @@ func New(pool *storage.Pool, file *storage.File, keyCol int) (*Tree, error) {
 		return nil, err
 	}
 	t.root = fr.PageNum()
-	encodeLeaf(fr.Data, &leafNode{})
+	t.encodeLeaf(fr.Data, &leafNode{})
 	fr.MarkDirty()
 	return t, pool.Release(fr)
 }
@@ -161,17 +172,47 @@ func decodeKey(src []byte) (key, int, error) {
 
 func keySize(k key) int { return tuple.ValueSize(k.val) + 8 }
 
-// leaf layout: [1 type][2 count][4 next+1][tuples...]
+// leaf layout, both types: [1 type][2 count][4 next+1][payload]. Row
+// leaves (pageLeaf) pack encoded tuples; columnar leaves (pageLeafCol)
+// hold one colpage chunk.
 const leafHeader = 7
 
-func encodeLeaf(page []byte, n *leafNode) {
-	page[0] = pageLeaf
+// encodeLeaf writes the leaf under the disk's layout policy. The
+// capacity decision (split/no-split) was already made by the caller
+// against the row-encoded size, so a columnar chunk that happens not to
+// fit — pathological strings can make the chunk larger — falls back to
+// the row encoding for this page without changing the tree shape.
+func (t *Tree) encodeLeaf(page []byte, n *leafNode) {
+	if t.pool.PageLayout() == storage.PageLayoutCol && encodeLeafCol(page, n) {
+		return
+	}
+	encodeLeafRow(page, n)
+}
+
+func putLeafHeader(page []byte, typ byte, n *leafNode) {
+	page[0] = typ
 	binary.BigEndian.PutUint16(page[1:], uint16(len(n.tuples)))
 	next := uint32(0)
 	if n.hasNext {
 		next = uint32(n.next) + 1
 	}
 	binary.BigEndian.PutUint32(page[3:], next)
+}
+
+func encodeLeafCol(page []byte, n *leafNode) bool {
+	used, err := colpage.Encode(page[leafHeader:], n.tuples)
+	if err != nil {
+		return false // caller rewrites the whole page row-major
+	}
+	putLeafHeader(page, pageLeafCol, n)
+	for i := leafHeader + used; i < len(page); i++ {
+		page[i] = 0
+	}
+	return true
+}
+
+func encodeLeafRow(page []byte, n *leafNode) {
+	putLeafHeader(page, pageLeaf, n)
 	off := leafHeader
 	for _, tp := range n.tuples {
 		b := tp.Encode(page[off:off])
@@ -193,11 +234,23 @@ func leafSize(n *leafNode) int {
 func decodeLeaf(page []byte) (*leafNode, error) {
 	cnt := int(binary.BigEndian.Uint16(page[1:]))
 	rawNext := binary.BigEndian.Uint32(page[3:])
-	n := &leafNode{tuples: make([]tuple.Tuple, 0, cnt)}
+	n := &leafNode{}
 	if rawNext != 0 {
 		n.hasNext = true
 		n.next = storage.PageNum(rawNext - 1)
 	}
+	if page[0] == pageLeafCol {
+		tuples, err := colpage.DecodeTuples(page[leafHeader:])
+		if err != nil {
+			return nil, fmt.Errorf("btree: columnar leaf: %w", err)
+		}
+		if len(tuples) != cnt {
+			return nil, fmt.Errorf("btree: columnar leaf holds %d tuples, header says %d", len(tuples), cnt)
+		}
+		n.tuples = tuples
+		return n, nil
+	}
+	n.tuples = make([]tuple.Tuple, 0, cnt)
 	off := leafHeader
 	for i := 0; i < cnt; i++ {
 		tp, used, err := tuple.Decode(page[off:])
@@ -208,6 +261,59 @@ func decodeLeaf(page []byte) (*leafNode, error) {
 		off += used
 	}
 	return n, nil
+}
+
+// colLeaf is a leaf decoded straight to columnar form: the id lane plus
+// one vec.Col per column, skipping tuple materialization entirely for
+// columnar pages (row pages are gathered cell by cell).
+type colLeaf struct {
+	next    storage.PageNum
+	hasNext bool
+	rows    int
+	ids     []uint64
+	cols    []vec.Col
+}
+
+func decodeLeafCols(page []byte) (*colLeaf, error) {
+	rawNext := binary.BigEndian.Uint32(page[3:])
+	out := &colLeaf{}
+	if rawNext != 0 {
+		out.hasNext = true
+		out.next = storage.PageNum(rawNext - 1)
+	}
+	switch page[0] {
+	case pageLeafCol:
+		ch, err := colpage.Decode(page[leafHeader:])
+		if err != nil {
+			return nil, fmt.Errorf("btree: columnar leaf: %w", err)
+		}
+		out.rows, out.ids, out.cols = ch.Rows, ch.IDs, ch.Cols
+		return out, nil
+	case pageLeaf:
+		leaf, err := decodeLeaf(page)
+		if err != nil {
+			return nil, err
+		}
+		out.rows = len(leaf.tuples)
+		if out.rows == 0 {
+			return out, nil
+		}
+		arity := len(leaf.tuples[0].Vals)
+		out.ids = make([]uint64, 0, out.rows)
+		out.cols = make([]vec.Col, arity)
+		for _, tp := range leaf.tuples {
+			if len(tp.Vals) != arity {
+				return nil, fmt.Errorf("btree: mixed arity in leaf")
+			}
+			out.ids = append(out.ids, tp.ID)
+			for c := 0; c < arity; c++ {
+				out.cols[c].Append(tp.Vals[c])
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("btree: page type %d is not a leaf", page[0])
+	}
 }
 
 // internal layout: [1 type][2 count=children][4 child0][key1][4 child1]...
@@ -269,7 +375,7 @@ func (t *Tree) leftmostLeafUncharged() (storage.PageNum, error) {
 		if err != nil {
 			return 0, err
 		}
-		if page[0] == pageLeaf {
+		if isLeafPage(page[0]) {
 			return pn, nil
 		}
 		in, err := decodeInternal(page)
@@ -308,7 +414,7 @@ func (t *Tree) findLeaf(k key) ([]storage.PageNum, error) {
 		if err != nil {
 			return nil, err
 		}
-		if fr.Data[0] == pageLeaf {
+		if isLeafPage(fr.Data[0]) {
 			t.pool.Release(fr)
 			return path, nil
 		}
@@ -358,7 +464,7 @@ func (t *Tree) insertAt(pn storage.PageNum, tp tuple.Tuple, k key) (key, storage
 	if err != nil {
 		return key{}, 0, false, err
 	}
-	if fr.Data[0] == pageLeaf {
+	if isLeafPage(fr.Data[0]) {
 		leaf, err := decodeLeaf(fr.Data)
 		if err != nil {
 			t.pool.Release(fr)
@@ -376,7 +482,7 @@ func (t *Tree) insertAt(pn storage.PageNum, tp tuple.Tuple, k key) (key, storage
 		copy(leaf.tuples[idx+1:], leaf.tuples[idx:])
 		leaf.tuples[idx] = tp
 		if leafSize(leaf) <= len(fr.Data) {
-			encodeLeaf(fr.Data, leaf)
+			t.encodeLeaf(fr.Data, leaf)
 			fr.MarkDirty()
 			return key{}, 0, false, t.pool.Release(fr)
 		}
@@ -390,9 +496,9 @@ func (t *Tree) insertAt(pn storage.PageNum, tp tuple.Tuple, k key) (key, storage
 			return key{}, 0, false, err
 		}
 		leaf.next, leaf.hasNext = rfr.PageNum(), true
-		encodeLeaf(rfr.Data, right)
+		t.encodeLeaf(rfr.Data, right)
 		rfr.MarkDirty()
-		encodeLeaf(fr.Data, leaf)
+		t.encodeLeaf(fr.Data, leaf)
 		fr.MarkDirty()
 		sep := keyOf(right.tuples[0], t.keyCol)
 		if err := t.pool.Release(rfr); err != nil {
@@ -512,7 +618,7 @@ func (t *Tree) Delete(val tuple.Value, id uint64) (bool, error) {
 		return false, t.pool.Release(fr)
 	}
 	leaf.tuples = append(leaf.tuples[:idx], leaf.tuples[idx+1:]...)
-	encodeLeaf(fr.Data, leaf)
+	t.encodeLeaf(fr.Data, leaf)
 	fr.MarkDirty()
 	t.count--
 	return true, t.pool.Release(fr)
@@ -622,7 +728,7 @@ func (t *Tree) findLeafLeftmost() (storage.PageNum, error) {
 		if err != nil {
 			return 0, err
 		}
-		if fr.Data[0] == pageLeaf {
+		if isLeafPage(fr.Data[0]) {
 			t.pool.Release(fr)
 			return pn, nil
 		}
@@ -727,7 +833,7 @@ func (t *Tree) chainAhead(pn storage.PageNum) []storage.PageNum {
 			return pns
 		}
 		page, err := t.file.Peek(pn)
-		if err != nil || page[0] != pageLeaf {
+		if err != nil || !isLeafPage(page[0]) {
 			return nil // truncated or foreign chain: use charged loads
 		}
 		leaf, err := decodeLeaf(page)
@@ -774,4 +880,258 @@ func (it *Iterator) Next() (tuple.Tuple, bool, error) {
 		}
 		return tp.Clone(), true, nil
 	}
+}
+
+// --- batch scans ---------------------------------------------------------
+
+// BatchIterator walks the tree in key order decoding leaves straight to
+// columnar form, and — on full scans with prune atoms — consults the
+// zone maps of upcoming columnar leaves to skip pages whose footer
+// disproves the predicate for every row. Pruned pages are never pinned
+// and never charged; they are counted so plans can report them. The
+// charged fallback paths (range scans, dirty files, tiny pools) never
+// prune, keeping their metered behaviour identical to the tuple
+// Iterator's.
+type BatchIterator struct {
+	tree    *Tree
+	rg      *pred.Range
+	prune   []colpage.Atom
+	pn      storage.PageNum
+	hasPage bool
+	done    bool
+	ra      bool // readahead allowed (full scan)
+	cur     *colLeaf
+	idx     int
+	pending []*colLeaf // decoded leaves fetched ahead, in chain order
+	pruned  int64
+}
+
+// ScanBatches returns a columnar iterator over tuples whose key-column
+// value lies in rg (nil means all). Prune atoms apply only to full
+// scans: a range scan already terminates early, and pruning mid-range
+// could skip the page holding the range's end.
+func (t *Tree) ScanBatches(rg *pred.Range, prune []colpage.Atom) (*BatchIterator, error) {
+	it := &BatchIterator{tree: t, rg: rg, ra: rg == nil}
+	if it.ra {
+		it.prune = prune
+	}
+	if rg == nil || rg.Lo == nil {
+		pn, err := t.findLeafLeftmost()
+		if err != nil {
+			return nil, err
+		}
+		it.pn = pn
+		it.hasPage = true
+		return it, it.loadPage()
+	}
+	start := key{val: *rg.Lo} // id 0: before all ids of that value
+	if !rg.LoInc {
+		start = key{val: *rg.Lo, id: ^uint64(0)}
+	}
+	path, err := t.findLeaf(start)
+	if err != nil {
+		return nil, err
+	}
+	it.pn = path[len(path)-1]
+	it.hasPage = true
+	if err := it.loadPage(); err != nil {
+		return nil, err
+	}
+	// Skip entries below the range on the first page.
+	for it.cur != nil && it.idx < it.cur.rows {
+		v := it.cur.cols[t.keyCol].Value(it.idx)
+		if rg.Contains(v) || tuple.Compare(v, *rg.Lo) >= 0 {
+			break
+		}
+		it.idx++
+	}
+	return it, nil
+}
+
+// Pruned returns the number of pages skipped via zone maps so far.
+func (it *BatchIterator) Pruned() int64 { return it.pruned }
+
+// Fill appends rows to b (slot-0-only shape) until the batch holds max
+// rows or the scan is exhausted; check Done afterwards.
+func (it *BatchIterator) Fill(b *vec.Batch, max int) error {
+	for {
+		if it.done {
+			return nil
+		}
+		if it.cur == nil || it.idx >= it.cur.rows {
+			if len(it.pending) == 0 && !it.hasPage {
+				it.done = true
+				return nil
+			}
+			if err := it.loadPage(); err != nil {
+				return err
+			}
+			continue
+		}
+		if it.rg != nil {
+			v := it.cur.cols[it.tree.keyCol].Value(it.idx)
+			if it.rg.Hi != nil {
+				c := tuple.Compare(v, *it.rg.Hi)
+				if c > 0 || (c == 0 && !it.rg.HiInc) {
+					it.done = true
+					return nil
+				}
+			}
+			if !it.rg.Contains(v) {
+				it.idx++ // below Lo (first page only) or excluded
+				continue
+			}
+		}
+		if !b.AppendSlot0(it.cur.ids[it.idx], it.cur.cols, it.idx, max) {
+			if b.NumRows() >= max {
+				return nil // batch full; resume here next call
+			}
+			return fmt.Errorf("btree: scan produced mixed-shape tuples")
+		}
+		it.idx++
+	}
+}
+
+// Done reports exhaustion.
+func (it *BatchIterator) Done() bool { return it.done }
+
+func (it *BatchIterator) loadPage() error {
+	for {
+		if len(it.pending) > 0 {
+			// Leaves fetched by walkAhead: the chain cursor was already
+			// advanced past them (their own next pointers may point at
+			// pruned pages and must not steer the scan).
+			it.cur, it.idx = it.pending[0], 0
+			it.pending = it.pending[1:]
+			return nil
+		}
+		if !it.hasPage {
+			it.done = true
+			return nil
+		}
+		if it.ra {
+			if fetch, cont, hasCont, ok := it.walkAhead(); ok {
+				it.pn, it.hasPage = cont, hasCont
+				if len(fetch) == 0 {
+					continue // whole window pruned; maybe exhausted now
+				}
+				if err := it.fetchLeaves(fetch); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		// Charged, chain-following load: the fallback when readahead is
+		// unsafe (dirty frames, tiny pool) and the range-scan path.
+		fr, err := it.tree.pool.Get(it.tree.file, it.pn)
+		if err != nil {
+			return err
+		}
+		leaf, err := decodeLeafCols(fr.Data)
+		if rerr := it.tree.pool.Release(fr); rerr != nil && err == nil {
+			err = rerr
+		}
+		if err != nil {
+			return err
+		}
+		it.cur, it.idx = leaf, 0
+		it.pn, it.hasPage = leaf.next, leaf.hasNext
+		return nil
+	}
+}
+
+// walkAhead walks the on-disk leaf chain from the cursor via unmetered
+// peeks, splitting the upcoming window into pages to fetch and pages
+// whose zone maps disprove the prune atoms (skipped, counted, never
+// read). On return with ok, the cursor continuation (cont, hasCont) is
+// owned by the walk: it points past every examined page. A walk that
+// hits a peek failure before committing any prune returns !ok so the
+// charged path behaves exactly like the tuple Iterator's; after a
+// prune, it stops at the failing page and lets the charged path surface
+// the real error there.
+func (it *BatchIterator) walkAhead() (fetch []storage.PageNum, cont storage.PageNum, hasCont bool, ok bool) {
+	w := it.tree.readaheadWindow()
+	if w == 0 || it.tree.file.HasDirtyFrames() {
+		return nil, 0, false, false
+	}
+	pn := it.pn
+	prunedN := 0
+	for {
+		page, err := it.tree.file.Peek(pn)
+		if err != nil || !isLeafPage(page[0]) {
+			if prunedN == 0 {
+				return nil, 0, false, false // truncated or foreign chain
+			}
+			return fetch, pn, true, true
+		}
+		skip := false
+		if page[0] == pageLeafCol && len(it.prune) > 0 {
+			z, zerr := colpage.ReadZones(page[leafHeader:])
+			if zerr != nil {
+				if prunedN == 0 {
+					return nil, 0, false, false
+				}
+				return fetch, pn, true, true
+			}
+			skip = z.Prunable(it.prune)
+		}
+		if skip {
+			prunedN++
+			it.pruned++
+		} else {
+			fetch = append(fetch, pn)
+		}
+		rawNext := binary.BigEndian.Uint32(page[3:])
+		if rawNext == 0 {
+			return fetch, 0, false, true
+		}
+		next := storage.PageNum(rawNext - 1)
+		if len(fetch) == w {
+			return fetch, next, true, true
+		}
+		pn = next
+	}
+}
+
+// fetchLeaves reads the walked window — one pool batch when it spans
+// multiple pages (one combined latency sleep, identical metered reads),
+// a plain Get when a single page survived, mirroring the tuple
+// Iterator's charges page for page.
+func (it *BatchIterator) fetchLeaves(pns []storage.PageNum) error {
+	if len(pns) == 1 {
+		fr, err := it.tree.pool.Get(it.tree.file, pns[0])
+		if err != nil {
+			return err
+		}
+		leaf, err := decodeLeafCols(fr.Data)
+		if rerr := it.tree.pool.Release(fr); rerr != nil && err == nil {
+			err = rerr
+		}
+		if err != nil {
+			return err
+		}
+		it.pending = append(it.pending, leaf)
+		return nil
+	}
+	frames, err := it.tree.pool.GetBatch(it.tree.file, pns)
+	if err != nil {
+		return err
+	}
+	leaves := make([]*colLeaf, 0, len(frames))
+	for _, fr := range frames {
+		if err == nil {
+			var leaf *colLeaf
+			if leaf, err = decodeLeafCols(fr.Data); err == nil {
+				leaves = append(leaves, leaf)
+			}
+		}
+		if rerr := it.tree.pool.Release(fr); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	if err != nil {
+		return err
+	}
+	it.pending = append(it.pending, leaves...)
+	return nil
 }

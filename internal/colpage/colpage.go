@@ -1,0 +1,683 @@
+// Package colpage is the columnar page encoding: within one data page,
+// tuples are laid out as typed column chunks (tag/int/float/bytes lanes
+// mirroring vec.Col) with lightweight per-column encodings — frame-of-
+// reference or run-length for ints, raw IEEE bits for floats,
+// dictionary or raw for byte strings, and a per-cell tagged fallback
+// for mixed-type columns — plus a footer holding the row count and
+// per-column min/max zone maps.
+//
+// The chunk is deliberately capacity-neutral: access methods size and
+// split pages by the row-major encoded size regardless of layout, and a
+// chunk that will not fit in the page falls back to the row encoding
+// for that page. Both layouts therefore produce identical page counts
+// and identical metered I/O; the chunk's wins are decode speed (lanes
+// deserialize straight into vec.Col with no intermediate tuples) and
+// zone-map pruning (a scan can disprove its predicate against the
+// footer of an unread page and skip it entirely).
+//
+// Chunk wire format, all integers big-endian:
+//
+//	[2 rows][2 cols][4 footOff]            chunk header
+//	[8 ref][1 width][rows×width]           id lane, frame-of-reference
+//	per column: [1 enc][payload]           value lanes (see enc* consts)
+//	at footOff, per column:
+//	  [1 flags][min value][max value]      zone map (values only when
+//	                                       flags&1; tuple value codec)
+//
+// Every decode path is bounds-checked: corrupt or truncated chunks
+// return errors, never panic (see FuzzColPageCodec).
+package colpage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"viewmat/internal/pred"
+	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
+)
+
+// chunkHeader is the fixed prefix: [2 rows][2 cols][4 footOff].
+const chunkHeader = 8
+
+// Column lane encodings.
+const (
+	// encMixed stores each cell with the tagged tuple value codec —
+	// the fallback for columns whose cells disagree on type.
+	encMixed = 0
+	// encIntFOR is frame-of-reference: [8 ref][1 width][rows×width]
+	// unsigned deltas from the signed minimum (two's-complement
+	// wraparound, so MinInt64..MaxInt64 ranges stay exact).
+	encIntFOR = 1
+	// encIntRLE is run-length: [2 runs] then per run [8 val][2 len].
+	encIntRLE = 2
+	// encFloatRaw is rows×8 IEEE-754 bit patterns (NaN-bit exact).
+	encFloatRaw = 3
+	// encBytesRaw is per-row [4 len][bytes].
+	encBytesRaw = 4
+	// encBytesDict is [2 dictN][dict: per entry [4 len][bytes]] then
+	// rows×1 dictionary indexes — chosen for low-cardinality columns.
+	encBytesDict = 5
+)
+
+// maxZoneValue caps the encoded size of a stored zone bound. Long
+// strings are not worth carrying twice per column per page; the zone is
+// simply marked absent and the column never prunes.
+const maxZoneValue = 40
+
+// maxDict is the largest distinct-value count a dictionary lane can
+// index with one byte.
+const maxDict = 256
+
+// Chunk is a decoded columnar page region: the id lane plus one
+// vec.Col per column. String cells slice a per-chunk arena that is
+// never mutated after decode, so batches may retain them zero-copy.
+type Chunk struct {
+	Rows int
+	IDs  []uint64
+	Cols []vec.Col
+}
+
+// ColZone is one column's zone map: the tuple.Compare-ordered min and
+// max over the page's rows, when small enough to store.
+type ColZone struct {
+	Present  bool
+	Min, Max tuple.Value
+}
+
+// Zones is a chunk's footer: row count plus per-column zone maps,
+// decodable without touching the value lanes.
+type Zones struct {
+	Rows int
+	Cols []ColZone
+}
+
+// Atom is one conjunct of a prune predicate: column Col of the page's
+// tuples compared against a constant. Semantics follow pred.Op.Holds
+// (tuple.Compare order, type tag first), which is also the order the
+// zone bounds are computed in — so pruning is sound for mixed-type
+// columns.
+type Atom struct {
+	Col int
+	Op  pred.Op
+	Val tuple.Value
+}
+
+// Prunable reports whether the zones disprove the conjunction for every
+// row of the page — i.e. the page can be skipped without reading it. A
+// column without a stored zone never prunes.
+func (z *Zones) Prunable(atoms []Atom) bool {
+	if z.Rows == 0 {
+		return false // empty pages carry chain links; let the scan read them
+	}
+	for _, a := range atoms {
+		if a.Col < 0 || a.Col >= len(z.Cols) {
+			continue
+		}
+		cz := z.Cols[a.Col]
+		if !cz.Present {
+			continue
+		}
+		cmin := tuple.Compare(cz.Min, a.Val)
+		cmax := tuple.Compare(cz.Max, a.Val)
+		switch a.Op {
+		case pred.Eq:
+			if cmin > 0 || cmax < 0 {
+				return true
+			}
+		case pred.Ne:
+			if cmin == 0 && cmax == 0 {
+				return true
+			}
+		case pred.Lt:
+			if cmin >= 0 {
+				return true
+			}
+		case pred.Le:
+			if cmin > 0 {
+				return true
+			}
+		case pred.Gt:
+			if cmax <= 0 {
+				return true
+			}
+		case pred.Ge:
+			if cmax < 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- encode --------------------------------------------------------------
+
+// Encode lays tuples out as a column chunk in dst (a page region),
+// returning the number of bytes used. It errors — without corrupting
+// dst's logical content, the caller overwrites on fallback — when the
+// chunk cannot be represented (mixed arity, too many rows) or does not
+// fit in len(dst); the caller then writes the row encoding instead.
+func Encode(dst []byte, tuples []tuple.Tuple) (int, error) {
+	rows := len(tuples)
+	if rows > math.MaxUint16 {
+		return 0, fmt.Errorf("colpage: %d rows exceed chunk capacity", rows)
+	}
+	cols := 0
+	if rows > 0 {
+		cols = len(tuples[0].Vals)
+		for _, tp := range tuples[1:] {
+			if len(tp.Vals) != cols {
+				return 0, fmt.Errorf("colpage: mixed arity (%d vs %d)", len(tp.Vals), cols)
+			}
+		}
+	}
+	if cols > math.MaxUint16 {
+		return 0, fmt.Errorf("colpage: %d columns exceed chunk capacity", cols)
+	}
+	out := appendChunk(dst[:0:len(dst)], tuples, rows, cols)
+	if len(out) > len(dst) || (len(out) > 0 && len(dst) > 0 && &out[0] != &dst[0]) {
+		return 0, fmt.Errorf("colpage: chunk of %d bytes exceeds page region %d", len(out), len(dst))
+	}
+	return len(out), nil
+}
+
+// appendChunk builds the chunk by appending to dst (which must start
+// empty at the chunk origin). The caller detects overflow by checking
+// whether append reallocated past dst's capacity.
+func appendChunk(dst []byte, tuples []tuple.Tuple, rows, cols int) []byte {
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint16(dst[0:], uint16(rows))
+	binary.BigEndian.PutUint16(dst[2:], uint16(cols))
+
+	ids := make([]uint64, rows)
+	for i, tp := range tuples {
+		ids[i] = tp.ID
+	}
+	dst = appendUintFOR(dst, ids)
+	for c := 0; c < cols; c++ {
+		dst = appendColumn(dst, tuples, c)
+	}
+	binary.BigEndian.PutUint32(dst[4:], uint32(len(dst)))
+	for c := 0; c < cols; c++ {
+		dst = appendZone(dst, tuples, c)
+	}
+	return dst
+}
+
+// appendUintFOR writes [8 ref][1 width][rows×width] with ref = min.
+func appendUintFOR(dst []byte, vals []uint64) []byte {
+	var ref uint64
+	if len(vals) > 0 {
+		ref = vals[0]
+		for _, v := range vals {
+			if v < ref {
+				ref = v
+			}
+		}
+	}
+	var maxDelta uint64
+	for _, v := range vals {
+		if d := v - ref; d > maxDelta {
+			maxDelta = d
+		}
+	}
+	w := bytesFor(maxDelta)
+	dst = binary.BigEndian.AppendUint64(dst, ref)
+	dst = append(dst, byte(w))
+	for _, v := range vals {
+		dst = appendBE(dst, v-ref, w)
+	}
+	return dst
+}
+
+// appendColumn picks the smallest applicable encoding for column c and
+// writes [1 enc][payload]. The choice is deterministic, so re-encoding
+// a decoded chunk reproduces it byte for byte.
+func appendColumn(dst []byte, tuples []tuple.Tuple, c int) []byte {
+	rows := len(tuples)
+	uniform := rows > 0
+	var t tuple.Type
+	if rows > 0 {
+		t = tuples[0].Vals[c].Type()
+		for _, tp := range tuples[1:] {
+			if tp.Vals[c].Type() != t {
+				uniform = false
+				break
+			}
+		}
+	}
+	if !uniform {
+		dst = append(dst, encMixed)
+		for _, tp := range tuples {
+			dst = tuple.AppendValue(dst, tp.Vals[c])
+		}
+		return dst
+	}
+	switch t {
+	case tuple.Int:
+		return appendIntLane(dst, tuples, c)
+	case tuple.Float:
+		dst = append(dst, encFloatRaw)
+		for _, tp := range tuples {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(tp.Vals[c].Float()))
+		}
+		return dst
+	default:
+		return appendBytesLane(dst, tuples, c)
+	}
+}
+
+// appendIntLane chooses run-length when it beats frame-of-reference
+// (low-cardinality runs — clustering keys after bulk loads, enum-ish
+// payload columns) and FOR otherwise.
+func appendIntLane(dst []byte, tuples []tuple.Tuple, c int) []byte {
+	rows := len(tuples)
+	minV, maxV := tuples[0].Vals[c].Int(), tuples[0].Vals[c].Int()
+	runs := 1
+	for i := 1; i < rows; i++ {
+		v := tuples[i].Vals[c].Int()
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if v != tuples[i-1].Vals[c].Int() {
+			runs++
+		}
+	}
+	w := bytesFor(uint64(maxV) - uint64(minV))
+	forSize := 9 + rows*w
+	rleSize := 2 + runs*10
+	if rleSize < forSize {
+		dst = append(dst, encIntRLE)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(runs))
+		i := 0
+		for i < rows {
+			v := tuples[i].Vals[c].Int()
+			j := i + 1
+			for j < rows && tuples[j].Vals[c].Int() == v {
+				j++
+			}
+			dst = binary.BigEndian.AppendUint64(dst, uint64(v))
+			dst = binary.BigEndian.AppendUint16(dst, uint16(j-i))
+			i = j
+		}
+		return dst
+	}
+	dst = append(dst, encIntFOR)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(minV))
+	dst = append(dst, byte(w))
+	for _, tp := range tuples {
+		dst = appendBE(dst, uint64(tp.Vals[c].Int())-uint64(minV), w)
+	}
+	return dst
+}
+
+// appendBytesLane chooses a one-byte-index dictionary when the column
+// has few distinct values and the dictionary is smaller than raw.
+func appendBytesLane(dst []byte, tuples []tuple.Tuple, c int) []byte {
+	rows := len(tuples)
+	dict := make(map[string]int, 8)
+	var order []string
+	rawSize := 0
+	for _, tp := range tuples {
+		s := tp.Vals[c].Str()
+		rawSize += 4 + len(s)
+		if _, ok := dict[s]; !ok && len(dict) < maxDict {
+			dict[s] = len(order)
+			order = append(order, s)
+		}
+	}
+	if len(dict) <= maxDict && len(order) > 0 {
+		dictSize := 2 + rows
+		for _, s := range order {
+			dictSize += 4 + len(s)
+		}
+		allCovered := len(dict) < maxDict || func() bool {
+			for _, tp := range tuples {
+				if _, ok := dict[tp.Vals[c].Str()]; !ok {
+					return false
+				}
+			}
+			return true
+		}()
+		if allCovered && dictSize < rawSize {
+			dst = append(dst, encBytesDict)
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(order)))
+			for _, s := range order {
+				dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+				dst = append(dst, s...)
+			}
+			for _, tp := range tuples {
+				dst = append(dst, byte(dict[tp.Vals[c].Str()]))
+			}
+			return dst
+		}
+	}
+	dst = append(dst, encBytesRaw)
+	for _, tp := range tuples {
+		s := tp.Vals[c].Str()
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// appendZone writes column c's footer entry: [1 flags][min][max], the
+// bounds present only when both fit the zone budget.
+func appendZone(dst []byte, tuples []tuple.Tuple, c int) []byte {
+	if len(tuples) == 0 {
+		return append(dst, 0)
+	}
+	minV, maxV := tuples[0].Vals[c], tuples[0].Vals[c]
+	for _, tp := range tuples[1:] {
+		v := tp.Vals[c]
+		if tuple.Compare(v, minV) < 0 {
+			minV = v
+		}
+		if tuple.Compare(v, maxV) > 0 {
+			maxV = v
+		}
+	}
+	if tuple.ValueSize(minV) > maxZoneValue || tuple.ValueSize(maxV) > maxZoneValue {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = tuple.AppendValue(dst, minV)
+	return tuple.AppendValue(dst, maxV)
+}
+
+// --- decode --------------------------------------------------------------
+
+// header parses and validates the chunk prefix.
+func header(chunk []byte) (rows, cols, footOff int, err error) {
+	if len(chunk) < chunkHeader {
+		return 0, 0, 0, fmt.Errorf("colpage: short chunk (%d bytes)", len(chunk))
+	}
+	rows = int(binary.BigEndian.Uint16(chunk[0:]))
+	cols = int(binary.BigEndian.Uint16(chunk[2:]))
+	footOff = int(binary.BigEndian.Uint32(chunk[4:]))
+	if footOff < chunkHeader || footOff > len(chunk) {
+		return 0, 0, 0, fmt.Errorf("colpage: footer offset %d out of range", footOff)
+	}
+	return rows, cols, footOff, nil
+}
+
+// Decode deserializes a chunk's lanes into columnar form. String cells
+// reference freshly allocated arenas owned by the returned Chunk; they
+// are never mutated afterwards, so downstream batches may alias them.
+func Decode(chunk []byte) (*Chunk, error) {
+	rows, cols, footOff, err := header(chunk)
+	if err != nil {
+		return nil, err
+	}
+	body := chunk[:footOff]
+	off := chunkHeader
+	ids, off, err := decodeUintFOR(body, off, rows)
+	if err != nil {
+		return nil, err
+	}
+	out := &Chunk{Rows: rows, IDs: ids, Cols: make([]vec.Col, cols)}
+	for c := 0; c < cols; c++ {
+		off, err = decodeLane(body, off, rows, &out.Cols[c])
+		if err != nil {
+			return nil, fmt.Errorf("colpage: column %d: %w", c, err)
+		}
+	}
+	if off != footOff {
+		return nil, fmt.Errorf("colpage: %d lane bytes trail the columns", footOff-off)
+	}
+	return out, nil
+}
+
+// DecodeTuples is Decode gathered back to row form — the path update
+// operations (decode, modify, re-encode) use.
+func DecodeTuples(chunk []byte) ([]tuple.Tuple, error) {
+	ch, err := Decode(chunk)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]tuple.Tuple, ch.Rows)
+	for i := 0; i < ch.Rows; i++ {
+		tp := tuple.Tuple{ID: ch.IDs[i]}
+		if len(ch.Cols) > 0 {
+			tp.Vals = make([]tuple.Value, len(ch.Cols))
+			for c := range ch.Cols {
+				tp.Vals[c] = ch.Cols[c].Value(i)
+			}
+		}
+		out[i] = tp
+	}
+	return out, nil
+}
+
+// ReadZones decodes only the chunk header and footer — the page-prune
+// fast path, which must stay cheap because it runs against unmetered
+// peeks of pages the scan may never charge.
+func ReadZones(chunk []byte) (*Zones, error) {
+	rows, cols, footOff, err := header(chunk)
+	if err != nil {
+		return nil, err
+	}
+	z := &Zones{Rows: rows, Cols: make([]ColZone, cols)}
+	off := footOff
+	for c := 0; c < cols; c++ {
+		if off >= len(chunk) {
+			return nil, fmt.Errorf("colpage: truncated zone %d", c)
+		}
+		flags := chunk[off]
+		off++
+		if flags&1 == 0 {
+			continue
+		}
+		minV, n, err := tuple.DecodeValue(chunk[off:])
+		if err != nil {
+			return nil, fmt.Errorf("colpage: zone %d min: %w", c, err)
+		}
+		off += n
+		maxV, n, err := tuple.DecodeValue(chunk[off:])
+		if err != nil {
+			return nil, fmt.Errorf("colpage: zone %d max: %w", c, err)
+		}
+		off += n
+		z.Cols[c] = ColZone{Present: true, Min: minV, Max: maxV}
+	}
+	return z, nil
+}
+
+func decodeUintFOR(body []byte, off, rows int) ([]uint64, int, error) {
+	if off+9 > len(body) {
+		return nil, 0, fmt.Errorf("colpage: truncated id lane")
+	}
+	ref := binary.BigEndian.Uint64(body[off:])
+	w := int(body[off+8])
+	off += 9
+	if w > 8 {
+		return nil, 0, fmt.Errorf("colpage: id width %d", w)
+	}
+	if off+rows*w > len(body) {
+		return nil, 0, fmt.Errorf("colpage: truncated id deltas")
+	}
+	ids := make([]uint64, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = ref + readBE(body[off:], w)
+		off += w
+	}
+	return ids, off, nil
+}
+
+// decodeLane deserializes one column into col.
+func decodeLane(body []byte, off, rows int, col *vec.Col) (int, error) {
+	if off >= len(body) {
+		return 0, fmt.Errorf("truncated lane header")
+	}
+	enc := body[off]
+	off++
+	switch enc {
+	case encMixed:
+		for i := 0; i < rows; i++ {
+			v, n, err := tuple.DecodeValue(body[off:])
+			if err != nil {
+				return 0, fmt.Errorf("cell %d: %w", i, err)
+			}
+			off += n
+			col.Append(v)
+		}
+		return off, nil
+	case encIntFOR:
+		if off+9 > len(body) {
+			return 0, fmt.Errorf("truncated FOR header")
+		}
+		ref := binary.BigEndian.Uint64(body[off:])
+		w := int(body[off+8])
+		off += 9
+		if w > 8 {
+			return 0, fmt.Errorf("FOR width %d", w)
+		}
+		if off+rows*w > len(body) {
+			return 0, fmt.Errorf("truncated FOR deltas")
+		}
+		for i := 0; i < rows; i++ {
+			col.AppendRaw(tuple.Int, int64(ref+readBE(body[off:], w)), 0, nil)
+			off += w
+		}
+		return off, nil
+	case encIntRLE:
+		if off+2 > len(body) {
+			return 0, fmt.Errorf("truncated RLE header")
+		}
+		runs := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		total := 0
+		for r := 0; r < runs; r++ {
+			if off+10 > len(body) {
+				return 0, fmt.Errorf("truncated run %d", r)
+			}
+			v := int64(binary.BigEndian.Uint64(body[off:]))
+			n := int(binary.BigEndian.Uint16(body[off+8:]))
+			off += 10
+			if total+n > rows {
+				return 0, fmt.Errorf("runs exceed %d rows", rows)
+			}
+			total += n
+			for k := 0; k < n; k++ {
+				col.AppendRaw(tuple.Int, v, 0, nil)
+			}
+		}
+		if total != rows {
+			return 0, fmt.Errorf("runs cover %d of %d rows", total, rows)
+		}
+		return off, nil
+	case encFloatRaw:
+		if off+rows*8 > len(body) {
+			return 0, fmt.Errorf("truncated float lane")
+		}
+		for i := 0; i < rows; i++ {
+			col.AppendRaw(tuple.Float, 0, math.Float64frombits(binary.BigEndian.Uint64(body[off:])), nil)
+			off += 8
+		}
+		return off, nil
+	case encBytesRaw:
+		// First pass sizes the arena so cell slices never move.
+		total, scan := 0, off
+		for i := 0; i < rows; i++ {
+			if scan+4 > len(body) {
+				return 0, fmt.Errorf("truncated string length %d", i)
+			}
+			l := int(binary.BigEndian.Uint32(body[scan:]))
+			scan += 4
+			if l < 0 || scan+l > len(body) {
+				return 0, fmt.Errorf("truncated string %d", i)
+			}
+			scan += l
+			total += l
+		}
+		arena := make([]byte, 0, total)
+		for i := 0; i < rows; i++ {
+			l := int(binary.BigEndian.Uint32(body[off:]))
+			off += 4
+			start := len(arena)
+			arena = append(arena, body[off:off+l]...)
+			col.AppendRaw(tuple.String, 0, 0, arena[start:len(arena):len(arena)])
+			off += l
+		}
+		return off, nil
+	case encBytesDict:
+		if off+2 > len(body) {
+			return 0, fmt.Errorf("truncated dict header")
+		}
+		dictN := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		if dictN > maxDict {
+			return 0, fmt.Errorf("dict of %d entries", dictN)
+		}
+		total, scan := 0, off
+		for d := 0; d < dictN; d++ {
+			if scan+4 > len(body) {
+				return 0, fmt.Errorf("truncated dict length %d", d)
+			}
+			l := int(binary.BigEndian.Uint32(body[scan:]))
+			scan += 4
+			if l < 0 || scan+l > len(body) {
+				return 0, fmt.Errorf("truncated dict entry %d", d)
+			}
+			scan += l
+			total += l
+		}
+		arena := make([]byte, 0, total)
+		entries := make([][]byte, dictN)
+		for d := 0; d < dictN; d++ {
+			l := int(binary.BigEndian.Uint32(body[off:]))
+			off += 4
+			start := len(arena)
+			arena = append(arena, body[off:off+l]...)
+			entries[d] = arena[start:len(arena):len(arena)]
+			off += l
+		}
+		if off+rows > len(body) {
+			return 0, fmt.Errorf("truncated dict indexes")
+		}
+		for i := 0; i < rows; i++ {
+			idx := int(body[off])
+			off++
+			if idx >= dictN {
+				return 0, fmt.Errorf("dict index %d of %d", idx, dictN)
+			}
+			col.AppendRaw(tuple.String, 0, 0, entries[idx])
+		}
+		return off, nil
+	default:
+		return 0, fmt.Errorf("unknown lane encoding %d", enc)
+	}
+}
+
+// --- little helpers ------------------------------------------------------
+
+// bytesFor returns the minimal byte width representing v (0 for 0).
+func bytesFor(v uint64) int {
+	w := 0
+	for v != 0 {
+		w++
+		v >>= 8
+	}
+	return w
+}
+
+// appendBE appends v's low w bytes big-endian.
+func appendBE(dst []byte, v uint64, w int) []byte {
+	for i := w - 1; i >= 0; i-- {
+		dst = append(dst, byte(v>>(8*uint(i))))
+	}
+	return dst
+}
+
+// readBE reads a w-byte big-endian unsigned integer.
+func readBE(src []byte, w int) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		v = v<<8 | uint64(src[i])
+	}
+	return v
+}

@@ -101,8 +101,11 @@ type Database struct {
 	// adScans counts AD-file net-change reads, one per relation per
 	// refresh unit. Both are observability counters for tests and
 	// benchmarks; the priced I/O stays in the storage.Meter.
-	deltaScans atomic.Int64
-	adScans    atomic.Int64
+	// pagesPruned counts pages scans skipped via zone maps (summed from
+	// captured plan trees; pruned pages are never read or charged).
+	deltaScans  atomic.Int64
+	adScans     atomic.Int64
+	pagesPruned atomic.Int64
 
 	// statsMu guards breakdown and the operation counters, which are
 	// bumped from concurrent readers. Phase attribution windows overlap
@@ -256,6 +259,14 @@ type Options struct {
 	// vectorized default (vec.DefaultBatchSize); 1 runs the executor
 	// row-at-a-time — same results and charges, no vectorized paths.
 	BatchSize int
+	// PageLayout selects the physical encoding of data pages. The zero
+	// value, storage.PageLayoutCol, stores typed column chunks with
+	// zone maps; storage.PageLayoutRow restores row-major tuple pages.
+	// Both layouts produce identical results, page counts, and metered
+	// charges (the encoding is capacity-neutral); columnar additionally
+	// decodes straight into executor batches and lets sequential scans
+	// prune pages via zone maps.
+	PageLayout storage.PageLayout
 }
 
 // NewDatabase creates an empty engine.
@@ -279,6 +290,7 @@ func NewDatabase(opts Options) *Database {
 	db.shareDeltas = opts.ShareDeltas
 	db.batchSize = opts.BatchSize
 	disk.SetIOLatency(opts.SimulatedIOLatency)
+	disk.SetPageLayout(opts.PageLayout)
 	return db
 }
 
@@ -304,6 +316,11 @@ func (db *Database) DeltaScanCount() int64 { return db.deltaScans.Load() }
 // ADScanCount returns how many AD-file net-change reads refreshes have
 // issued since the last ResetStats (one per relation per refresh unit).
 func (db *Database) ADScanCount() int64 { return db.adScans.Load() }
+
+// PagesPruned returns how many pages scans have skipped via zone maps
+// since the last ResetStats. Pruned pages were proved irrelevant from
+// their footers and never read or charged.
+func (db *Database) PagesPruned() int64 { return db.pagesPruned.Load() }
 
 // Meter exposes the cost meter.
 func (db *Database) Meter() *storage.Meter { return db.meter }
@@ -339,6 +356,7 @@ func (db *Database) ResetStats() {
 	db.meter.Reset()
 	db.deltaScans.Store(0)
 	db.adScans.Store(0)
+	db.pagesPruned.Store(0)
 	db.statsMu.Lock()
 	db.breakdown = map[Phase]storage.Stats{}
 	db.Queries = 0

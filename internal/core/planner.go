@@ -61,7 +61,19 @@ func (db *Database) runTree(root exec.Operator, keep bool) (*exec.PlanNode, stor
 // given path. Query paths run under the engine read lock, so the plan
 // table is guarded by statsMu like the other concurrently-bumped
 // bookkeeping.
+// treePruned sums zone-map-pruned pages over a captured tree.
+func treePruned(n *exec.PlanNode) int64 {
+	total := n.Stats.Pruned
+	for _, c := range n.Children {
+		total += treePruned(c)
+	}
+	return total
+}
+
 func (db *Database) recordPlan(vs *viewState, path string, node *exec.PlanNode, delta storage.Stats) {
+	if p := treePruned(node); p > 0 {
+		db.pagesPruned.Add(p)
+	}
 	db.statsMu.Lock()
 	if vs.plans == nil {
 		vs.plans = map[string]*PlanCapture{}

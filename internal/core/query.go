@@ -333,7 +333,10 @@ func (db *Database) queryModified(vs *viewState, rg *pred.Range, plan QueryPlan)
 	case PlanUnclustered:
 		source = exec.NewIndexFetch(db.execOpts(), r, col, orFull(combineRange(vs.def.Pred, 0, col, rg)))
 	case PlanSequential:
-		source = exec.NewSeqScan(db.execOpts(), r)
+		// The screen below keeps only rows matching the view predicate
+		// (and query range), so the scan may skip pages whose zone maps
+		// disprove that conjunction — skipped pages are never charged.
+		source = exec.NewSeqScanPruned(db.execOpts(), r, exec.PruneAtoms(vs.def.Pred, rg, col))
 	default:
 		return nil, fmt.Errorf("core: plan %v not applicable to %s view", plan, vs.def.Kind)
 	}

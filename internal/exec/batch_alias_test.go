@@ -1,0 +1,101 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"viewmat/internal/relation"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
+)
+
+// Columnar decode hands string cells out as slices of a per-chunk
+// arena; the contract (vec.Col.AppendRaw, colpage.Decode) is that the
+// arena is never mutated or reused after decode, so a batch the
+// consumer retains stays valid while the scan refills later batches.
+// This test pins that contract: the bytes lane of an emitted batch
+// must not alias any buffer a subsequent NextBatch writes through.
+
+// aliasEnv builds a relation whose string column is distinct per row
+// (an overwrite through a shared buffer cannot go unnoticed).
+func aliasEnv(t *testing.T, layout storage.PageLayout) (*relation.Relation, *storage.Meter) {
+	t.Helper()
+	d := storage.NewDisk(512)
+	d.SetPageLayout(layout)
+	m := storage.NewMeter()
+	p := storage.NewPool(d, m, 1024)
+	schema := tuple.NewSchema(tuple.Col("key", tuple.Int), tuple.Col("val", tuple.Int), tuple.Col("name", tuple.String))
+	rel, err := relation.NewBTree(d, p, "a", schema, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		tp := tuple.New(uint64(i+1), tuple.I(int64(i)), tuple.I(int64(i%7)), tuple.S(fmt.Sprintf("cell-%04d", i)))
+		if err := rel.Insert(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rel, m
+}
+
+// testBytesLaneStability drains root (small batches force several
+// refills), snapshotting each batch's string cells at emission time,
+// then re-checks every retained batch after the scan completes.
+func testBytesLaneStability(t *testing.T, root Operator) {
+	t.Helper()
+	if err := root.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var batches []*vec.Batch
+	var snaps [][][]byte
+	for {
+		b, err := root.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		snap := make([][]byte, b.NumRows())
+		for i := 0; i < b.NumRows(); i++ {
+			snap[i] = append([]byte(nil), b.Slots[0][2].Bytes[i]...)
+		}
+		batches = append(batches, b)
+		snaps = append(snaps, snap)
+	}
+	if err := root.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) < 3 {
+		t.Fatalf("fixture emitted %d batches; need several to cross refills", len(batches))
+	}
+	total := 0
+	for bi, b := range batches {
+		for i := 0; i < b.NumRows(); i++ {
+			if got := b.Slots[0][2].Bytes[i]; !bytes.Equal(got, snaps[bi][i]) {
+				t.Fatalf("batch %d row %d: cell mutated after later NextBatch: %q != %q",
+					bi, i, got, snaps[bi][i])
+			}
+			if got := b.TupleAt(0, i).Vals[2].Str(); got != string(snaps[bi][i]) {
+				t.Fatalf("batch %d row %d: gathered value %q != snapshot %q", bi, i, got, snaps[bi][i])
+			}
+			total++
+		}
+	}
+	if total != 300 {
+		t.Fatalf("scanned %d rows, want 300", total)
+	}
+}
+
+func TestBatchBytesLaneStableAcrossRefills(t *testing.T) {
+	for _, layout := range []storage.PageLayout{storage.PageLayoutCol, storage.PageLayoutRow} {
+		t.Run(layout.String(), func(t *testing.T) {
+			rel, m := aliasEnv(t, layout)
+			o := Options{Meter: m, BatchSize: 64}
+			t.Run("seqscan", func(t *testing.T) { testBytesLaneStability(t, NewSeqScan(o, rel)) })
+			t.Run("scan", func(t *testing.T) { testBytesLaneStability(t, NewScan(o, rel, nil)) })
+		})
+	}
+}

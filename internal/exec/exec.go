@@ -83,7 +83,13 @@ func (o Options) rowMode() bool { return o.BatchSize == 1 }
 type OpStats struct {
 	RowsOut int64
 	Batches int64
-	Cost    storage.Stats
+	// Pruned counts pages a scan skipped via zone maps: pages the plan
+	// would have read but proved irrelevant from their footers without
+	// pinning them. Pruned pages are charged nothing (the paper's model
+	// prices only pages actually read), so the tree==meter invariant is
+	// unaffected.
+	Pruned int64
+	Cost   storage.Stats
 }
 
 // Operator is a physical operator in the batch-at-a-time style.

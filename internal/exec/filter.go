@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"viewmat/internal/colpage"
 	"viewmat/internal/pred"
 	"viewmat/internal/tuple"
 	"viewmat/internal/vec"
@@ -382,3 +383,36 @@ func (p *Project) Close() error         { return p.input.Close() }
 func (p *Project) Children() []Operator { return []Operator{p.input} }
 func (p *Project) Stats() OpStats       { return p.stats() }
 func (p *Project) Describe() string     { return fmt.Sprintf("Project(%s)", p.label) }
+
+// PruneAtoms derives zone-map prune atoms from the screen a sequential
+// plan will stack on its scan: every slot-0 comparison atom of p plus
+// the optional range restriction on rangeCol. Each atom is entailed by
+// that screen, so a page whose zone map disproves any atom holds no
+// qualifying row and can be skipped without changing results.
+func PruneAtoms(p *pred.P, rg *pred.Range, rangeCol int) []colpage.Atom {
+	var out []colpage.Atom
+	if p != nil {
+		for _, a := range p.Atoms {
+			if c, ok := a.(pred.Cmp); ok && c.Rel == 0 {
+				out = append(out, colpage.Atom{Col: c.Col, Op: c.Op, Val: c.Val})
+			}
+		}
+	}
+	if rg != nil {
+		if rg.Lo != nil {
+			op := pred.Ge
+			if !rg.LoInc {
+				op = pred.Gt
+			}
+			out = append(out, colpage.Atom{Col: rangeCol, Op: op, Val: *rg.Lo})
+		}
+		if rg.Hi != nil {
+			op := pred.Le
+			if !rg.HiInc {
+				op = pred.Lt
+			}
+			out = append(out, colpage.Atom{Col: rangeCol, Op: op, Val: *rg.Hi})
+		}
+	}
+	return out
+}

@@ -64,6 +64,9 @@ func renderInto(sb *strings.Builder, n *PlanNode, prefix string, isRoot, isLast 
 	}
 	sb.WriteString(n.Name)
 	fmt.Fprintf(sb, " rows=%d batches=%d", n.Stats.RowsOut, n.Stats.Batches)
+	if n.Stats.Pruned > 0 {
+		fmt.Fprintf(sb, " pruned=%d", n.Stats.Pruned)
+	}
 	if c := n.Stats.Cost; c.Reads+c.Writes+c.Screens+c.ADTouches > 0 {
 		fmt.Fprintf(sb, " io{r=%d w=%d s=%d ad=%d}", c.Reads, c.Writes, c.Screens, c.ADTouches)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"viewmat/internal/btree"
+	"viewmat/internal/colpage"
 	"viewmat/internal/pred"
 	"viewmat/internal/relation"
 	"viewmat/internal/tuple"
@@ -12,16 +13,16 @@ import (
 
 // Scan streams a clustered B+-tree range scan of a base relation (the
 // Model-1 "clustered" plan and every restricted outer scan). A nil
-// range scans the whole clustering order. Each batch fill is one
-// bracketed run of iterator pulls, so the page reads land on this
+// range scans the whole clustering order. Leaves decode straight into
+// the batch's column lanes (no intermediate tuples); each batch fill is
+// one bracketed run of the iterator, so the page reads land on this
 // operator exactly as the per-row brackets did.
 type Scan struct {
 	base
 	rel  *relation.Relation
 	rg   *pred.Range
-	it   *btree.Iterator
+	it   *btree.BatchIterator
 	size int
-	done bool
 }
 
 // NewScan builds a clustered range scan.
@@ -30,36 +31,19 @@ func NewScan(o Options, rel *relation.Relation, rg *pred.Range) *Scan {
 }
 
 func (s *Scan) Open() error {
-	s.done = false
 	return s.bracket(func() error {
-		it, err := s.rel.Iter(s.rg)
+		it, err := s.rel.IterBatches(s.rg, nil)
 		s.it = it
 		return err
 	})
 }
 
 func (s *Scan) NextBatch() (*vec.Batch, error) {
-	if s.done {
+	if s.it.Done() {
 		return nil, nil
 	}
 	b := &vec.Batch{}
-	err := s.bracket(func() error {
-		for b.NumRows() < s.size {
-			tp, ok, e := s.it.Next()
-			if e != nil {
-				return e
-			}
-			if !ok {
-				s.done = true
-				return nil
-			}
-			if !appendRow(b, Row{T0: tp}, s.size) {
-				return fmt.Errorf("exec: scan of %s produced mixed-shape tuples", s.rel.Name())
-			}
-		}
-		return nil
-	})
-	if err != nil {
+	if err := s.bracket(func() error { return s.it.Fill(b, s.size) }); err != nil {
 		return nil, err
 	}
 	if b.NumRows() == 0 {
@@ -76,13 +60,20 @@ func (s *Scan) Describe() string {
 }
 
 // SeqScan reads every tuple of a relation — the sequential plan, and
-// the only clustered access path a hash relation offers.
+// the only clustered access path a hash relation offers. Pages decode
+// straight into columnar batches at Open (inside the bracket, keeping
+// every page read attributed here and the pool activity ordered exactly
+// as the tuple path's). Prune atoms, when set, let the scan skip pages
+// whose zone maps disprove the downstream predicate; skipped pages are
+// never charged and are reported via Stats().Pruned.
 type SeqScan struct {
 	base
-	rel  *relation.Relation
-	buf  []tuple.Tuple
-	i    int
-	size int
+	rel    *relation.Relation
+	prune  []colpage.Atom
+	bufs   []*vec.Batch
+	i      int
+	size   int
+	pruned int64
 }
 
 // NewSeqScan builds a full sequential scan.
@@ -90,27 +81,41 @@ func NewSeqScan(o Options, rel *relation.Relation) *SeqScan {
 	return &SeqScan{base: base{meter: o.Meter}, rel: rel, size: o.size()}
 }
 
+// NewSeqScanPruned builds a full sequential scan that may skip pages
+// the prune atoms' zone maps disprove. The caller must only pass atoms
+// entailed by the predicate it will apply to the scan's output.
+func NewSeqScanPruned(o Options, rel *relation.Relation, prune []colpage.Atom) *SeqScan {
+	s := NewSeqScan(o, rel)
+	s.prune = prune
+	return s
+}
+
 func (s *SeqScan) Open() error {
 	s.i = 0
 	return s.bracket(func() error {
-		buf, err := s.rel.ScanAll()
-		s.buf = buf
+		bufs, pruned, err := s.rel.ScanAllBatches(s.size, s.prune)
+		s.bufs, s.pruned = bufs, pruned
 		return err
 	})
 }
 
 func (s *SeqScan) NextBatch() (*vec.Batch, error) {
-	b := packTuples(s.buf, &s.i, s.size)
-	if b == nil {
+	if s.i >= len(s.bufs) {
 		return nil, nil
 	}
+	b := s.bufs[s.i]
+	s.i++
 	return s.emitBatch(b), nil
 }
 
-func (s *SeqScan) Close() error         { s.buf = nil; return nil }
+func (s *SeqScan) Close() error         { s.bufs = nil; return nil }
 func (s *SeqScan) Children() []Operator { return nil }
-func (s *SeqScan) Stats() OpStats       { return s.stats() }
-func (s *SeqScan) Describe() string     { return fmt.Sprintf("SeqScan(%s)", s.rel.Name()) }
+func (s *SeqScan) Stats() OpStats {
+	st := s.stats()
+	st.Pruned = s.pruned
+	return st
+}
+func (s *SeqScan) Describe() string { return fmt.Sprintf("SeqScan(%s)", s.rel.Name()) }
 
 // IndexFetch fetches tuples through an unclustered secondary index: a
 // pointer-entry range scan followed by one clustered fetch per pointer

@@ -1,0 +1,147 @@
+package hashidx
+
+import (
+	"sort"
+	"testing"
+
+	"viewmat/internal/colpage"
+	"viewmat/internal/pred"
+	"viewmat/internal/storage"
+	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
+)
+
+// batchKeys flattens ScanAllBatches output to sorted key values.
+func batchKeys(bs []*vec.Batch) []int64 {
+	var keys []int64
+	for _, b := range bs {
+		for i := 0; i < b.NumRows(); i++ {
+			keys = append(keys, b.TupleAt(0, i).Vals[0].Int())
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// TestScanAllBatchesPruning: the batched bucket-run fast path must not
+// pin or charge pages whose zone maps disprove the prune atoms — the
+// Pool.GetBatch run is built from surviving pages only. Empty bucket
+// pages carry no zones and are always read.
+func TestScanAllBatchesPruning(t *testing.T) {
+	d := storage.NewDisk(256)
+	m := storage.NewMeter()
+	pool := storage.NewPool(d, m, 64)
+	ix, err := New(pool, d.Open("h"), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 24
+	for i := int64(0); i < rows; i++ {
+		if err := ix.Insert(mk(uint64(i+1), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.file.NumPages() != 8 {
+		t.Fatalf("fixture overflowed: %d pages for 8 buckets", ix.file.NumPages())
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.EvictAll()
+
+	// Every stored key is < 24: the atom disproves every non-empty
+	// page, so only empty bucket pages (no zones) are read.
+	before := m.Snapshot()
+	out, pruned, err := ix.ScanAllBatches(0, []colpage.Atom{{Col: 0, Op: pred.Ge, Val: tuple.I(1000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := m.Snapshot().Sub(before).Reads
+	if len(batchKeys(out)) != 0 {
+		t.Errorf("all-pruned scan returned %d rows", len(batchKeys(out)))
+	}
+	if pruned == 0 {
+		t.Fatal("scan pruned nothing")
+	}
+	if reads+pruned != 8 {
+		t.Errorf("reads %d + pruned %d != 8 bucket pages: pruned pages were pinned", reads, pruned)
+	}
+
+	// Unpruned control: every page read, every row returned.
+	pool.EvictAll()
+	before = m.Snapshot()
+	out, pruned, err = ix.ScanAllBatches(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Sub(before).Reads; got != 8 {
+		t.Errorf("unpruned scan read %d pages, want 8", got)
+	}
+	if pruned != 0 {
+		t.Errorf("unpruned scan reported %d pruned", pruned)
+	}
+	keys := batchKeys(out)
+	if len(keys) != rows {
+		t.Fatalf("unpruned scan returned %d rows, want %d", len(keys), rows)
+	}
+	for i, k := range keys {
+		if k != int64(i) {
+			t.Fatalf("key %d = %d", i, k)
+		}
+	}
+
+	// Selective prune: pages whose whole key range is >= 12 are
+	// skipped; the survivors must still contain every key < 12.
+	pool.EvictAll()
+	out, _, err = ix.ScanAllBatches(0, []colpage.Atom{{Col: 0, Op: pred.Lt, Val: tuple.I(12)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, k := range batchKeys(out) {
+		seen[k] = true
+	}
+	for k := int64(0); k < 12; k++ {
+		if !seen[k] {
+			t.Errorf("selective prune lost matching key %d", k)
+		}
+	}
+	pool.AssertUnpinned(t)
+}
+
+// TestScanAllBatchesPruningDisarmedByDirtyFrames mirrors the btree
+// test: stale on-disk zone maps (dirty pool frames) must disable
+// pruning entirely.
+func TestScanAllBatchesPruningDisarmedByDirtyFrames(t *testing.T) {
+	d := storage.NewDisk(256)
+	m := storage.NewMeter()
+	pool := storage.NewPool(d, m, 64)
+	ix, err := New(pool, d.Open("h"), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 24; i++ {
+		if err := ix.Insert(mk(uint64(i+1), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.EvictAll()
+	pool.SetWriteThrough(false)
+	if err := ix.Insert(mk(100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	out, pruned, err := ix.ScanAllBatches(0, []colpage.Atom{{Col: 0, Op: pred.Ge, Val: tuple.I(1000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 0 {
+		t.Errorf("scan over dirty frames pruned %d pages", pruned)
+	}
+	if got := len(batchKeys(out)); got != 25 {
+		t.Errorf("scan returned %d rows, want 25", got)
+	}
+	pool.AssertUnpinned(t)
+}

@@ -14,11 +14,24 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"viewmat/internal/colpage"
 	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
 )
 
-const pageHash = 3
+const (
+	pageHash = 3
+	// pageHashCol is a chain page stored as a columnar chunk
+	// (internal/colpage) after the common header. Which type a page is
+	// written as follows the disk's PageLayout policy at encode time;
+	// readers dispatch on the type byte, so mixed-layout files work.
+	pageHashCol = 5
+)
+
+// isChainPage reports whether a page type byte marks a chain page
+// (either layout).
+func isChainPage(b byte) bool { return b == pageHash || b == pageHashCol }
 
 // header: [1 type][2 count][4 next+1]
 const pageHeader = 7
@@ -79,7 +92,7 @@ func New(pool *storage.Pool, file *storage.File, keyCol, numBuckets int) (*Index
 		if err != nil {
 			return nil, err
 		}
-		encodeNode(fr.Data, &node{})
+		ix.encodeNode(fr.Data, &node{})
 		fr.MarkDirty()
 		if err := pool.Release(fr); err != nil {
 			return nil, err
@@ -98,14 +111,41 @@ func (ix *Index) Buckets() int { return len(ix.buckets) }
 // KeyCol returns the clustering column.
 func (ix *Index) KeyCol() int { return ix.keyCol }
 
-func encodeNode(page []byte, n *node) {
-	page[0] = pageHash
+// encodeNode writes the chain page under the disk's layout policy. The
+// capacity decision was made by the caller against the row-encoded
+// size, so a columnar chunk that does not fit falls back to the row
+// encoding for this page.
+func (ix *Index) encodeNode(page []byte, n *node) {
+	if ix.pool.PageLayout() == storage.PageLayoutCol && encodeNodeCol(page, n) {
+		return
+	}
+	encodeNodeRow(page, n)
+}
+
+func putNodeHeader(page []byte, typ byte, n *node) {
+	page[0] = typ
 	putU16(page[1:], uint16(len(n.tuples)))
 	next := uint32(0)
 	if n.hasNext {
 		next = uint32(n.next) + 1
 	}
 	putU32(page[3:], next)
+}
+
+func encodeNodeCol(page []byte, n *node) bool {
+	used, err := colpage.Encode(page[pageHeader:], n.tuples)
+	if err != nil {
+		return false // caller rewrites the whole page row-major
+	}
+	putNodeHeader(page, pageHashCol, n)
+	for i := pageHeader + used; i < len(page); i++ {
+		page[i] = 0
+	}
+	return true
+}
+
+func encodeNodeRow(page []byte, n *node) {
+	putNodeHeader(page, pageHash, n)
 	off := pageHeader
 	for _, tp := range n.tuples {
 		b := tp.Encode(page[off:off])
@@ -125,16 +165,28 @@ func nodeSize(n *node) int {
 }
 
 func decodeNode(page []byte) (*node, error) {
-	if page[0] != pageHash {
+	if !isChainPage(page[0]) {
 		return nil, fmt.Errorf("hashidx: page type %d", page[0])
 	}
 	cnt := int(getU16(page[1:]))
 	rawNext := getU32(page[3:])
-	n := &node{tuples: make([]tuple.Tuple, 0, cnt)}
+	n := &node{}
 	if rawNext != 0 {
 		n.hasNext = true
 		n.next = storage.PageNum(rawNext - 1)
 	}
+	if page[0] == pageHashCol {
+		tuples, err := colpage.DecodeTuples(page[pageHeader:])
+		if err != nil {
+			return nil, fmt.Errorf("hashidx: columnar page: %w", err)
+		}
+		if len(tuples) != cnt {
+			return nil, fmt.Errorf("hashidx: columnar page holds %d tuples, header says %d", len(tuples), cnt)
+		}
+		n.tuples = tuples
+		return n, nil
+	}
+	n.tuples = make([]tuple.Tuple, 0, cnt)
 	off := pageHeader
 	for i := 0; i < cnt; i++ {
 		tp, used, err := tuple.Decode(page[off:])
@@ -174,7 +226,7 @@ func (ix *Index) Insert(tp tuple.Tuple) error {
 		}
 		n.tuples = append(n.tuples, tp)
 		if nodeSize(n) <= len(fr.Data) {
-			encodeNode(fr.Data, n)
+			ix.encodeNode(fr.Data, n)
 			fr.MarkDirty()
 			ix.count++
 			return ix.pool.Release(fr)
@@ -193,10 +245,10 @@ func (ix *Index) Insert(tp tuple.Tuple) error {
 			ix.pool.Release(fr)
 			return err
 		}
-		encodeNode(ofr.Data, &node{tuples: []tuple.Tuple{tp}})
+		ix.encodeNode(ofr.Data, &node{tuples: []tuple.Tuple{tp}})
 		ofr.MarkDirty()
 		n.next, n.hasNext = ofr.PageNum(), true
-		encodeNode(fr.Data, n)
+		ix.encodeNode(fr.Data, n)
 		fr.MarkDirty()
 		ix.count++
 		if err := ix.pool.Release(ofr); err != nil {
@@ -269,7 +321,7 @@ func (ix *Index) Delete(v tuple.Value, id uint64) (bool, error) {
 		for i, tp := range n.tuples {
 			if tp.ID == id && tuple.Equal(tp.Vals[ix.keyCol], v) {
 				n.tuples = append(n.tuples[:i], n.tuples[i+1:]...)
-				encodeNode(fr.Data, n)
+				ix.encodeNode(fr.Data, n)
 				fr.MarkDirty()
 				ix.count--
 				return true, ix.pool.Release(fr)
@@ -423,7 +475,7 @@ func (ix *Index) Truncate() error {
 		}
 		overflow := []storage.PageNum{}
 		next, hasNext := n.next, n.hasNext
-		encodeNode(fr.Data, &node{})
+		ix.encodeNode(fr.Data, &node{})
 		fr.MarkDirty()
 		if err := ix.pool.Release(fr); err != nil {
 			return err
@@ -463,4 +515,203 @@ func putU32(b []byte, v uint32) {
 }
 func getU32(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// --- batch scans ---------------------------------------------------------
+
+// chainCols is a chain page decoded straight to columnar form.
+type chainCols struct {
+	next    storage.PageNum
+	hasNext bool
+	rows    int
+	ids     []uint64
+	cols    []vec.Col
+}
+
+func decodeNodeCols(page []byte) (*chainCols, error) {
+	if !isChainPage(page[0]) {
+		return nil, fmt.Errorf("hashidx: page type %d", page[0])
+	}
+	rawNext := getU32(page[3:])
+	out := &chainCols{}
+	if rawNext != 0 {
+		out.hasNext = true
+		out.next = storage.PageNum(rawNext - 1)
+	}
+	if page[0] == pageHashCol {
+		ch, err := colpage.Decode(page[pageHeader:])
+		if err != nil {
+			return nil, fmt.Errorf("hashidx: columnar page: %w", err)
+		}
+		out.rows, out.ids, out.cols = ch.Rows, ch.IDs, ch.Cols
+		return out, nil
+	}
+	n, err := decodeNode(page)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = len(n.tuples)
+	if out.rows == 0 {
+		return out, nil
+	}
+	arity := len(n.tuples[0].Vals)
+	out.ids = make([]uint64, 0, out.rows)
+	out.cols = make([]vec.Col, arity)
+	for _, tp := range n.tuples {
+		if len(tp.Vals) != arity {
+			return nil, fmt.Errorf("hashidx: mixed arity in chain page")
+		}
+		out.ids = append(out.ids, tp.ID)
+		for c := 0; c < arity; c++ {
+			out.cols[c].Append(tp.Vals[c])
+		}
+	}
+	return out, nil
+}
+
+// appendChainRows copies a decoded page's rows into size-row batches.
+func appendChainRows(out []*vec.Batch, cur **vec.Batch, nc *chainCols, size int) ([]*vec.Batch, error) {
+	for i := 0; i < nc.rows; i++ {
+		if (*cur).AppendSlot0(nc.ids[i], nc.cols, i, size) {
+			continue
+		}
+		if (*cur).NumRows() < size {
+			return nil, fmt.Errorf("hashidx: scan produced mixed-shape tuples")
+		}
+		out = append(out, *cur)
+		*cur = &vec.Batch{}
+		i--
+	}
+	return out, nil
+}
+
+// ScanAllBatches is ScanAll decoded straight into columnar batches of
+// up to size rows, visiting pages in the identical order with identical
+// metered charges — except pages a prune atom's zone map disproves,
+// which are skipped unread and uncharged (counted in pruned). Pruning
+// applies only on the batched no-overflow fast path against a clean
+// on-disk image; every fallback path reads (and charges) every page,
+// exactly like ScanAll.
+func (ix *Index) ScanAllBatches(size int, prune []colpage.Atom) ([]*vec.Batch, int64, error) {
+	if size < 1 {
+		size = vec.DefaultBatchSize
+	}
+	if out, pruned, ok, err := ix.scanBatchedCols(size, prune); err != nil {
+		return nil, 0, err
+	} else if ok {
+		return out, pruned, nil
+	}
+	var out []*vec.Batch
+	cur := &vec.Batch{}
+	for _, bpn := range ix.buckets {
+		pn := bpn
+		for {
+			fr, err := ix.pool.Get(ix.file, pn)
+			if err != nil {
+				return nil, 0, err
+			}
+			nc, err := decodeNodeCols(fr.Data)
+			if rerr := ix.pool.Release(fr); rerr != nil && err == nil {
+				err = rerr
+			}
+			if err != nil {
+				return nil, 0, err
+			}
+			if out, err = appendChainRows(out, &cur, nc, size); err != nil {
+				return nil, 0, err
+			}
+			if !nc.hasNext {
+				break
+			}
+			pn = nc.next
+		}
+	}
+	if cur.NumRows() > 0 {
+		out = append(out, cur)
+	}
+	return out, 0, nil
+}
+
+// scanBatchedCols is the readahead fast path of ScanAllBatches, under
+// the same gates as scanAllBatched. When prune atoms are given and the
+// on-disk image is clean, each run's pages are peeked first and pages
+// whose zone maps disprove the atoms are excluded from the batch read —
+// the run never speculatively pins them (see the Pool.GetRun regression
+// test). Everything else meters identically to scanAllBatched.
+func (ix *Index) scanBatchedCols(size int, prune []colpage.Atom) (out []*vec.Batch, pruned int64, ok bool, err error) {
+	w := ix.pool.Capacity() / 4
+	if w > 32 {
+		w = 32
+	}
+	if w < 2 || len(ix.buckets) < 2 || ix.file.NumPages() != len(ix.buckets) {
+		return nil, 0, false, nil
+	}
+	if ix.file.HasDirtyFrames() {
+		prune = nil // the on-disk zone maps may be stale; read everything
+	}
+	cur := &vec.Batch{}
+	for start := 0; start < len(ix.buckets); {
+		// Maximal run of consecutive bucket pages, clamped to the window.
+		end := start + 1
+		for end < len(ix.buckets) && end-start < w && ix.buckets[end] == ix.buckets[end-1]+1 {
+			end++
+		}
+		fetch := make([]storage.PageNum, 0, end-start)
+		for _, pn := range ix.buckets[start:end] {
+			skip := false
+			if len(prune) > 0 {
+				if page, perr := ix.file.Peek(pn); perr == nil &&
+					page[0] == pageHashCol && getU32(page[3:]) == 0 {
+					// Only overflow-free columnar pages prune; anything
+					// odd is read on the charged path instead.
+					if z, zerr := colpage.ReadZones(page[pageHeader:]); zerr == nil {
+						skip = z.Prunable(prune)
+					}
+				}
+			}
+			if skip {
+				pruned++
+			} else {
+				fetch = append(fetch, pn)
+			}
+		}
+		if len(fetch) == 0 {
+			start = end
+			continue
+		}
+		frames, err := ix.pool.GetBatch(ix.file, fetch)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		fallback := false
+		for _, fr := range frames {
+			if err == nil && !fallback {
+				var nc *chainCols
+				if nc, err = decodeNodeCols(fr.Data); err == nil {
+					if nc.hasNext {
+						// Metadata said no overflow but the page links
+						// onward; retry as a plain walk (fetched pages
+						// stay resident, so its Gets mostly hit).
+						fallback = true
+					} else {
+						out, err = appendChainRows(out, &cur, nc, size)
+					}
+				}
+			}
+			if rerr := ix.pool.Release(fr); rerr != nil && err == nil {
+				err = rerr
+			}
+		}
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if fallback {
+			return nil, 0, false, nil
+		}
+		start = end
+	}
+	if cur.NumRows() > 0 {
+		out = append(out, cur)
+	}
+	return out, pruned, true, nil
 }

@@ -13,10 +13,12 @@ import (
 	"fmt"
 
 	"viewmat/internal/btree"
+	"viewmat/internal/colpage"
 	"viewmat/internal/hashidx"
 	"viewmat/internal/pred"
 	"viewmat/internal/storage"
 	"viewmat/internal/tuple"
+	"viewmat/internal/vec"
 )
 
 // Kind selects the clustering access method.
@@ -221,6 +223,44 @@ func (r *Relation) ScanAll() ([]tuple.Tuple, error) {
 		return drain(it)
 	}
 	return r.hx.ScanAll()
+}
+
+// IterBatches returns a columnar iterator over the clustering range
+// (B+-tree only); rg nil means everything. Prune atoms let full scans
+// skip pages whose zone maps disprove them (see btree.ScanBatches).
+func (r *Relation) IterBatches(rg *pred.Range, prune []colpage.Atom) (*btree.BatchIterator, error) {
+	if r.kind != ClusteredBTree {
+		return nil, fmt.Errorf("relation %s: iterator requires B+-tree clustering", r.name)
+	}
+	return r.bt.ScanBatches(rg, prune)
+}
+
+// ScanAllBatches is ScanAll decoded straight into columnar batches of
+// up to size rows, with identical page order and metered charges —
+// minus any pages the prune atoms' zone maps disprove, which are
+// skipped unread and reported in pruned.
+func (r *Relation) ScanAllBatches(size int, prune []colpage.Atom) ([]*vec.Batch, int64, error) {
+	if size < 1 {
+		size = vec.DefaultBatchSize
+	}
+	if r.kind != ClusteredBTree {
+		return r.hx.ScanAllBatches(size, prune)
+	}
+	it, err := r.bt.ScanBatches(nil, prune)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []*vec.Batch
+	for !it.Done() {
+		b := &vec.Batch{}
+		if err := it.Fill(b, size); err != nil {
+			return nil, 0, err
+		}
+		if b.NumRows() > 0 {
+			out = append(out, b)
+		}
+	}
+	return out, it.Pruned(), nil
 }
 
 // --- secondary indexes ----------------------------------------------------

@@ -57,6 +57,13 @@ type Config struct {
 	// default, 1 = row-at-a-time). Results and metered charges are
 	// identical either way; only wall-clock time changes.
 	BatchSize int
+	// PageLayout selects the on-disk data-page encoding (zero =
+	// columnar default, storage.PageLayoutRow = the row-major escape
+	// hatch). Results are identical either way, and so are metered
+	// charges except for pages zone maps prune (sequential plans under
+	// the columnar layout skip disproven pages without charging them);
+	// columnar also adds vector-direct decode.
+	PageLayout storage.PageLayout
 }
 
 // Result is one run's measurement.
@@ -79,6 +86,9 @@ type Result struct {
 	// path ("query", "refresh", "populate"), priced at the run's unit
 	// costs.
 	PlanTrees map[string]string
+	// PagesPruned counts data pages zone maps skipped unread across
+	// the whole run (always 0 under PageLayoutRow).
+	PagesPruned int64
 }
 
 // viewName is the single view every simulation uses.
@@ -146,6 +156,7 @@ func Run(cfg Config) (*Result, error) {
 		AvgPerQuery:   totals.Cost(p.C1, p.C2, p.C3) / float64(db.Queries),
 		ModelScopeAvg: scope.Cost(p.C1, p.C2, p.C3) / float64(db.Queries),
 		Model:         Predict(cfg),
+		PagesPruned:   db.PagesPruned(),
 	}
 	if trees, err := db.RenderPlans(viewName, p.C1, p.C2, p.C3); err == nil {
 		res.PlanTrees = trees
@@ -189,6 +200,7 @@ func setup(cfg Config) (*core.Database, map[int64]uint64, error) {
 		PageSize:   int(p.B),
 		PoolFrames: poolFramesFor(p),
 		BatchSize:  cfg.BatchSize,
+		PageLayout: cfg.PageLayout,
 		HR: hr.Config{
 			ADBuckets: adBucketsFor(p),
 			BloomKeys: int(4 * p.U() * 2),
@@ -396,10 +408,12 @@ func CompareAll(model Model, params costmodel.Params, seed int64, snapshotEvery 
 			return nil, fmt.Errorf("sim: %v/%v: %w", model, st, err)
 		}
 		out = append(out, Comparison{
-			Strategy:   st.String(),
-			Measured:   res.AvgPerQuery,
-			ModelScope: res.ModelScopeAvg,
-			Model:      res.Model,
+			Strategy:       st.String(),
+			Measured:       res.AvgPerQuery,
+			ModelScope:     res.ModelScopeAvg,
+			Model:          res.Model,
+			PagesPruned:    res.PagesPruned,
+			PrunedPerQuery: float64(res.PagesPruned) / float64(res.Queries),
 		})
 	}
 	return out, nil
@@ -413,6 +427,10 @@ type Comparison struct {
 	Measured   float64
 	ModelScope float64
 	Model      float64
+	// PagesPruned is the run's total zone-map-pruned page count;
+	// PrunedPerQuery averages it over the queries issued.
+	PagesPruned    int64
+	PrunedPerQuery float64
 }
 
 // Compare runs every strategy for a model at the same parameters and
@@ -437,10 +455,12 @@ func CompareAgg(params costmodel.Params, seed int64, kind agg.Kind, modelOpt ...
 			return nil, fmt.Errorf("sim: %v/%v: %w", model, st, err)
 		}
 		out = append(out, Comparison{
-			Strategy:   st.String(),
-			Measured:   res.AvgPerQuery,
-			ModelScope: res.ModelScopeAvg,
-			Model:      res.Model,
+			Strategy:       st.String(),
+			Measured:       res.AvgPerQuery,
+			ModelScope:     res.ModelScopeAvg,
+			Model:          res.Model,
+			PagesPruned:    res.PagesPruned,
+			PrunedPerQuery: float64(res.PagesPruned) / float64(res.Queries),
 		})
 	}
 	return out, nil

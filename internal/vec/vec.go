@@ -70,6 +70,21 @@ func (c *Col) Append(v tuple.Value) {
 	c.Bytes = append(c.Bytes, bv)
 }
 
+// AppendRaw adds one cell from already-unboxed lane values: tag t plus
+// the payload in the lane t selects (callers pass zero values for the
+// dead lanes). The chunk-decode fast path uses this to fill lanes
+// without building tuple.Values; bv is retained as-is, so it must not
+// be mutated after the call.
+func (c *Col) AppendRaw(t tuple.Type, iv int64, fv float64, bv []byte) {
+	if len(c.Tags) > 0 && c.Tags[0] != t {
+		c.mixed = true
+	}
+	c.Tags = append(c.Tags, t)
+	c.Ints = append(c.Ints, iv)
+	c.Floats = append(c.Floats, fv)
+	c.Bytes = append(c.Bytes, bv)
+}
+
 // Value reconstructs cell i as a tuple.Value.
 func (c *Col) Value(i int) tuple.Value {
 	switch c.Tags[i] {
@@ -159,6 +174,33 @@ func (b *Batch) TryAppend(t0, t1 *tuple.Tuple, out []tuple.Value, insert bool, d
 	}
 	b.Insert = append(b.Insert, insert)
 	b.Dup = append(b.Dup, dup)
+	b.n++
+	return true
+}
+
+// AppendSlot0 adds one slot-0-only row copied lane-to-lane from source
+// columns (cell i of each), bypassing tuple.Value boxing — the
+// vector-direct scan path from decoded column chunks. The first append
+// establishes a slot-0-only shape; it returns false when the batch is
+// full or already holds a different shape. Polarity and dup take the
+// zero values a scanned base row carries (Row{T0: tp}).
+func (b *Batch) AppendSlot0(id uint64, src []Col, i int, max int) bool {
+	if b.n >= max {
+		return false
+	}
+	if b.n == 0 {
+		b.slotSet[0] = true
+		b.Slots[0] = make([]Col, len(src))
+	} else if !b.slotSet[0] || b.slotSet[1] || b.outSet || len(src) != len(b.Slots[0]) {
+		return false
+	}
+	b.IDs[0] = append(b.IDs[0], id)
+	for c := range src {
+		sc := &src[c]
+		b.Slots[0][c].AppendRaw(sc.Tags[i], sc.Ints[i], sc.Floats[i], sc.Bytes[i])
+	}
+	b.Insert = append(b.Insert, false)
+	b.Dup = append(b.Dup, 0)
 	b.n++
 	return true
 }
