@@ -22,6 +22,7 @@ import (
 	"viewmat/internal/report"
 	"viewmat/internal/sim"
 	"viewmat/internal/tuple"
+	"viewmat/internal/workload"
 )
 
 // --- analytic figures -------------------------------------------------------
@@ -675,4 +676,125 @@ func BenchmarkRefreshAllSharedDeltaFan256Shared(b *testing.B) {
 }
 func BenchmarkRefreshAllSharedDeltaFan256Unshared(b *testing.B) {
 	benchSharedRefresh(b, 256, core.ShareDeltasOff)
+}
+
+// benchHierarchyRefresh measures end-to-end maintenance of a view
+// chain of the given depth (root over the base relation plus depth-1
+// stacked children): a burst of single-row update transactions — keys
+// uniform or zipfian — followed by RefreshAll and a read of the
+// deepest view. The delta variant maintains children by draining the
+// parent's delta log (deferred chain); the recompute variant rebuilds
+// them from the parent materialization every cycle (zero-interval
+// snapshots). Under skew the base relation is heavy-light partitioned
+// with the threshold the workload generator suggests, so hot keys pay
+// their refresh inside the timed commits — which is the point of the
+// comparison, not a leak.
+func benchHierarchyRefresh(b *testing.B, depth int, skew float64, recompute bool) {
+	schema := tuple.NewSchema(tuple.Col("k", tuple.Int), tuple.Col("a", tuple.Int), tuple.Col("s", tuple.String))
+	const keySpace = 200
+	keys := workload.KeyStream(24, keySpace, skew, 42)
+	childStrategy := core.Deferred
+	if recompute {
+		childStrategy = core.Snapshot
+	}
+	spDef := func(name, src string, hi int64, root bool) core.Def {
+		proj := [][]int{{0, 1}}
+		if root {
+			proj = [][]int{{0, 2}}
+		}
+		return core.Def{
+			Name:      name,
+			Kind:      core.SelectProject,
+			Relations: []string{src},
+			Pred: pred.New(
+				pred.Cmp{Rel: 0, Col: 0, Op: pred.Ge, Val: tuple.I(0)},
+				pred.Cmp{Rel: 0, Col: 0, Op: pred.Lt, Val: tuple.I(hi)},
+			),
+			Project:    proj,
+			ViewKeyCol: 0,
+		}
+	}
+	build := func() *core.Database {
+		db := core.NewDatabase(core.Options{
+			PageSize:           512,
+			PoolFrames:         512,
+			SimulatedIOLatency: 200 * time.Microsecond,
+		})
+		if _, err := db.CreateRelationBTree("r", schema, 0); err != nil {
+			b.Fatal(err)
+		}
+		tx := db.Begin()
+		for i := 0; i < 1600; i++ {
+			if _, err := tx.Insert("r", tuple.I(int64(i%keySpace)), tuple.I(int64(i)), tuple.S("s")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		specs := []core.ViewSpec{{Def: spDef("h0", "r", keySpace, true), Strategy: core.Deferred}}
+		for d := 1; d < depth; d++ {
+			specs = append(specs, core.ViewSpec{
+				Def:      spDef(fmt.Sprintf("h%d", d), fmt.Sprintf("h%d", d-1), keySpace-int64(d), false),
+				Strategy: childStrategy,
+			})
+		}
+		if err := db.CreateViews(specs); err != nil {
+			b.Fatal(err)
+		}
+		if recompute {
+			for d := 1; d < depth; d++ {
+				if err := db.SetSnapshotInterval(fmt.Sprintf("h%d", d), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if skew > 1 {
+			if err := db.EnableHeavyLight("r", workload.SuggestThreshold(keys, 0.5), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	deepest := fmt.Sprintf("h%d", depth-1)
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		db := build()
+		b.StartTimer()
+		for _, k := range keys {
+			tx := db.Begin()
+			if _, err := tx.Insert("r", tuple.I(k), tuple.I(k*2), tuple.S("u")); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := db.RefreshAll(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.QueryView(deepest, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+	}
+}
+
+func BenchmarkHierarchyRefreshDepth1UniformDelta(b *testing.B) { benchHierarchyRefresh(b, 1, 0, false) }
+func BenchmarkHierarchyRefreshDepth2UniformDelta(b *testing.B) { benchHierarchyRefresh(b, 2, 0, false) }
+func BenchmarkHierarchyRefreshDepth3UniformDelta(b *testing.B) { benchHierarchyRefresh(b, 3, 0, false) }
+func BenchmarkHierarchyRefreshDepth1ZipfDelta(b *testing.B)    { benchHierarchyRefresh(b, 1, 1.5, false) }
+func BenchmarkHierarchyRefreshDepth2ZipfDelta(b *testing.B)    { benchHierarchyRefresh(b, 2, 1.5, false) }
+func BenchmarkHierarchyRefreshDepth3ZipfDelta(b *testing.B)    { benchHierarchyRefresh(b, 3, 1.5, false) }
+func BenchmarkHierarchyRefreshDepth2UniformRecompute(b *testing.B) {
+	benchHierarchyRefresh(b, 2, 0, true)
+}
+func BenchmarkHierarchyRefreshDepth3UniformRecompute(b *testing.B) {
+	benchHierarchyRefresh(b, 3, 0, true)
+}
+func BenchmarkHierarchyRefreshDepth2ZipfRecompute(b *testing.B) {
+	benchHierarchyRefresh(b, 2, 1.5, true)
+}
+func BenchmarkHierarchyRefreshDepth3ZipfRecompute(b *testing.B) {
+	benchHierarchyRefresh(b, 3, 1.5, true)
 }

@@ -52,7 +52,16 @@ func main() {
 	batch := flag.String("batch", "on", "executor batching: on (vectorized) or off (row-at-a-time; identical results and charges)")
 	page := flag.String("page", "col", "data-page layout: col (typed column chunks with zone maps) or row (row-major; identical results, charges differ only by pages zone maps prune)")
 	qmPlan := flag.String("qm-plan", "auto", "query-modification access path: auto, clustered, unclustered, or sequential (sequential scans prune via zone maps under -page=col)")
+	hierarchy := flag.Bool("hierarchy", false, "run the views-over-views demo: a deferred chain with shared sibling drains and heavy-light partitioning (honors -skew and -seed)")
 	flag.Parse()
+
+	if *hierarchy {
+		if err := runHierarchy(*skew, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var batchSize int
 	switch *batch {

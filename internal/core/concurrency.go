@@ -35,6 +35,24 @@ type refreshFlight struct {
 // viewStale reports whether reading the view requires mutating work
 // first (a refresh or an HR fold). Caller holds db.mu (read or write).
 func (db *Database) viewStale(vs *viewState) bool {
+	if p := db.parentOf(vs); p != nil {
+		// A child view goes stale with its parent (the parent's refresh
+		// will append log rows for it) or when unconsumed log rows are
+		// already pending.
+		switch vs.strategy {
+		case Deferred, Immediate:
+			return db.viewStale(p) || db.childPending(vs)
+		case Snapshot:
+			return vs.staleCommits > vs.snapshotEvery
+		case RecomputeOnDemand:
+			return vs.dirty
+		case QueryModification:
+			// QM children recompute over the parent's current rows at
+			// query time; they are only as stale as the parent.
+			return db.viewStale(p)
+		}
+		return false
+	}
 	switch vs.strategy {
 	case Deferred:
 		for _, rn := range vs.def.Relations {
@@ -147,6 +165,9 @@ func (db *Database) leaderRefresh(name string) error {
 // refreshStaleLocked dispatches the strategy-appropriate refresh.
 // Caller holds the engine write lock.
 func (db *Database) refreshStaleLocked(vs *viewState) error {
+	if parent := db.parentOf(vs); parent != nil {
+		return db.refreshChildStaleLocked(vs, parent)
+	}
 	switch vs.strategy {
 	case Deferred:
 		return db.refreshDeferred(vs)
@@ -212,7 +233,7 @@ func (db *Database) RefreshAll() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	units := db.staleUnitsLocked()
-	if len(units) == 0 {
+	if len(units) == 0 && !db.anyStaleChildLocked() {
 		return nil
 	}
 	if err := db.pool.EvictAll(); err != nil {
@@ -253,7 +274,9 @@ func (db *Database) RefreshAll() error {
 			stats[i].IO = db.meter.Snapshot().Sub(before)
 			stats[i].DeltaScans = db.deltaScans.Load() - scansBefore
 		}
-		return nil
+		// Child views drain their parents' delta logs level by level,
+		// after the base-level units above refreshed the parents.
+		return db.refreshHierarchyLocked(&stats)
 	}
 	jobs := make(chan int)
 	errs := make([]error, workers)
@@ -288,7 +311,10 @@ func (db *Database) RefreshAll() error {
 			return err
 		}
 	}
-	return nil
+	// Hierarchy levels are refreshed serially after the parallel base
+	// phase: each level depends on the one above, so the topological
+	// barrier is inherent.
+	return db.refreshHierarchyLocked(&stats)
 }
 
 // all returns the views the unit refreshes directly (the deferred rep,
@@ -314,7 +340,7 @@ func (db *Database) staleUnitsLocked() []refreshUnit {
 	relToViews := map[string][]*viewState{}
 	for _, n := range names {
 		vs := db.views[n]
-		if vs.strategy != Deferred {
+		if vs.strategy != Deferred || db.parentOf(vs) != nil {
 			continue
 		}
 		for _, rn := range vs.def.Relations {
@@ -328,6 +354,11 @@ func (db *Database) staleUnitsLocked() []refreshUnit {
 		vs := db.views[n]
 		switch vs.strategy {
 		case Deferred:
+			// Children refresh in the hierarchy phase, after their
+			// parents, not as base-level units.
+			if db.parentOf(vs) != nil {
+				continue
+			}
 			if seen[n] {
 				continue
 			}
@@ -353,6 +384,9 @@ func (db *Database) staleUnitsLocked() []refreshUnit {
 				units = append(units, refreshUnit{rep: vs})
 			}
 		case Snapshot, RecomputeOnDemand:
+			if db.parentOf(vs) != nil {
+				continue
+			}
 			if !db.viewStale(vs) {
 				continue
 			}

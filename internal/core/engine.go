@@ -85,6 +85,18 @@ type Database struct {
 	views    map[string]*viewState
 	hrConfig hr.Config
 
+	// children maps a parent view to the names of views defined over
+	// it (sorted); maintained by rebuildChildrenLocked.
+	children map[string][]string
+
+	// heavy holds the per-relation heavy-light trackers (heavylight.go);
+	// guarded by mu.
+	heavy map[string]*hlTracker
+
+	// hierarchyFail, when set, is a test failpoint invoked at the start
+	// of every child-view drain; guarded by mu.
+	hierarchyFail func(view string) error
+
 	// maxRefreshWorkers bounds RefreshAll's worker pool (≤1 = serial).
 	maxRefreshWorkers int
 
@@ -170,6 +182,25 @@ type viewState struct {
 	// differential refreshes and full recomputes). Written under the
 	// engine write lock; tests use it to assert single-flight behavior.
 	refreshes int
+
+	// deltaLog is the view's materialized delta log: every row a
+	// differential refresh applied to the materialization, in order,
+	// kept only while child views are defined over this view. logStart
+	// is the absolute position of deltaLog[0]; logGen bumps whenever
+	// the log restarts (a recompute), telling children their position
+	// is no longer meaningful. See hierarchy.go.
+	deltaLog []viewDelta
+	logStart int64
+	logGen   uint64
+
+	// parentPos/parentGen are a child view's consumed position in (and
+	// generation of) its parent's delta log.
+	parentPos int64
+	parentGen uint64
+
+	// baseRels are the base relations the view transitively depends on
+	// (equal to def.Relations for views over base relations).
+	baseRels []string
 
 	// plans retains the last executed operator tree per path ("query",
 	// "refresh", "populate"); guarded by Database.statsMu because query
@@ -282,6 +313,8 @@ func NewDatabase(opts Options) *Database {
 		rels:      map[string]*relation.Relation{},
 		hrs:       map[string]*hr.HR{},
 		views:     map[string]*viewState{},
+		children:  map[string][]string{},
+		heavy:     map[string]*hlTracker{},
 		breakdown: map[Phase]storage.Stats{},
 		inflight:  map[string]*refreshFlight{},
 	}
@@ -449,20 +482,36 @@ func (db *Database) HR(name string) (*hr.HR, bool) {
 // Deferred views wrap each of their base relations in a hypothetical
 // relation (creating it on first need). Mixing Immediate and Deferred
 // views over the same base relation is rejected: the two strategies
-// disagree about when the base files reflect pending changes.
+// disagree about when the base files reflect pending changes. A view
+// whose single source names another materialized view becomes a child
+// in a view hierarchy (see hierarchy.go).
 func (db *Database) CreateView(def Def, strategy Strategy) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.createViewLocked(def, strategy)
+}
+
+func (db *Database) createViewLocked(def Def, strategy Strategy) error {
 	if _, dup := db.views[def.Name]; dup {
-		return fmt.Errorf("core: view %q exists", def.Name)
+		return fmt.Errorf("%w: view %q exists", ErrDuplicateView, def.Name)
 	}
-	schemas := make([]*tuple.Schema, 0, len(def.Relations))
-	for _, rn := range def.Relations {
-		r, ok := db.rels[rn]
-		if !ok {
-			return fmt.Errorf("core: view %q references unknown relation %q", def.Name, rn)
+	parent, err := db.checkHierarchyLocked(def)
+	if err != nil {
+		return err
+	}
+	var schemas []*tuple.Schema
+	if parent != nil {
+		// A child view's single input schema is its parent's output.
+		schemas = []*tuple.Schema{parent.def.OutputSchema(parent.schemas)}
+	} else {
+		schemas = make([]*tuple.Schema, 0, len(def.Relations))
+		for _, rn := range def.Relations {
+			r, ok := db.rels[rn]
+			if !ok {
+				return fmt.Errorf("core: view %q references unknown relation %q", def.Name, rn)
+			}
+			schemas = append(schemas, r.Schema())
 		}
-		schemas = append(schemas, r.Schema())
 	}
 	if err := def.Validate(schemas); err != nil {
 		return err
@@ -472,19 +521,22 @@ func (db *Database) CreateView(def Def, strategy Strategy) error {
 	// strategy that reads or rewrites base files at its own cadence
 	// (immediate refresh, snapshot recompute, on-demand recompute).
 	// Query modification coexists: its read paths merge pending HR
-	// changes.
+	// changes. Children read their parent's materialization, not base
+	// files, so the conflict does not apply.
 	baseReader := func(s Strategy) bool {
 		return s == Immediate || s == Snapshot || s == RecomputeOnDemand
 	}
-	for _, rn := range def.Relations {
-		for _, other := range db.views {
-			if !dependsOn(other, rn) {
-				continue
-			}
-			if strategy == Deferred && baseReader(other.strategy) ||
-				baseReader(strategy) && other.strategy == Deferred {
-				return fmt.Errorf("core: relation %q cannot feed both a deferred view and a %s/%s view (%q, %q)",
-					rn, strategy, other.strategy, def.Name, other.def.Name)
+	if parent == nil {
+		for _, rn := range def.Relations {
+			for _, other := range db.views {
+				if !dependsOn(other, rn) {
+					continue
+				}
+				if strategy == Deferred && baseReader(other.strategy) ||
+					baseReader(strategy) && other.strategy == Deferred {
+					return fmt.Errorf("%w: relation %q cannot feed both a deferred view and a %s/%s view (%q, %q)",
+						ErrStrategyConflict, rn, strategy, other.strategy, def.Name, other.def.Name)
+				}
 			}
 		}
 	}
@@ -527,15 +579,17 @@ func (db *Database) CreateView(def Def, strategy Strategy) error {
 		// Screening is used by the differential strategies and by
 		// recompute-on-demand (whose whole point is the [Bune79]
 		// pre-execution analysis). Snapshot views refresh on a clock,
-		// so they place no locks and pay no screening.
-		if strategy != Snapshot {
+		// so they place no locks and pay no screening. Children are not
+		// screened: their delta source is the parent's log, not base
+		// writes.
+		if strategy != Snapshot && parent == nil {
 			for slot, rn := range def.Relations {
 				db.locks.Register(def.Name, rn, slot, db.rels[rn].KeyCol(), def.Pred, def.TargetColumns(slot))
 			}
 		}
 	}
 
-	if strategy == Deferred {
+	if strategy == Deferred && parent == nil {
 		for _, rn := range def.Relations {
 			if _, ok := db.hrs[rn]; !ok {
 				h, err := hr.New(db.disk, db.pool, db.rels[rn], db.hrConfig)
@@ -547,7 +601,15 @@ func (db *Database) CreateView(def Def, strategy Strategy) error {
 		}
 	}
 
+	vs.baseRels = db.baseRelsOfLocked(def)
+	if parent != nil {
+		// Start consuming the parent's log at its current tail: the
+		// populate above already reflects everything before it.
+		vs.parentPos = parent.logStart + int64(len(parent.deltaLog))
+		vs.parentGen = parent.logGen
+	}
 	db.views[def.Name] = vs
+	db.rebuildChildrenLocked()
 	// Catalog changes are checkpointed, not logged: every later WAL
 	// record replays over a snapshot that already knows this view.
 	return db.catalogCheckpointLocked()
@@ -611,6 +673,9 @@ func (db *Database) DropView(name string) error {
 	if !ok {
 		return fmt.Errorf("core: unknown view %q", name)
 	}
+	if kids := db.children[name]; len(kids) > 0 {
+		return fmt.Errorf("%w: %q has children %v", ErrHasChildren, name, kids)
+	}
 	db.locks.Unregister(name)
 	if vs.mat != nil {
 		db.disk.Remove(name + ".view.btree")
@@ -622,6 +687,7 @@ func (db *Database) DropView(name string) error {
 		db.disk.Remove(name + ".agg")
 	}
 	delete(db.views, name)
+	db.rebuildChildrenLocked()
 	return db.catalogCheckpointLocked()
 }
 
@@ -630,7 +696,7 @@ func (db *Database) DropView(name string) error {
 func (db *Database) populateView(vs *viewState) error {
 	switch vs.def.Kind {
 	case SelectProject:
-		filt := exec.NewFilter(db.execOpts(), vs.def.Name, db.baseSource(vs, 0), singlePred(vs), false)
+		filt := exec.NewFilter(db.execOpts(), vs.def.Name, db.sourceFor(vs, 0), singlePred(vs), false)
 		proj := db.projectSP(vs, filt)
 		return db.runPlan(vs, PlanPathPopulate, db.matInsert(vs, proj))
 	case Join:

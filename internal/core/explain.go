@@ -60,6 +60,45 @@ func (db *Database) profileViewLocked(view string, hints WorkloadHints) (costmod
 		p.FV = hints.QueryFraction
 	}
 
+	if parent := db.parentOf(vs); parent != nil {
+		// A hierarchy child's "base relation" is its parent's
+		// materialization: profile N, S and f from the parent's current
+		// rows and pages.
+		rows, err := db.parentRows(parent)
+		if err != nil {
+			return costmodel.Params{}, err
+		}
+		n := len(rows)
+		if n == 0 {
+			return costmodel.Params{}, fmt.Errorf("core: parent view %q is empty; nothing to profile", parent.def.Name)
+		}
+		p.N = float64(n)
+		var pages int
+		if parent.mat != nil {
+			pages = parent.mat.Pages()
+		} else if parent.groups != nil {
+			pages = parent.groups.rel.Pages()
+		}
+		p.S = float64(pages) * p.B / float64(n)
+		if p.S < 1 {
+			p.S = 1
+		}
+		matches := 0
+		for _, row := range rows {
+			if vs.def.Pred.EvalSingle(0, row.T0) {
+				matches++
+			}
+		}
+		p.F = float64(matches) / float64(n)
+		if p.F <= 0 {
+			p.F = 1 / float64(n)
+		}
+		if err := p.Validate(); err != nil {
+			return costmodel.Params{}, fmt.Errorf("core: profiled parameters invalid: %w", err)
+		}
+		return p, nil
+	}
+
 	r0 := db.rels[vs.def.Relations[0]]
 	n := r0.Len()
 	if n == 0 {

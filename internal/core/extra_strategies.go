@@ -114,27 +114,36 @@ func (db *Database) bulkWrite(fn func() error) error {
 // the "completely recomputed" cost profile of [Bune79].
 func (db *Database) recomputeView(vs *viewState) error {
 	defer func() { vs.refreshes++ }()
-	if vs.def.Kind == Aggregate {
+	switch vs.def.Kind {
+	case Aggregate:
 		if err := db.rebuildAggregate(vs); err != nil {
 			return err
 		}
-		vs.staleCommits = 0
-		vs.dirty = false
-		return nil
-	}
-	if vs.def.Kind == GroupedAggregate {
+	case GroupedAggregate:
 		if err := db.rebuildGroupAgg(vs); err != nil {
 			return err
 		}
-		vs.staleCommits = 0
-		vs.dirty = false
-		return nil
+	default:
+		if err := db.truncateMatView(vs); err != nil {
+			return err
+		}
+		if err := db.bulkWrite(func() error { return db.populateView(vs) }); err != nil {
+			return err
+		}
 	}
-	if err := db.truncateMatView(vs); err != nil {
-		return err
+	// A recompute restarts the view's delta-log history: children can no
+	// longer interpret positions in the old log, so bump the generation
+	// (they will recompute from the fresh copy on their next refresh).
+	if len(db.children[vs.def.Name]) > 0 || len(vs.deltaLog) > 0 {
+		vs.logGen++
+		vs.logStart += int64(len(vs.deltaLog))
+		vs.deltaLog = nil
 	}
-	if err := db.bulkWrite(func() error { return db.populateView(vs) }); err != nil {
-		return err
+	// A child's recompute read the parent's current rows, which covers
+	// everything logged so far.
+	if p := db.parentOf(vs); p != nil {
+		vs.parentPos = p.logStart + int64(len(p.deltaLog))
+		vs.parentGen = p.logGen
 	}
 	vs.staleCommits = 0
 	vs.dirty = false
@@ -162,7 +171,9 @@ func (db *Database) noteExtraStrategyCommit(marked map[string]map[int]*deltas, t
 	for _, vs := range db.views {
 		switch vs.strategy {
 		case Snapshot:
-			for _, rn := range vs.def.Relations {
+			// baseRels covers children too, whose Relations name a
+			// parent view rather than a base relation.
+			for _, rn := range vs.baseRels {
 				if touched[rn] {
 					vs.staleCommits++
 					break
@@ -171,6 +182,16 @@ func (db *Database) noteExtraStrategyCommit(marked map[string]map[int]*deltas, t
 		case RecomputeOnDemand:
 			if _, hit := marked[vs.def.Name]; hit {
 				vs.dirty = true
+			}
+			// Children place no screening locks, so they never appear in
+			// marked; any commit touching their base lineage dirties them.
+			if db.parentOf(vs) != nil {
+				for _, rn := range vs.baseRels {
+					if touched[rn] {
+						vs.dirty = true
+						break
+					}
+				}
 			}
 		}
 	}

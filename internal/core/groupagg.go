@@ -112,9 +112,30 @@ func (db *Database) refreshGroupAgg(vs *viewState, d *deltas) error {
 }
 
 // groupAggRefreshTree is the grouped-aggregate apply pipeline over an
-// arbitrary delta source (private DeltaSource or shared replay).
+// arbitrary delta source (private DeltaSource or shared replay). When
+// child views hang off this view, each group-row change is also logged
+// as a logical output delta — delete(old value), insert(new value) in
+// the view's (group, value) output schema — the stream children drain.
 func (db *Database) groupAggRefreshTree(vs *viewState, src exec.Operator) exec.Operator {
 	kind := vs.def.AggKind
+	logGroupDelta := func(group tuple.Value, oldV float64, oldOK bool, newV float64, newOK bool) {
+		if len(db.children[vs.def.Name]) == 0 {
+			return
+		}
+		if oldOK && newOK && oldV == newV {
+			return // child-visible row unchanged (e.g. duplicate MIN)
+		}
+		if oldOK {
+			vs.deltaLog = append(vs.deltaLog, viewDelta{
+				vals: []tuple.Value{group, tuple.F(oldV)}, insert: false,
+			})
+		}
+		if newOK {
+			vs.deltaLog = append(vs.deltaLog, viewDelta{
+				vals: []tuple.Value{group, tuple.F(newV)}, insert: true,
+			})
+		}
+	}
 	filt := exec.NewFilter(db.execOpts(), vs.def.Name, src, singlePred(vs), false)
 	apply := exec.NewDeltaApply(db.execOpts(), vs.def.Name+".groups", filt,
 		func(row exec.Row) error {
@@ -126,14 +147,22 @@ func (db *Database) groupAggRefreshTree(vs *viewState, src exec.Operator) exec.O
 			}
 			var s *agg.State
 			var oldRow *tuple.Tuple
+			var oldV float64
+			var oldOK bool
 			if found {
 				s = stateOf(kind, stored)
 				oldRow = &stored
+				oldV, oldOK = s.Value()
 			} else {
 				s = agg.NewState(kind)
 			}
 			s.Insert(tp.Vals[vs.def.AggCol].AsFloat())
-			return vs.groups.put(group, s, oldRow, db.nextID())
+			if err := vs.groups.put(group, s, oldRow, db.nextID()); err != nil {
+				return err
+			}
+			newV, newOK := s.Value()
+			logGroupDelta(group, oldV, oldOK, newV, newOK)
+			return nil
 		},
 		func(row exec.Row) error {
 			tp := row.T0
@@ -146,20 +175,26 @@ func (db *Database) groupAggRefreshTree(vs *viewState, src exec.Operator) exec.O
 				return fmt.Errorf("core: delete for unknown group %v in %q", group, vs.def.Name)
 			}
 			s := stateOf(kind, stored)
+			oldV, oldOK := s.Value()
 			if s.Delete(tp.Vals[vs.def.AggCol].AsFloat()) {
 				if err := db.recomputeGroup(vs, group, s); err != nil {
 					return err
 				}
 			}
-			return vs.groups.put(group, s, &stored, 0)
+			if err := vs.groups.put(group, s, &stored, 0); err != nil {
+				return err
+			}
+			newV, newOK := s.Value()
+			logGroupDelta(group, oldV, oldOK, newV, newOK)
+			return nil
 		})
 	return apply
 }
 
 // recomputeGroup rebuilds one group's state from the base relation (a
-// restricted, charged scan) after a MIN/MAX extreme deletion.
+// restricted, charged scan) — or, for a hierarchy child, from the
+// parent view's current rows — after a MIN/MAX extreme deletion.
 func (db *Database) recomputeGroup(vs *viewState, group tuple.Value, s *agg.State) error {
-	r := db.rels[vs.def.Relations[0]]
 	var vals []float64
 	consume := func(tp tuple.Tuple) {
 		db.meter.Screen(1)
@@ -167,6 +202,18 @@ func (db *Database) recomputeGroup(vs *viewState, group tuple.Value, s *agg.Stat
 			vals = append(vals, tp.Vals[vs.def.AggCol].AsFloat())
 		}
 	}
+	if p := db.parentOf(vs); p != nil {
+		rows, err := db.parentRows(p)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			consume(row.T0)
+		}
+		s.Rebuild(vals)
+		return nil
+	}
+	r := db.rels[vs.def.Relations[0]]
 	if r.Kind() == relation.ClusteredBTree {
 		rg, constrained := vs.def.Pred.IntervalFor(0, r.KeyCol())
 		var scanRg *pred.Range
@@ -211,23 +258,30 @@ func (db *Database) recomputeGroup(vs *viewState, group tuple.Value, s *agg.Stat
 func (db *Database) rebuildGroupAgg(vs *viewState) error {
 	name := vs.def.Name
 	db.disk.Remove(name + ".groups.btree")
-	r := db.rels[vs.def.Relations[0]]
-	groupTyp := r.Schema().Cols[vs.def.GroupBy].Type
+	// schemas[0] is the base relation's schema, or the parent view's
+	// output schema for hierarchy children.
+	groupTyp := vs.schemas[0].Cols[vs.def.GroupBy].Type
 	gs, err := newGroupStore(db.disk, db.pool, name, groupTyp)
 	if err != nil {
 		return err
 	}
 	vs.groups = gs
-	return db.bulkWrite(func() error { return db.fillGroupStore(vs, r) })
+	return db.bulkWrite(func() error { return db.fillGroupStore(vs) })
 }
 
-// fillGroupStore scans the base relation, folds every group's state,
-// and flushes the group rows into a fresh group store.
-func (db *Database) fillGroupStore(vs *viewState, r *relation.Relation) error {
+// fillGroupStore scans the source (base relation or parent view), folds
+// every group's state, and flushes the group rows into a fresh group
+// store.
+func (db *Database) fillGroupStore(vs *viewState) error {
 	gs := vs.groups
 	states := map[string]*agg.State{}
 	groups := map[string]tuple.Value{}
-	scan := exec.NewSeqScan(db.execOpts(), r)
+	var scan exec.Operator
+	if p := db.parentOf(vs); p != nil {
+		scan = db.parentScanOp(p)
+	} else {
+		scan = exec.NewSeqScan(db.execOpts(), db.rels[vs.def.Relations[0]])
+	}
 	filt := exec.NewFilter(db.execOpts(), vs.def.Name, scan, singlePred(vs), true)
 	fold := exec.NewAggFold(db.execOpts(), vs.def.Name+".groups", filt, exec.Fold{Row: func(row exec.Row) {
 		g := row.T0.Vals[vs.def.GroupBy]
@@ -301,9 +355,15 @@ func (db *Database) QueryGroups(name string, rg *pred.Range) ([]GroupRow, error)
 // siblings concatenated after it), screened per tuple, folded per
 // group.
 func (db *Database) groupsFromBase(vs *viewState, rg *pred.Range) ([]GroupRow, error) {
-	r := db.rels[vs.def.Relations[0]]
 	skip := map[uint64]bool{}
-	var source exec.Operator = exec.NewSeqScan(db.execOpts(), r)
+	var source exec.Operator
+	if p := db.parentOf(vs); p != nil {
+		// A QM child folds the parent's current rows; there is no HR to
+		// overlay (pending base changes surface via the parent).
+		source = db.parentScanOp(p)
+	} else {
+		source = exec.NewSeqScan(db.execOpts(), db.rels[vs.def.Relations[0]])
+	}
 	if h, ok := db.hrs[vs.def.Relations[0]]; ok && h.ADLen() > 0 {
 		pending := exec.NewFuncSource(db.execOpts(), fmt.Sprintf("PendingAD(%s)", vs.def.Relations[0]), func() ([]exec.Row, error) {
 			anet, dnet, err := h.NetChanges()

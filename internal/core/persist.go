@@ -55,7 +55,13 @@ func (db *Database) saveLocked(w io.Writer) error {
 			Meta:   r.Meta(),
 		})
 	}
-	for _, n := range db.viewNamesLocked() {
+	// Views are saved parents-before-children so Load can resolve a
+	// child's source schema against the already-restored parent.
+	viewNames := db.viewNamesLocked()
+	sort.SliceStable(viewNames, func(i, j int) bool {
+		return db.viewDepth(db.views[viewNames[i]]) < db.viewDepth(db.views[viewNames[j]])
+	})
+	for _, n := range viewNames {
 		vs := db.views[n]
 		dto := viewDTO{
 			Def:           defToDTO(vs.def),
@@ -66,6 +72,18 @@ func (db *Database) saveLocked(w io.Writer) error {
 			RefreshEvery:  vs.refreshEvery,
 			StaleCommits:  vs.staleCommits,
 			Dirty:         vs.dirty,
+			ParentPos:     vs.parentPos,
+			ParentGen:     vs.parentGen,
+			LogStart:      vs.logStart,
+			LogGen:        vs.logGen,
+			BaseRels:      append([]string(nil), vs.baseRels...),
+		}
+		for _, d := range vs.deltaLog {
+			vals := make([]valueDTO, len(d.vals))
+			for i, v := range d.vals {
+				vals[i] = valueToDTO(v)
+			}
+			dto.DeltaLog = append(dto.DeltaLog, viewDeltaDTO{Vals: vals, Insert: d.insert})
 		}
 		if vs.mat != nil {
 			m := vs.mat.rel.Meta()
@@ -80,6 +98,31 @@ func (db *Database) saveLocked(w io.Writer) error {
 			dto.AggPage = vs.aggPage
 		}
 		snap.Views = append(snap.Views, dto)
+	}
+	hlNames := make([]string, 0, len(db.heavy))
+	for n := range db.heavy {
+		hlNames = append(hlNames, n)
+	}
+	sort.Strings(hlNames)
+	for _, n := range hlNames {
+		t := db.heavy[n]
+		dto := hlDTO{
+			Rel:       n,
+			Threshold: t.threshold,
+			MinTotal:  t.minTotal,
+			Total:     t.total,
+			HeavyOps:  t.heavyOps,
+			LightOps:  t.lightOps,
+		}
+		keys := make([]string, 0, len(t.counts))
+		for k := range t.counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			dto.Counts = append(dto.Counts, hlCountDTO{Key: k, N: t.counts[k]})
+		}
+		snap.HeavyLight = append(snap.HeavyLight, dto)
 	}
 	hrNames := make([]string, 0, len(db.hrs))
 	for n := range db.hrs {
@@ -138,6 +181,8 @@ func Load(r io.Reader) (*Database, error) {
 		rels:      map[string]*relation.Relation{},
 		hrs:       map[string]*hr.HR{},
 		views:     map[string]*viewState{},
+		children:  map[string][]string{},
+		heavy:     map[string]*hlTracker{},
 		hrConfig:  snap.HRConfig,
 		breakdown: map[Phase]storage.Stats{},
 		inflight:  map[string]*refreshFlight{},
@@ -167,13 +212,22 @@ func Load(r io.Reader) (*Database, error) {
 		if err != nil {
 			return nil, err
 		}
+		// A source name resolves against the base relations first, then
+		// the already-loaded views (the save order is parents-first, so
+		// a child's parent is always present by now).
+		isChild := false
 		schemas := make([]*tuple.Schema, 0, len(def.Relations))
 		for _, rn := range def.Relations {
-			rel, ok := db.rels[rn]
-			if !ok {
+			if rel, ok := db.rels[rn]; ok {
+				schemas = append(schemas, rel.Schema())
+				continue
+			}
+			p, ok := db.views[rn]
+			if !ok || len(def.Relations) != 1 {
 				return nil, fmt.Errorf("%w: view %q references unknown relation %q", ErrSnapshotCorrupt, def.Name, rn)
 			}
-			schemas = append(schemas, rel.Schema())
+			isChild = true
+			schemas = append(schemas, p.def.OutputSchema(p.schemas))
 		}
 		vs := &viewState{
 			def:           def,
@@ -185,6 +239,17 @@ func Load(r io.Reader) (*Database, error) {
 			refreshEvery:  vd.RefreshEvery,
 			staleCommits:  vd.StaleCommits,
 			dirty:         vd.Dirty,
+			parentPos:     vd.ParentPos,
+			parentGen:     vd.ParentGen,
+			logStart:      vd.LogStart,
+			logGen:        vd.LogGen,
+		}
+		for _, dd := range vd.DeltaLog {
+			vals := make([]tuple.Value, len(dd.Vals))
+			for i, v := range dd.Vals {
+				vals[i] = valueFromDTO(v)
+			}
+			vs.deltaLog = append(vs.deltaLog, viewDelta{vals: vals, insert: dd.Insert})
 		}
 		if vd.MatMeta != nil {
 			mat, err := OpenMatView(disk, db.pool, def.Name, def.OutputSchema(schemas), def.ViewKeyCol, *vd.MatMeta)
@@ -214,12 +279,34 @@ func Load(r io.Reader) (*Database, error) {
 			}
 			vs.aggState = state
 		}
-		if vs.strategy != QueryModification && vs.strategy != Snapshot {
+		if vs.strategy != QueryModification && vs.strategy != Snapshot && !isChild {
 			for slot, rn := range def.Relations {
 				db.locks.Register(def.Name, rn, slot, db.rels[rn].KeyCol(), def.Pred, def.TargetColumns(slot))
 			}
 		}
+		if len(vd.BaseRels) > 0 {
+			vs.baseRels = vd.BaseRels
+		} else {
+			// Pre-hierarchy snapshots carry no lineage; derive it (for
+			// non-children this is just def.Relations).
+			vs.baseRels = db.baseRelsOfLocked(def)
+		}
 		db.views[def.Name] = vs
+	}
+	db.rebuildChildrenLocked()
+	for _, hd := range snap.HeavyLight {
+		t := &hlTracker{
+			threshold: hd.Threshold,
+			minTotal:  hd.MinTotal,
+			total:     hd.Total,
+			counts:    map[string]int64{},
+			heavyOps:  hd.HeavyOps,
+			lightOps:  hd.LightOps,
+		}
+		for _, c := range hd.Counts {
+			t.counts[c.Key] = c.N
+		}
+		db.heavy[hd.Rel] = t
 	}
 	db.ResetStats()
 	return db, nil
@@ -239,6 +326,7 @@ type dbSnapshot struct {
 	Relations  []relationDTO
 	Views      []viewDTO
 	HRs        []hrDTO
+	HeavyLight []hlDTO
 }
 
 type colDTO struct {
@@ -265,6 +353,32 @@ type viewDTO struct {
 	GroupMeta     *relation.Meta
 	HasAgg        bool
 	AggPage       storage.PageNum
+	ParentPos     int64
+	ParentGen     uint64
+	LogStart      int64
+	LogGen        uint64
+	DeltaLog      []viewDeltaDTO
+	BaseRels      []string
+}
+
+type viewDeltaDTO struct {
+	Vals   []valueDTO
+	Insert bool
+}
+
+type hlCountDTO struct {
+	Key string
+	N   int64
+}
+
+type hlDTO struct {
+	Rel       string
+	Threshold float64
+	MinTotal  int64
+	Total     int64
+	Counts    []hlCountDTO
+	HeavyOps  int64
+	LightOps  int64
 }
 
 type hrDTO struct {

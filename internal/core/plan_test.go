@@ -251,6 +251,37 @@ var planScenarios = []struct {
 		db := sharedFanoutScenario(t)
 		return db, "j1"
 	}},
+	{"hierarchy-child-drain", func(t *testing.T) (*Database, string) {
+		// A deferred child over a deferred parent drains the parent's
+		// in-memory delta log: its refresh plan reads a ViewDeltaScan
+		// — the delta-of-a-delta — instead of any base relation.
+		db := newSPDatabase(t, Deferred, 200)
+		if err := db.CreateView(childSPDef("c", "v", 12, 28), Deferred); err != nil {
+			t.Fatal(err)
+		}
+		db.ResetStats()
+		tx := db.Begin()
+		if _, err := tx.Insert("r", tuple.I(15), tuple.I(1), tuple.S("x")); err != nil {
+			t.Fatal(err)
+		}
+		tx.MustCommit()
+		if _, err := db.QueryView("c", nil); err != nil {
+			t.Fatal(err)
+		}
+		return db, "c"
+	}},
+	{"hierarchy-shared-child-leader", func(t *testing.T) (*Database, string) {
+		// Two deferred siblings drain one parent log position as a
+		// shared-delta group; the leader carries the SharedDelta build.
+		db := sharedChildScenario(t)
+		return db, "c0"
+	}},
+	{"hierarchy-shared-child-follower", func(t *testing.T) (*Database, string) {
+		// The sibling renders a zero-cost SharedDeltaRef naming the
+		// view the log replay was charged to.
+		db := sharedChildScenario(t)
+		return db, "c1"
+	}},
 	{"snapshot-sp", func(t *testing.T) (*Database, string) {
 		db := newSPDatabase(t, Snapshot, 200)
 		tx := db.Begin()
@@ -297,6 +328,30 @@ func sharedFanoutScenario(t *testing.T) *Database {
 	}
 	tx.MustCommit()
 	if _, err := db.QueryView("j0", nil); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// sharedChildScenario stales a deferred parent with two deferred
+// children over overlapping slices and refreshes the whole hierarchy,
+// so the siblings consume the parent's log as one shared group.
+func sharedChildScenario(t *testing.T) *Database {
+	t.Helper()
+	db := newSPDatabase(t, Deferred, 200)
+	if err := db.CreateView(childSPDef("c0", "v", 12, 28), Deferred); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateView(childSPDef("c1", "v", 15, 25), Deferred); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	tx := db.Begin()
+	if _, err := tx.Insert("r", tuple.I(16), tuple.I(1), tuple.S("x")); err != nil {
+		t.Fatal(err)
+	}
+	tx.MustCommit()
+	if err := db.RefreshAll(); err != nil {
 		t.Fatal(err)
 	}
 	return db

@@ -166,11 +166,35 @@ func (db *Database) projectSP(vs *viewState, input exec.Operator) exec.Operator 
 }
 
 // matApply is the materialized-store sink: polarity-routed duplicate
-// count maintenance.
+// count maintenance. When child views are defined over this view, each
+// successfully applied row is also appended to the view's delta log —
+// the higher-order delta stream children drain (hierarchy.go). Logged
+// after the apply so a failed write leaves no phantom log entry.
 func (db *Database) matApply(vs *viewState, input exec.Operator) exec.Operator {
+	logDelta := func(row exec.Row, insert bool) {
+		if len(db.children[vs.def.Name]) == 0 {
+			return
+		}
+		vs.deltaLog = append(vs.deltaLog, viewDelta{
+			vals:   append([]tuple.Value(nil), row.Vals...),
+			insert: insert,
+		})
+	}
 	return exec.NewDeltaApply(db.execOpts(), vs.def.Name, input,
-		func(row exec.Row) error { return vs.mat.InsertDelta(row.Vals, db.nextID()) },
-		func(row exec.Row) error { return vs.mat.DeleteDelta(row.Vals) })
+		func(row exec.Row) error {
+			if err := vs.mat.InsertDelta(row.Vals, db.nextID()); err != nil {
+				return err
+			}
+			logDelta(row, true)
+			return nil
+		},
+		func(row exec.Row) error {
+			if err := vs.mat.DeleteDelta(row.Vals); err != nil {
+				return err
+			}
+			logDelta(row, false)
+			return nil
+		})
 }
 
 // matInsert is the populate-time sink: scan rows carry no delta

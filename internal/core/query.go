@@ -311,6 +311,25 @@ func (db *Database) queryModified(vs *viewState, rg *pred.Range, plan QueryPlan)
 	if slot != 0 {
 		return nil, fmt.Errorf("core: view %q clusters on a non-slot-0 column", vs.def.Name)
 	}
+	if p := db.parentOf(vs); p != nil {
+		// A QM child rewrites onto its parent's materialization: scan
+		// the parent's current rows, screen against the child predicate
+		// and query range, project. Access-path plans are a base-file
+		// concept and do not apply.
+		filter := exec.NewFilter(db.execOpts(), vs.def.Name, db.parentScanOp(p),
+			exec.Pred{P: vs.def.Pred, Range: rg, RangeCol: col}, true)
+		root := db.projectSP(vs, filter)
+		node, delta, rows, err := db.runTree(root, true)
+		db.recordPlan(vs, PlanPathQuery, node, delta)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]ResultRow, 0, len(rows))
+		for _, row := range rows {
+			out = append(out, ResultRow{Vals: row.Vals})
+		}
+		return out, nil
+	}
 	r := db.rels[vs.def.Relations[0]]
 	if plan == PlanAuto {
 		switch {
@@ -463,7 +482,7 @@ func (db *Database) computeAggregateFromBase(vs *viewState) (float64, bool, erro
 	state := agg.NewState(vs.def.AggKind)
 	skipDeleted := map[uint64]bool{}
 
-	source := db.baseSource(vs, 0)
+	source := db.sourceFor(vs, 0)
 	if h, hasHR := db.hrs[vs.def.Relations[0]]; hasHR && h.ADLen() > 0 {
 		// Overlay un-folded HR changes so QM aggregates sharing a
 		// relation with deferred views stay correct: pending adds are

@@ -215,11 +215,12 @@ func (db *Database) aggRefreshTree(vs *viewState, src exec.Operator) exec.Operat
 }
 
 // rebuildAggregate recomputes the aggregate state from the (end-state)
-// base relation with a charged scan restricted to the predicate
+// source — the base relation, or the parent view's materialization for
+// hierarchy children — with a charged scan restricted to the predicate
 // interval, then persists it.
 func (db *Database) rebuildAggregate(vs *viewState) error {
 	var vals []float64
-	filt := exec.NewFilter(db.execOpts(), vs.def.Name, db.baseSource(vs, 0), singlePred(vs), true)
+	filt := exec.NewFilter(db.execOpts(), vs.def.Name, db.sourceFor(vs, 0), singlePred(vs), true)
 	fold := exec.NewAggFold(db.execOpts(), vs.def.Name, filt, exec.Fold{
 		Col: vs.def.AggCol,
 		Val: func(v float64, _ bool) { vals = append(vals, v) },

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"viewmat/internal/tuple"
 )
@@ -138,7 +139,11 @@ func (db *Database) applyOpsLocked(ops []txOp) error {
 		}
 	}
 
-	// Apply writes (PhaseCommitWrite).
+	// Apply writes (PhaseCommitWrite). The router sends hot keys of
+	// heavy-light-tracked relations straight to the base files; those
+	// tuples skip the AD file and refresh their deferred views eagerly
+	// below.
+	router := db.newHLRouter()
 	err := db.inPhase(PhaseCommitWrite, func() error {
 		for i := range ops {
 			op := &ops[i]
@@ -147,7 +152,12 @@ func (db *Database) applyOpsLocked(ops []txOp) error {
 			switch op.kind {
 			case opInsert:
 				tp := tuple.Tuple{ID: op.id, Vals: op.vals}
-				if h != nil {
+				if router.routeHeavy(op.rel, h, insertKey(r, op.vals)) {
+					if err := r.Insert(tp); err != nil {
+						return err
+					}
+					router.heavyIDs[tp.ID] = true
+				} else if h != nil {
 					if err := h.Append(tp); err != nil {
 						return err
 					}
@@ -159,7 +169,12 @@ func (db *Database) applyOpsLocked(ops []txOp) error {
 				var old tuple.Tuple
 				var ok bool
 				var err error
-				if h != nil {
+				if router.routeHeavy(op.rel, h, op.key) {
+					old, ok, err = r.Delete(op.key, op.id)
+					if err == nil && ok {
+						router.heavyIDs[old.ID] = true
+					}
+				} else if h != nil {
 					old, ok, err = h.Delete(op.key, op.id)
 				} else {
 					old, ok, err = r.Delete(op.key, op.id)
@@ -176,7 +191,14 @@ func (db *Database) applyOpsLocked(ops []txOp) error {
 				var old tuple.Tuple
 				var ok bool
 				var err error
-				if h != nil {
+				if router.routeHeavy(op.rel, h, op.key) {
+					old, ok, err = r.Delete(op.key, op.id)
+					if err == nil && ok {
+						err = r.Insert(newTp)
+						router.heavyIDs[old.ID] = true
+						router.heavyIDs[newTp.ID] = true
+					}
+				} else if h != nil {
 					old, ok, err = h.Update(op.key, op.id, newTp)
 				} else {
 					old, ok, err = r.Delete(op.key, op.id)
@@ -259,8 +281,50 @@ func (db *Database) applyOpsLocked(ops []txOp) error {
 		return err
 	}
 
+	// Heavy-routed writes already reached the base files; the deferred
+	// views they threaten refresh eagerly with just the heavy subset,
+	// leaving the light remainder pending in the AD file for the next
+	// deferred refresh.
+	if len(router.heavyIDs) > 0 {
+		err = db.inPhase(PhaseImmRefresh, func() error {
+			names := make([]string, 0, len(marked))
+			for name := range marked {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				vs := db.views[name]
+				if vs.strategy != Deferred {
+					continue
+				}
+				hs := heavySlots(marked[name], router.heavyIDs)
+				if len(hs) == 0 {
+					continue
+				}
+				var total int64
+				for _, d := range hs {
+					total += int64(len(d.adds) + len(d.dels))
+				}
+				db.meter.ADTouch(total)
+				if err := db.refreshView(vs, hs); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	// Deferred views with a periodic refresh policy (§4) refresh here.
-	return db.runPeriodicDeferredRefresh(touched)
+	if err := db.runPeriodicDeferredRefresh(touched); err != nil {
+		return err
+	}
+
+	// Immediate children of parents refreshed above consume the new
+	// log entries before the commit returns.
+	return db.cascadeImmediateChildrenLocked()
 }
 
 // addMarked files a marked tuple into the view's per-slot delta sets.

@@ -1,0 +1,48 @@
+package costmodel
+
+// Hierarchy refresh pricing: a child view defined over a materialized
+// parent can be maintained two ways. The drain path replays the
+// parent's pending delta-log rows through the child's differential
+// plan — each logged row is handled once on the way in and once at the
+// apply, all tuple work at C1 with no page I/O at the source (the log
+// lives in memory). The recompute path rebuilds the child from a full
+// scan of the parent's materialization — ParentPages page reads at C2
+// plus per-row handling at C1. As with the shared-delta estimate the
+// counts are coarse and only the sign matters: draining wins until the
+// pending log rivals the parent itself.
+
+// HierarchyDeltaEstimate sizes one child-view refresh decision.
+type HierarchyDeltaEstimate struct {
+	// DeltaRows is the parent's pending delta-log length (rows the
+	// child has not yet consumed).
+	DeltaRows int
+	// ParentRows and ParentPages size the parent's materialization —
+	// the recompute path's scan.
+	ParentRows  int
+	ParentPages float64
+	// Children scales both shapes when one decision covers a group of
+	// siblings draining the same log (≥1; zero is treated as one).
+	Children int
+}
+
+// Costs prices both shapes in milliseconds at the given unit costs.
+func (e HierarchyDeltaEstimate) Costs(p Params) (drain, recompute float64) {
+	k := float64(e.Children)
+	if k < 1 {
+		k = 1
+	}
+	drain = k * float64(e.DeltaRows) * 2 * p.C1
+	recompute = k * (e.ParentPages*p.C2 + float64(e.ParentRows)*p.C1)
+	return drain, recompute
+}
+
+// Drain reports whether replaying the pending log is estimated cheaper
+// than recomputing from the parent. An empty log always drains (a
+// no-op beats any scan).
+func (e HierarchyDeltaEstimate) Drain(p Params) bool {
+	if e.DeltaRows == 0 {
+		return true
+	}
+	drain, recompute := e.Costs(p)
+	return drain <= recompute
+}

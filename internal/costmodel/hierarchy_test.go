@@ -1,0 +1,49 @@
+package costmodel
+
+import "testing"
+
+// Drain cost must grow with the pending log and be independent of the
+// parent's size; recompute the reverse. The crossover should move in
+// the log's favor as the parent grows.
+func TestHierarchyEstimateMonotonic(t *testing.T) {
+	p := Default()
+
+	prev := -1.0
+	for _, d := range []int{0, 1, 10, 100, 1000} {
+		e := HierarchyDeltaEstimate{DeltaRows: d, ParentRows: 500, ParentPages: 50}
+		drain, recompute := e.Costs(p)
+		if drain <= prev && d > 0 {
+			t.Fatalf("drain cost not increasing in DeltaRows: %v at %d", drain, d)
+		}
+		prev = drain
+		if recompute != 500*p.C1+50*p.C2 {
+			t.Fatalf("recompute cost moved with DeltaRows: %v", recompute)
+		}
+	}
+
+	// Empty log always drains.
+	if !(HierarchyDeltaEstimate{DeltaRows: 0, ParentRows: 1, ParentPages: 1}).Drain(p) {
+		t.Fatal("empty log should drain")
+	}
+
+	// A tiny log against a large parent drains; a huge log against a
+	// tiny parent recomputes.
+	small := HierarchyDeltaEstimate{DeltaRows: 5, ParentRows: 10000, ParentPages: 1000}
+	if !small.Drain(p) {
+		t.Fatal("small log over large parent should drain")
+	}
+	big := HierarchyDeltaEstimate{DeltaRows: 100000, ParentRows: 10, ParentPages: 1}
+	if big.Drain(p) {
+		t.Fatal("huge log over tiny parent should recompute")
+	}
+
+	// Sibling count scales both shapes equally: the decision is
+	// invariant in Children.
+	for _, k := range []int{0, 1, 2, 5} {
+		e := small
+		e.Children = k
+		if !e.Drain(p) {
+			t.Fatalf("Children=%d flipped the drain decision", k)
+		}
+	}
+}

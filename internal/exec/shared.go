@@ -25,9 +25,10 @@ import (
 // can consume one shared materialization of it.
 type DeltaFingerprint struct {
 	// Kind is "delta" for a single-relation net-change stream
-	// (select-project and aggregate views) or "join" for the corrected
-	// two-relation delta expansion. The zero value marks an
-	// unshareable plan.
+	// (select-project and aggregate views), "join" for the corrected
+	// two-relation delta expansion, or "viewdelta" for a parent view's
+	// materialized delta log consumed by child views. The zero value
+	// marks an unshareable plan.
 	Kind string
 	// Rel1 is the updated relation; Rel2 the probed inner relation
 	// (join only).
@@ -44,6 +45,9 @@ func (fp DeltaFingerprint) Shareable() bool { return fp.Kind != "" }
 func (fp DeltaFingerprint) String() string {
 	if fp.Kind == "join" {
 		return fmt.Sprintf("join %s.%d=%s.%d", fp.Rel1, fp.Col1, fp.Rel2, fp.Col2)
+	}
+	if fp.Kind == "viewdelta" {
+		return fmt.Sprintf("viewdelta %s", fp.Rel1)
 	}
 	return fmt.Sprintf("delta %s", fp.Rel1)
 }

@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"fmt"
+
+	"viewmat/internal/vec"
+)
+
+// ViewDeltaScan replays a parent view's materialized delta log to one
+// child view's apply pipeline — the delta-of-delta source of DBToaster-
+// style higher-order maintenance: the parent's own differential refresh
+// produced (and was charged for) these rows, so replaying them to a
+// child charges nothing at the source; the child's screening and apply
+// costs accrue downstream, keeping the tree==meter invariant exact.
+//
+// Unlike DeltaSource (which emits all inserts then all deletes — fine
+// for net changes against a base relation), the parent's log must be
+// replayed in original order: a matview row inserted and then deleted
+// inside one refresh would underflow the child's duplicate counts if
+// the polarities were regrouped.
+type ViewDeltaScan struct {
+	base
+	parent string
+	pack   rowPacker
+}
+
+// NewViewDeltaScan builds an order-preserving replay source over the
+// parent view's logged delta rows.
+func NewViewDeltaScan(o Options, parent string, rows []Row) *ViewDeltaScan {
+	return &ViewDeltaScan{parent: parent, pack: rowPacker{rows: rows, size: o.size()}}
+}
+
+func (s *ViewDeltaScan) Open() error { s.pack.i = 0; return nil }
+
+func (s *ViewDeltaScan) NextBatch() (*vec.Batch, error) {
+	b := s.pack.next()
+	if b == nil {
+		return nil, nil
+	}
+	return s.emitBatch(b), nil
+}
+
+func (s *ViewDeltaScan) Close() error         { return nil }
+func (s *ViewDeltaScan) Children() []Operator { return nil }
+func (s *ViewDeltaScan) Stats() OpStats       { return s.stats() }
+func (s *ViewDeltaScan) Describe() string {
+	return fmt.Sprintf("ViewDeltaScan(%s rows=%d)", s.parent, len(s.pack.rows))
+}
