@@ -1,10 +1,16 @@
 package viewmat
 
 import (
+	"errors"
 	"fmt"
 
 	"viewmat/internal/costmodel"
 )
+
+// ErrUnknownViewKind is returned by Advise for a ViewKind outside the
+// paper's three models, matching the typed-error convention of the
+// DDL surface (ErrStrategyConflict, ErrHierarchyCycle, …).
+var ErrUnknownViewKind = errors.New("viewmat: unknown view kind")
 
 // Recommendation is the advisor's verdict for one view model: the
 // cheapest strategy under the analytic cost model, the full cost table,
@@ -33,7 +39,7 @@ func Advise(kind ViewKind, p Params) (Recommendation, error) {
 	case Aggregate:
 		costs = costmodel.Model3Costs(p)
 	default:
-		return Recommendation{}, fmt.Errorf("viewmat: unknown view kind %v", kind)
+		return Recommendation{}, fmt.Errorf("%w: %v", ErrUnknownViewKind, kind)
 	}
 	best, bestCost := costmodel.Best(costs)
 	rec := Recommendation{

@@ -1,0 +1,48 @@
+package viewmat_test
+
+import (
+	"errors"
+	"testing"
+
+	"viewmat"
+)
+
+func TestAdviseUnknownViewKind(t *testing.T) {
+	cases := []struct {
+		name    string
+		kind    viewmat.ViewKind
+		wantErr bool
+	}{
+		{"select-project", viewmat.SelectProject, false},
+		{"join", viewmat.Join, false},
+		{"aggregate", viewmat.Aggregate, false},
+		{"grouped-aggregate", viewmat.GroupedAggregate, true}, // no analytic model for the extension
+		{"out-of-range", viewmat.ViewKind(99), true},
+		{"negative", viewmat.ViewKind(-1), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, err := viewmat.Advise(tc.kind, viewmat.DefaultParams())
+			if tc.wantErr {
+				if !errors.Is(err, viewmat.ErrUnknownViewKind) {
+					t.Fatalf("Advise(%v) error = %v, want ErrUnknownViewKind", tc.kind, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Advise(%v): %v", tc.kind, err)
+			}
+			if rec.Best == "" || len(rec.Costs) == 0 {
+				t.Fatalf("Advise(%v) returned empty recommendation: %+v", tc.kind, rec)
+			}
+		})
+	}
+
+	// Invalid params must surface the validation error, not the
+	// unknown-kind one.
+	bad := viewmat.DefaultParams()
+	bad.N = 0
+	if _, err := viewmat.Advise(viewmat.SelectProject, bad); err == nil || errors.Is(err, viewmat.ErrUnknownViewKind) {
+		t.Fatalf("Advise with invalid params: err = %v, want validation error", err)
+	}
+}

@@ -49,15 +49,18 @@ func main() {
 	pageSize := flag.Int("page-size", 4000, "engine page size in bytes (fresh engines only)")
 	poolFrames := flag.Int("pool-frames", 256, "buffer-pool capacity in pages (fresh engines only)")
 	refreshWorkers := flag.Int("refresh-workers", 4, "RefreshAll worker pool bound")
+	adaptive := flag.Bool("adaptive", false, "enable the online adaptive strategy advisor")
+	adaptEvery := flag.Duration("adapt-every", 2*time.Second, "interval between advisor decision rounds (with -adaptive)")
+	storageBudget := flag.Int("storage-budget", 0, "page budget for materialized views under -adaptive (0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*addr, *walDir, *ckptEvery, *maxInflight, *pageSize, *poolFrames, *refreshWorkers); err != nil {
+	if err := run(*addr, *walDir, *ckptEvery, *maxInflight, *pageSize, *poolFrames, *refreshWorkers, *adaptive, *adaptEvery, *storageBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "viewmatd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, walDir string, ckptEvery, maxInflight, pageSize, poolFrames, refreshWorkers int) error {
+func run(addr, walDir string, ckptEvery, maxInflight, pageSize, poolFrames, refreshWorkers int, adaptive bool, adaptEvery time.Duration, storageBudget int) error {
 	var db *core.Database
 	if walDir == "" {
 		db = core.NewDatabase(core.Options{PageSize: pageSize, PoolFrames: poolFrames, MaxRefreshWorkers: refreshWorkers})
@@ -69,6 +72,33 @@ func run(addr, walDir string, ckptEvery, maxInflight, pageSize, poolFrames, refr
 			return err
 		}
 	}
+
+	stopAdapt := make(chan struct{})
+	if adaptive {
+		if err := db.EnableAdaptive(core.AdvisorOptions{StorageBudget: storageBudget}); err != nil {
+			return err
+		}
+		go func() {
+			tick := time.NewTicker(adaptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopAdapt:
+					return
+				case <-tick.C:
+					flips, err := db.AdaptTick()
+					if err != nil {
+						continue
+					}
+					for _, f := range flips {
+						fmt.Printf("advisor: %s %s -> %s (%s)\n", f.View, f.From, f.To, f.Reason)
+					}
+				}
+			}
+		}()
+		fmt.Printf("adaptive advisor on (tick %v, storage budget %d pages)\n", adaptEvery, storageBudget)
+	}
+	defer close(stopAdapt)
 
 	srv := server.New(db, server.Config{
 		Addr:        addr,

@@ -121,6 +121,13 @@ func (c *Client) CreateRelationHash(name string, schema *tuple.Schema, keyCol, b
 	return err
 }
 
+// CreateSecondaryIndex adds a secondary index on col of a base
+// relation.
+func (c *Client) CreateSecondaryIndex(rel string, col int) error {
+	_, err := c.call(&proto.Request{Op: proto.OpCreateSecondary, Name: rel, KeyCol: col})
+	return err
+}
+
 // CreateView registers a view with the given maintenance strategy.
 func (c *Client) CreateView(def core.Def, strategy core.Strategy) error {
 	dto := proto.DefToDTO(def)
@@ -191,6 +198,26 @@ func (c *Client) Health() (core.Health, error) {
 		return core.Health{}, errors.New("client: health response missing body")
 	}
 	return *resp.Health, nil
+}
+
+// AdvisorStats fetches the adaptive advisor's per-view state (nil
+// when the server's advisor is disabled).
+func (c *Client) AdvisorStats() ([]core.AdvisorViewStat, error) {
+	resp, err := c.call(&proto.Request{Op: proto.OpAdvisorStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Advisor, nil
+}
+
+// AdaptTick asks the server to run one adaptive advisor decision
+// round and returns the strategy flips it applied.
+func (c *Client) AdaptTick() ([]core.FlipReport, error) {
+	resp, err := c.call(&proto.Request{Op: proto.OpAdaptTick})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Flips, nil
 }
 
 // Tx buffers one transaction client-side; Commit ships it as a single

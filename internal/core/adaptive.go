@@ -1,0 +1,891 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"viewmat/internal/agg"
+	"viewmat/internal/costmodel"
+	"viewmat/internal/hr"
+	"viewmat/internal/relation"
+)
+
+// Online adaptive strategy selection. The paper's tables say which
+// maintenance strategy wins for given workload parameters; this file
+// closes the loop at runtime. A per-view observer folds each commit's
+// written/screened tuple counts and each query's retrieved fraction
+// into a costmodel.Estimator (exponential decay, so a workload phase
+// shift ages out instead of averaging away). AdaptTick re-runs the
+// model tables against the measured parameters and flips a view's
+// strategy when the predicted win clears a hysteresis threshold that
+// rises with recent flip activity (Markov-style replacement scoring —
+// a view that keeps flipping has to show a bigger win to flip again),
+// then runs a local-search pass that demotes materializations to
+// query modification while the view set exceeds the storage budget.
+//
+// Every flip happens under the engine write lock — between refresh
+// units and never inside a commit — and ends with a catalog
+// checkpoint, so a crash recovers to either the pre-flip or post-flip
+// catalog, never a hybrid.
+
+// Typed advisor errors.
+var (
+	// ErrAdaptiveDisabled is returned by AdaptTick when EnableAdaptive
+	// has not been called.
+	ErrAdaptiveDisabled = errors.New("core: adaptive advisor not enabled")
+	// ErrFlipUnsupported is returned for strategy flips the engine
+	// does not perform (grouped-aggregate views, unknown strategies).
+	ErrFlipUnsupported = errors.New("core: strategy flip unsupported")
+)
+
+// flipScoreDecay ages the per-view flip score once per AdaptTick;
+// ~0.84 per tick halves the score every four ticks, so a flip raises
+// the view's own hysteresis bar for the next few decisions and then
+// stops mattering.
+const flipScoreDecay = 0.84
+
+// AdvisorOptions tunes the adaptive advisor. The zero value selects
+// the documented defaults.
+type AdvisorOptions struct {
+	// Hysteresis is the minimum fractional predicted win — (current
+	// cost − best cost) / current cost — required to flip a view that
+	// has not flipped recently. Default 0.2.
+	Hysteresis float64
+	// FlipPenalty scales how much recent flips raise the bar: the
+	// effective threshold is Hysteresis·(1 + FlipPenalty·flipScore),
+	// where flipScore decays by flipScoreDecay per tick and gains 1
+	// per flip. Default 1.
+	FlipPenalty float64
+	// MinObservations is the decayed observation count a view needs
+	// before the advisor will consider it. Default 16.
+	MinObservations float64
+	// HalfLife is the estimator decay half-life in observed
+	// operations. Default costmodel.DefaultHalfLife.
+	HalfLife float64
+	// SnapshotEvery is the staleness budget (commits) configured —
+	// and priced — when the advisor flips a view to Snapshot.
+	// Default 16. Only meaningful with ExtendedStrategies.
+	SnapshotEvery int
+	// StorageBudget caps the total pages held by materialized views;
+	// 0 falls back to Options.StorageBudget (0 = unlimited). While
+	// the view set exceeds the budget, the local-search pass demotes
+	// the materialization with the least regret per page freed to
+	// query modification.
+	StorageBudget int
+	// ExtendedStrategies adds Snapshot and RecomputeOnDemand to the
+	// candidate set (priced at SnapshotEvery). Off, the advisor
+	// chooses among the paper's three strategies — the set the
+	// offline Advise oracle covers.
+	ExtendedStrategies bool
+}
+
+func (o AdvisorOptions) withDefaults() AdvisorOptions {
+	if o.Hysteresis <= 0 || math.IsNaN(o.Hysteresis) {
+		o.Hysteresis = 0.2
+	}
+	if o.FlipPenalty <= 0 || math.IsNaN(o.FlipPenalty) {
+		o.FlipPenalty = 1
+	}
+	if o.MinObservations <= 0 || math.IsNaN(o.MinObservations) {
+		o.MinObservations = 16
+	}
+	if o.HalfLife <= 0 || math.IsNaN(o.HalfLife) {
+		o.HalfLife = costmodel.DefaultHalfLife
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 16
+	}
+	if o.StorageBudget < 0 {
+		o.StorageBudget = 0
+	}
+	return o
+}
+
+// advisor is the engine's adaptive state: one estimator per observed
+// view. Its own mutex keeps the observe hooks cheap — query paths run
+// under the engine read lock, so they cannot mutate shared state
+// without it. Lock order is always db.mu → advisor.mu.
+type advisor struct {
+	mu    sync.Mutex
+	opts  AdvisorOptions
+	views map[string]*advView
+}
+
+type advView struct {
+	est    costmodel.Estimator
+	fCache float64 // best known view selectivity estimate
+
+	flipScore  float64 // decayed recent-flip count (hysteresis input)
+	flips      int
+	lastFrom   Strategy
+	lastTo     Strategy
+	lastReason string
+
+	// Last tick's decision inputs, for AdvisorStats.
+	lastParams costmodel.Params
+	lastCosts  map[string]float64
+	lastBest   string
+}
+
+func (a *advisor) view(name string) *advView {
+	av, ok := a.views[name]
+	if !ok {
+		av = &advView{est: costmodel.Estimator{HalfLife: a.opts.HalfLife}}
+		a.views[name] = av
+	}
+	return av
+}
+
+// EnableAdaptive turns on per-view workload observation. Flips happen
+// only when AdaptTick is called (the daemon runs it on a timer; tests
+// call it at chosen boundaries).
+func (db *Database) EnableAdaptive(opts AdvisorOptions) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.adv != nil {
+		return errors.New("core: adaptive advisor already enabled")
+	}
+	db.adv = &advisor{opts: opts.withDefaults(), views: map[string]*advView{}}
+	return nil
+}
+
+// DisableAdaptive stops observation and discards advisor state.
+func (db *Database) DisableAdaptive() {
+	db.mu.Lock()
+	db.adv = nil
+	db.mu.Unlock()
+}
+
+// AdaptiveEnabled reports whether the advisor is observing.
+func (db *Database) AdaptiveEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.adv != nil
+}
+
+// observeViewQuery records one query against a top-level view: the
+// fraction of the view it retrieved feeds the fv estimate. Called
+// under the engine read lock (write lock callers are also safe).
+func (db *Database) observeViewQuery(vs *viewState, rows int) {
+	adv := db.adv
+	if adv == nil || db.parentOf(vs) != nil {
+		return
+	}
+	frac := -1.0
+	if total := db.viewRowsEstimate(vs); total > 0 {
+		frac = float64(rows) / total
+	}
+	adv.mu.Lock()
+	adv.view(vs.def.Name).est.ObserveQuery(frac)
+	adv.mu.Unlock()
+}
+
+// viewRowsEstimate is the advisor's denominator for "fraction of the
+// view retrieved": exact for materialized views, estimated from the
+// cached selectivity otherwise. Unmetered by construction — it must
+// not distort the charges it is trying to measure.
+func (db *Database) viewRowsEstimate(vs *viewState) float64 {
+	switch {
+	case vs.def.Kind == Aggregate:
+		return 1
+	case vs.mat != nil:
+		return float64(vs.mat.DistinctRows())
+	}
+	r0, ok := db.rels[vs.def.Relations[0]]
+	if !ok || r0.Len() == 0 {
+		return 0
+	}
+	db.adv.mu.Lock()
+	f := db.adv.view(vs.def.Name).fCache
+	db.adv.mu.Unlock()
+	if f <= 0 {
+		return 0
+	}
+	return f * float64(r0.Len())
+}
+
+// observeCommitLocked records one committed transaction against every
+// top-level view whose relations it wrote: written-tuple counts feed
+// k and l, screen hits feed the live selectivity estimate. Called
+// from applyOpsLocked under the engine write lock.
+func (db *Database) observeCommitLocked(perRel map[string]*deltas, marked map[string]map[int]*deltas) {
+	if db.adv == nil {
+		return
+	}
+	db.adv.mu.Lock()
+	defer db.adv.mu.Unlock()
+	for name, vs := range db.views {
+		if db.parentOf(vs) != nil {
+			continue
+		}
+		written := 0
+		for _, rn := range vs.def.Relations {
+			if d, ok := perRel[rn]; ok {
+				written += len(d.adds) + len(d.dels)
+			}
+		}
+		if written == 0 {
+			continue
+		}
+		hits := 0
+		for _, d := range marked[name] {
+			hits += len(d.adds) + len(d.dels)
+		}
+		// Screening runs for the differential strategies and
+		// recompute-on-demand; QM and snapshot views place no locks,
+		// so their zero hit counts are absence of signal, not f≈0.
+		screened := vs.strategy != QueryModification && vs.strategy != Snapshot
+		db.adv.view(name).est.ObserveUpdate(float64(written), float64(hits), screened)
+	}
+}
+
+// isBaseReader mirrors createViewLocked's conflict rule: strategies
+// that read or rewrite base files at their own cadence cannot share a
+// relation with a deferred view.
+func isBaseReader(s Strategy) bool {
+	return s == Immediate || s == Snapshot || s == RecomputeOnDemand
+}
+
+// SetStrategy flips one view to a new maintenance strategy at a safe
+// boundary: it runs under the engine write lock, so it is serialized
+// against commits, refresh units and queries. The view is brought
+// current under its old strategy first, stored state is torn down or
+// built as needed, and the new catalog is checkpointed atomically.
+func (db *Database) SetStrategy(view string, to Strategy) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	vs, ok := db.views[view]
+	if !ok {
+		return fmt.Errorf("core: unknown view %q", view)
+	}
+	if vs.strategy == to {
+		return nil
+	}
+	if err := db.pool.EvictAll(); err != nil {
+		return err
+	}
+	if err := db.setStrategyLocked(vs, to); err != nil {
+		return err
+	}
+	return db.catalogCheckpointLocked()
+}
+
+func (db *Database) setStrategyLocked(vs *viewState, to Strategy) error {
+	from := vs.strategy
+	if from == to {
+		return nil
+	}
+	switch to {
+	case QueryModification, Immediate, Deferred, Snapshot, RecomputeOnDemand:
+	default:
+		return fmt.Errorf("%w: unknown strategy %d", ErrFlipUnsupported, int(to))
+	}
+	name := vs.def.Name
+	if vs.def.Kind == GroupedAggregate {
+		return fmt.Errorf("%w: grouped-aggregate view %q", ErrFlipUnsupported, name)
+	}
+	if to == QueryModification {
+		if kids := db.children[name]; len(kids) > 0 {
+			return fmt.Errorf("%w: %q has children %v (they read its materialization)", ErrHasChildren, name, kids)
+		}
+	}
+	parent := db.parentOf(vs)
+	if parent == nil {
+		// Same conflict rule as CreateView, with this view excluded:
+		// the flip must not leave a relation feeding both a deferred
+		// view and a base-reading one.
+		for _, rn := range vs.def.Relations {
+			for _, other := range db.views {
+				if other == vs || !dependsOn(other, rn) || db.parentOf(other) != nil {
+					continue
+				}
+				if to == Deferred && isBaseReader(other.strategy) ||
+					isBaseReader(to) && other.strategy == Deferred {
+					return fmt.Errorf("%w: relation %q cannot feed both a deferred view and a %s/%s view (%q, %q)",
+						ErrStrategyConflict, rn, to, other.strategy, name, other.def.Name)
+				}
+			}
+		}
+	}
+
+	// 1. Bring the world current under the old strategy, so the flip
+	// is a pure representation change. For base-relation views that
+	// means folding any pending AD changes into the base files (the
+	// deferred cycle rooted at whichever deferred view shares them);
+	// for children it means draining the parent chain. Snapshot and
+	// on-demand views additionally recompute if stale — their
+	// materialization may predate folds that already happened.
+	if parent == nil {
+		if err := db.foldRelationsForQM(vs.def.Relations); err != nil {
+			return err
+		}
+	} else if db.viewStale(vs) {
+		if err := db.refreshStaleLocked(vs); err != nil {
+			return err
+		}
+	}
+	if (from == Snapshot || from == RecomputeOnDemand) &&
+		(vs.staleCommits > 0 || vs.dirty || db.childPending(vs)) {
+		if err := db.inPhase(PhaseDefRefresh, func() error { return db.recomputeView(vs) }); err != nil {
+			return err
+		}
+	}
+
+	// 2. Tear down or build the stored representation.
+	if from != QueryModification && to == QueryModification {
+		switch vs.def.Kind {
+		case Aggregate:
+			if vs.aggFile != nil {
+				db.disk.Remove(name + ".agg")
+			}
+			vs.aggState, vs.aggFile, vs.aggPage = nil, nil, 0
+		default:
+			if vs.mat != nil {
+				db.disk.Remove(name + ".view.btree")
+			}
+			vs.mat = nil
+		}
+		// No children (rejected above), so the delta log has no
+		// consumers; restart it cleanly for any future child.
+		vs.logStart += int64(len(vs.deltaLog))
+		vs.deltaLog = nil
+	}
+	if from == QueryModification && to != QueryModification {
+		switch vs.def.Kind {
+		case Aggregate:
+			vs.aggState = agg.NewState(vs.def.AggKind)
+			vs.aggFile = db.disk.Open(name + ".agg")
+			fr, err := db.pool.Alloc(vs.aggFile)
+			if err != nil {
+				return err
+			}
+			vs.aggPage = fr.PageNum()
+			writeAggPage(fr, vs.aggState)
+			if err := db.pool.Release(fr); err != nil {
+				return err
+			}
+			if err := db.rebuildAggregate(vs); err != nil {
+				return err
+			}
+		default:
+			mat, err := NewMatView(db.disk, db.pool, name, vs.def.OutputSchema(vs.schemas), vs.def.ViewKeyCol)
+			if err != nil {
+				return err
+			}
+			vs.mat = mat
+			if err := db.bulkWrite(func() error { return db.populateView(vs) }); err != nil {
+				return err
+			}
+		}
+		if parent != nil {
+			// The populate read the parent's current rows, which
+			// covers everything logged so far.
+			vs.parentPos = parent.logStart + int64(len(parent.deltaLog))
+			vs.parentGen = parent.logGen
+		}
+	}
+
+	// 3. Re-register screening locks for the new strategy (same rule
+	// as CreateView: differential strategies and recompute-on-demand,
+	// top-level views only).
+	if parent == nil {
+		db.locks.Unregister(name)
+		if to != QueryModification && to != Snapshot {
+			for slot, rn := range vs.def.Relations {
+				db.locks.Register(name, rn, slot, db.rels[rn].KeyCol(), vs.def.Pred, vs.def.TargetColumns(slot))
+			}
+		}
+	}
+
+	// 4. Hypothetical relations: a view becoming deferred needs its
+	// relations wrapped; a view leaving deferred retires any HR no
+	// other deferred view still needs, so writes route to base files
+	// again. The fold in step 1 emptied the AD files.
+	if to == Deferred && parent == nil {
+		for _, rn := range vs.def.Relations {
+			if _, ok := db.hrs[rn]; !ok {
+				h, err := hr.New(db.disk, db.pool, db.rels[rn], db.hrConfig)
+				if err != nil {
+					return err
+				}
+				db.hrs[rn] = h
+			}
+		}
+	}
+	if from == Deferred && parent == nil {
+		for _, rn := range vs.def.Relations {
+			if _, ok := db.hrs[rn]; !ok {
+				continue
+			}
+			needed := false
+			for _, other := range db.views {
+				if other != vs && other.strategy == Deferred && db.parentOf(other) == nil && dependsOn(other, rn) {
+					needed = true
+					break
+				}
+			}
+			if !needed {
+				delete(db.hrs, rn)
+				db.disk.Remove(rn + ".ad")
+			}
+		}
+	}
+
+	vs.strategy = to
+	vs.staleCommits = 0
+	vs.dirty = false
+	return nil
+}
+
+// FlipReport describes one strategy flip AdaptTick applied.
+type FlipReport struct {
+	View string
+	From string
+	To   string
+	// PredictedGain is the fractional per-period cost win the model
+	// predicted: (cost under From − cost under To) / cost under From.
+	PredictedGain float64
+	Reason string
+}
+
+// AdvisorViewStat is one view's advisor state, for observability.
+type AdvisorViewStat struct {
+	View         string
+	Strategy     string
+	Observations float64
+	Flips        int
+	FlipScore    float64
+	LastFrom     string
+	LastTo       string
+	LastReason   string
+	// Params are the measured parameters of the last tick that
+	// considered the view; Costs the per-strategy model costs derived
+	// from them; Best the model's unconstrained winner.
+	Params costmodel.Params
+	Costs  map[string]float64
+	Best   string
+}
+
+// strategyOrder fixes candidate iteration so ties break
+// deterministically.
+var strategyOrder = []Strategy{QueryModification, Immediate, Deferred, Snapshot, RecomputeOnDemand}
+
+// AdaptTick runs one advisor decision round: re-derive each observed
+// view's measured parameters, price every strategy, flip views whose
+// predicted win clears the hysteresis threshold, then demote
+// materializations while the view set exceeds the storage budget.
+// Runs entirely under the engine write lock — a safe flip boundary by
+// construction.
+func (db *Database) AdaptTick() ([]FlipReport, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.adv == nil {
+		return nil, ErrAdaptiveDisabled
+	}
+	opts := db.adv.opts
+
+	type candidate struct {
+		vs       *viewState
+		av       *advView
+		params   costmodel.Params
+		costs    map[Strategy]float64
+		assigned Strategy
+	}
+	var cands []*candidate
+	fixedPages := 0.0
+	db.adv.mu.Lock()
+	for _, name := range db.viewNamesLocked() {
+		vs := db.views[name]
+		if db.parentOf(vs) != nil {
+			continue
+		}
+		av := db.adv.view(name)
+		av.flipScore *= flipScoreDecay
+		eligible := vs.def.Kind != GroupedAggregate && av.est.Observations() >= opts.MinObservations
+		var p costmodel.Params
+		if eligible {
+			var err error
+			p, err = db.measuredParamsLocked(vs, av)
+			eligible = err == nil
+		}
+		if !eligible {
+			fixedPages += db.viewPagesLocked(vs, vs.strategy, costmodel.Params{})
+			continue
+		}
+		costs := db.strategyCostsLocked(vs, p, opts)
+		av.lastParams = p
+		av.lastCosts = make(map[string]float64, len(costs))
+		bestS, bestC := vs.strategy, math.Inf(1)
+		for _, s := range strategyOrder {
+			c, ok := costs[s]
+			if !ok {
+				continue
+			}
+			av.lastCosts[s.String()] = c
+			if c < bestC {
+				bestS, bestC = s, c
+			}
+		}
+		av.lastBest = bestS.String()
+		cands = append(cands, &candidate{vs: vs, av: av, params: p, costs: costs, assigned: vs.strategy})
+	}
+	db.adv.mu.Unlock()
+
+	// Per-view hysteresis decision: adopt the model's winner only when
+	// the predicted fractional win clears the flip-scored threshold.
+	for _, c := range cands {
+		cur, haveCur := c.costs[c.vs.strategy]
+		bestS, bestC := c.vs.strategy, math.Inf(1)
+		if haveCur {
+			bestC = cur
+		}
+		for _, s := range strategyOrder {
+			cost, ok := c.costs[s]
+			if !ok || s == bestS || !db.flipAllowedLocked(c.vs, s) {
+				continue
+			}
+			if cost < bestC {
+				bestS, bestC = s, cost
+			}
+		}
+		if bestS == c.vs.strategy {
+			continue
+		}
+		threshold := opts.Hysteresis * (1 + opts.FlipPenalty*c.av.flipScore)
+		if haveCur && cur > 0 && (cur-bestC)/cur <= threshold {
+			continue
+		}
+		c.assigned = bestS
+	}
+
+	// Budgeted local search (storage-constrained selection): while the
+	// assignment exceeds the page budget, demote the materialization
+	// with the least regret per page freed to query modification.
+	budget := opts.StorageBudget
+	if budget == 0 {
+		budget = db.storageBudget
+	}
+	if budget > 0 {
+		for {
+			total := fixedPages
+			for _, c := range cands {
+				total += db.viewPagesLocked(c.vs, c.assigned, c.params)
+			}
+			if total <= float64(budget) {
+				break
+			}
+			var pick *candidate
+			pickRegret := math.Inf(1)
+			for _, c := range cands {
+				if c.assigned == QueryModification || !db.flipAllowedLocked(c.vs, QueryModification) {
+					continue
+				}
+				pages := db.viewPagesLocked(c.vs, c.assigned, c.params)
+				if pages <= 0 {
+					continue
+				}
+				regret := (c.costs[QueryModification] - c.costs[c.assigned]) / pages
+				if regret < pickRegret {
+					pick, pickRegret = c, regret
+				}
+			}
+			if pick == nil {
+				break // nothing left to demote; budget unsatisfiable
+			}
+			pick.assigned = QueryModification
+		}
+	}
+
+	var reports []FlipReport
+	evicted := false
+	for _, c := range cands {
+		from := c.vs.strategy
+		if c.assigned == from {
+			continue
+		}
+		if !evicted {
+			if err := db.pool.EvictAll(); err != nil {
+				return reports, err
+			}
+			evicted = true
+		}
+		if err := db.setStrategyLocked(c.vs, c.assigned); err != nil {
+			// A flip earlier in this tick can invalidate a later one
+			// (conflict rule); skip it, the next tick re-decides.
+			if errors.Is(err, ErrStrategyConflict) || errors.Is(err, ErrHasChildren) || errors.Is(err, ErrFlipUnsupported) {
+				continue
+			}
+			return reports, err
+		}
+		if c.assigned == Snapshot && c.vs.snapshotEvery == 0 {
+			c.vs.snapshotEvery = opts.SnapshotEvery
+		}
+		gain := 0.0
+		if cur, ok := c.costs[from]; ok && cur > 0 {
+			gain = (cur - c.costs[c.assigned]) / cur
+		}
+		reason := fmt.Sprintf("model cost %.1f→%.1f per period (k=%.1f q=%.1f l=%.1f f=%.3f fv=%.3f)",
+			c.costs[from], c.costs[c.assigned], c.params.K, c.params.Q, c.params.L, c.params.F, c.params.FV)
+		db.adv.mu.Lock()
+		c.av.flipScore++
+		c.av.flips++
+		c.av.lastFrom, c.av.lastTo, c.av.lastReason = from, c.assigned, reason
+		db.adv.mu.Unlock()
+		reports = append(reports, FlipReport{
+			View: c.vs.def.Name, From: from.String(), To: c.assigned.String(),
+			PredictedGain: gain, Reason: reason,
+		})
+	}
+	if len(reports) > 0 {
+		if err := db.catalogCheckpointLocked(); err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}
+
+// flipAllowedLocked reports whether flipping vs to the given strategy
+// would violate a structural rule (children needing a
+// materialization, the deferred/base-reader conflict).
+func (db *Database) flipAllowedLocked(vs *viewState, to Strategy) bool {
+	if to == vs.strategy {
+		return true
+	}
+	if to == QueryModification && len(db.children[vs.def.Name]) > 0 {
+		return false
+	}
+	for _, rn := range vs.def.Relations {
+		for _, other := range db.views {
+			if other == vs || db.parentOf(other) != nil || !dependsOn(other, rn) {
+				continue
+			}
+			if to == Deferred && isBaseReader(other.strategy) ||
+				isBaseReader(to) && other.strategy == Deferred {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// measuredParamsLocked derives a full parameter set for one view:
+// structural parameters (N, S, B, fR2) read unmetered from the live
+// catalog, workload parameters (k, q, l, fv, and f when screening
+// observed it) overlaid from the estimator. The result always passes
+// Validate — the estimator clamps into the model's domain.
+func (db *Database) measuredParamsLocked(vs *viewState, av *advView) (costmodel.Params, error) {
+	p := costmodel.Default()
+	p.B = float64(db.disk.PageSize())
+	r0, ok := db.rels[vs.def.Relations[0]]
+	if !ok || r0.Len() == 0 {
+		return p, fmt.Errorf("core: view %q has no base data to measure", vs.def.Name)
+	}
+	p.N = float64(r0.Len())
+	pages := r0.Pages()
+	if pages < 1 {
+		pages = 1
+	}
+	p.S = float64(pages) * p.B / p.N
+	if p.S < 1 {
+		p.S = 1
+	}
+	if vs.def.Kind == Join && len(vs.def.Relations) > 1 {
+		if r2, ok := db.rels[vs.def.Relations[1]]; ok && r2.Len() > 0 {
+			fr2 := float64(r2.Len()) / p.N
+			if fr2 > 1 {
+				fr2 = 1
+			}
+			p.FR2 = fr2
+		}
+	}
+	p = av.est.Apply(p)
+
+	// Selectivity, best source first: the materialization's exact row
+	// count, the screen-hit rate, then a one-time profiled scan
+	// (cached — the advisor never rescans a query-modification view).
+	switch {
+	case vs.mat != nil:
+		av.fCache = clampSelectivity(float64(vs.mat.DistinctRows())/p.N, p.N)
+	default:
+		if f, ok := av.est.ScreenedSelectivity(); ok {
+			av.fCache = clampSelectivity(f, p.N)
+		} else if av.fCache == 0 {
+			if prof, err := db.profileViewLocked(vs.def.Name, WorkloadHints{}); err == nil {
+				av.fCache = clampSelectivity(prof.F, p.N)
+			}
+		}
+	}
+	if av.fCache > 0 {
+		p.F = av.fCache
+	}
+	return p, p.Validate()
+}
+
+// clampSelectivity clamps f into [1/N, 1].
+func clampSelectivity(f, n float64) float64 {
+	lo := 1.0 / n
+	if math.IsNaN(f) || f < lo {
+		return lo
+	}
+	return math.Min(f, 1)
+}
+
+// strategyCostsLocked prices every candidate strategy for one view
+// from measured parameters: the model table matching the view's kind,
+// each strategy taking its cheapest algorithm variant.
+func (db *Database) strategyCostsLocked(vs *viewState, p costmodel.Params, opts AdvisorOptions) map[Strategy]float64 {
+	model := 1
+	switch vs.def.Kind {
+	case Join:
+		model = 2
+	case Aggregate:
+		model = 3
+	}
+	var table map[costmodel.Algorithm]float64
+	if opts.ExtendedStrategies {
+		table = costmodel.CostsFor(model, p, float64(opts.SnapshotEvery))
+	} else {
+		switch model {
+		case 2:
+			table = costmodel.Model2Costs(p)
+		case 3:
+			table = costmodel.Model3Costs(p)
+		default:
+			table = costmodel.Model1Costs(p)
+		}
+	}
+	qmAlg := db.qmAlgLocked(vs)
+	out := make(map[Strategy]float64, len(table))
+	for alg, c := range table {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			continue
+		}
+		s := strategyForAlg(alg)
+		// The tables price every QM access path; the engine only has
+		// the one the physical design admits. Pricing QM at the
+		// cheapest hypothetical path (usually clustered) would make
+		// it unbeatable on paper while the real plan fetches through
+		// a secondary index or scans sequentially.
+		if s == QueryModification && alg != qmAlg {
+			continue
+		}
+		if cur, ok := out[s]; !ok || c < cur {
+			out[s] = c
+		}
+	}
+	return out
+}
+
+// qmAlgLocked returns the query-modification algorithm the engine
+// would actually run for this view — the same physical-design
+// dispatch as queryModified's PlanAuto.
+func (db *Database) qmAlgLocked(vs *viewState) costmodel.Algorithm {
+	switch vs.def.Kind {
+	case Join:
+		return costmodel.AlgLoopJoin
+	case Aggregate:
+		return costmodel.AlgClustered
+	}
+	slot, col := vs.keySource()
+	if slot != 0 {
+		return costmodel.AlgSequential
+	}
+	r, ok := db.rels[vs.def.Relations[0]]
+	if !ok {
+		return costmodel.AlgSequential
+	}
+	switch {
+	case r.Kind() == relation.ClusteredBTree && r.KeyCol() == col:
+		return costmodel.AlgClustered
+	case r.HasSecondary(col):
+		return costmodel.AlgUnclustered
+	default:
+		return costmodel.AlgSequential
+	}
+}
+
+// strategyForAlg maps a cost-table algorithm to the engine strategy
+// that implements it (the QM variants — clustered, unclustered,
+// sequential, loopjoin — all collapse to QueryModification).
+func strategyForAlg(a costmodel.Algorithm) Strategy {
+	switch a {
+	case costmodel.AlgImmediate:
+		return Immediate
+	case costmodel.AlgDeferred:
+		return Deferred
+	case costmodel.AlgSnapshot:
+		return Snapshot
+	case costmodel.AlgRecomputeOnDemand:
+		return RecomputeOnDemand
+	default:
+		return QueryModification
+	}
+}
+
+// viewPagesLocked is the storage charge of one view under a strategy:
+// zero for query modification, one page for a scalar aggregate, the
+// materialization's actual page count when it exists, and the model
+// estimate f·N·S/B otherwise.
+func (db *Database) viewPagesLocked(vs *viewState, s Strategy, p costmodel.Params) float64 {
+	if s == QueryModification {
+		return 0
+	}
+	switch vs.def.Kind {
+	case Aggregate:
+		return 1
+	case GroupedAggregate:
+		if vs.groups != nil {
+			return float64(vs.groups.rel.Pages())
+		}
+		return 1
+	}
+	if vs.mat != nil {
+		return float64(vs.mat.Pages())
+	}
+	if p.N == 0 || p.B == 0 {
+		return 1
+	}
+	return math.Ceil(p.F * p.N * p.S / p.B)
+}
+
+// AdvisorStats reports per-view advisor state: observation counts,
+// flip history, and the last tick's measured parameters and costs.
+// Returns nil when the advisor is disabled.
+func (db *Database) AdvisorStats() []AdvisorViewStat {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.adv == nil {
+		return nil
+	}
+	db.adv.mu.Lock()
+	defer db.adv.mu.Unlock()
+	out := make([]AdvisorViewStat, 0, len(db.views))
+	for _, name := range db.viewNamesLocked() {
+		vs := db.views[name]
+		av := db.adv.view(name)
+		st := AdvisorViewStat{
+			View:         name,
+			Strategy:     vs.strategy.String(),
+			Observations: av.est.Observations(),
+			Flips:        av.flips,
+			FlipScore:    av.flipScore,
+			LastReason:   av.lastReason,
+			Params:       av.lastParams,
+			Best:         av.lastBest,
+		}
+		if av.flips > 0 {
+			st.LastFrom = av.lastFrom.String()
+			st.LastTo = av.lastTo.String()
+		}
+		if len(av.lastCosts) > 0 {
+			st.Costs = make(map[string]float64, len(av.lastCosts))
+			for k, v := range av.lastCosts {
+				st.Costs[k] = v
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

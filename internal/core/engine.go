@@ -141,6 +141,16 @@ type Database struct {
 	flightLeaders atomic.Int64
 	flightWaiters atomic.Int64
 
+	// adv, when non-nil, is the online adaptive advisor (adaptive.go).
+	// The pointer is written under mu; the estimator state behind it
+	// is guarded by its own mutex so read-locked query paths can
+	// observe.
+	adv *advisor
+
+	// storageBudget is the default page budget for the advisor's
+	// local-search pass (0 = unlimited); fixed at construction.
+	storageBudget int
+
 	// Queries and Commits count operations for averaging; guarded by
 	// statsMu while operations are in flight.
 	Queries int
@@ -298,6 +308,10 @@ type Options struct {
 	// decodes straight into executor batches and lets sequential scans
 	// prune pages via zone maps.
 	PageLayout storage.PageLayout
+	// StorageBudget caps the total pages materialized views may hold,
+	// enforced by the adaptive advisor's local-search pass (see
+	// EnableAdaptive); 0 = unlimited. Static engines ignore it.
+	StorageBudget int
 }
 
 // NewDatabase creates an empty engine.
@@ -322,6 +336,7 @@ func NewDatabase(opts Options) *Database {
 	db.maxRefreshWorkers = opts.MaxRefreshWorkers
 	db.shareDeltas = opts.ShareDeltas
 	db.batchSize = opts.BatchSize
+	db.storageBudget = opts.StorageBudget
 	disk.SetIOLatency(opts.SimulatedIOLatency)
 	disk.SetPageLayout(opts.PageLayout)
 	return db
@@ -460,6 +475,22 @@ func (db *Database) CreateRelationHash(name string, schema *tuple.Schema, keyCol
 	}
 	db.rels[name] = r
 	return r, db.catalogCheckpointLocked()
+}
+
+// CreateSecondaryIndex adds a secondary index on col of a base
+// relation. Existing tuples are indexed immediately; the index
+// persists through checkpoints like the rest of the physical design.
+func (db *Database) CreateSecondaryIndex(rel string, col int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	r, ok := db.rels[rel]
+	if !ok {
+		return fmt.Errorf("core: unknown relation %q", rel)
+	}
+	if err := r.AddSecondary(col); err != nil {
+		return err
+	}
+	return db.catalogCheckpointLocked()
 }
 
 // Relation returns a base relation by name.

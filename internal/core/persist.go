@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"viewmat/internal/agg"
+	"viewmat/internal/costmodel"
 	"viewmat/internal/hr"
 	"viewmat/internal/pred"
 	"viewmat/internal/relation"
@@ -131,6 +132,38 @@ func (db *Database) saveLocked(w io.Writer) error {
 	sort.Strings(hrNames)
 	for _, n := range hrNames {
 		snap.HRs = append(snap.HRs, hrDTO{Relation: n, ADMeta: db.hrs[n].ADMeta()})
+	}
+	if db.adv != nil {
+		db.adv.mu.Lock()
+		adto := &advisorDTO{
+			Hysteresis:         db.adv.opts.Hysteresis,
+			FlipPenalty:        db.adv.opts.FlipPenalty,
+			MinObservations:    db.adv.opts.MinObservations,
+			HalfLife:           db.adv.opts.HalfLife,
+			SnapshotEvery:      db.adv.opts.SnapshotEvery,
+			StorageBudget:      db.adv.opts.StorageBudget,
+			ExtendedStrategies: db.adv.opts.ExtendedStrategies,
+		}
+		avNames := make([]string, 0, len(db.adv.views))
+		for n := range db.adv.views {
+			avNames = append(avNames, n)
+		}
+		sort.Strings(avNames)
+		for _, n := range avNames {
+			av := db.adv.views[n]
+			adto.Views = append(adto.Views, advViewDTO{
+				Name:       n,
+				Est:        av.est.Snapshot(),
+				FCache:     av.fCache,
+				FlipScore:  av.flipScore,
+				Flips:      av.flips,
+				LastFrom:   int(av.lastFrom),
+				LastTo:     int(av.lastTo),
+				LastReason: av.lastReason,
+			})
+		}
+		db.adv.mu.Unlock()
+		snap.Advisor = adto
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -308,6 +341,35 @@ func Load(r io.Reader) (*Database, error) {
 		}
 		db.heavy[hd.Rel] = t
 	}
+	if snap.Advisor != nil {
+		a := snap.Advisor
+		adv := &advisor{
+			opts: AdvisorOptions{
+				Hysteresis:         a.Hysteresis,
+				FlipPenalty:        a.FlipPenalty,
+				MinObservations:    a.MinObservations,
+				HalfLife:           a.HalfLife,
+				SnapshotEvery:      a.SnapshotEvery,
+				StorageBudget:      a.StorageBudget,
+				ExtendedStrategies: a.ExtendedStrategies,
+			}.withDefaults(),
+			views: map[string]*advView{},
+		}
+		for _, avd := range a.Views {
+			av := &advView{
+				est:        costmodel.Estimator{HalfLife: adv.opts.HalfLife},
+				fCache:     avd.FCache,
+				flipScore:  avd.FlipScore,
+				flips:      avd.Flips,
+				lastFrom:   Strategy(avd.LastFrom),
+				lastTo:     Strategy(avd.LastTo),
+				lastReason: avd.LastReason,
+			}
+			av.est.Restore(avd.Est)
+			adv.views[avd.Name] = av
+		}
+		db.adv = adv
+	}
 	db.ResetStats()
 	return db, nil
 }
@@ -327,6 +389,32 @@ type dbSnapshot struct {
 	Views      []viewDTO
 	HRs        []hrDTO
 	HeavyLight []hlDTO
+	// Advisor is the adaptive advisor's state, when enabled; absent
+	// from (and ignored in) pre-advisor snapshots — gob tolerates the
+	// missing field in both directions.
+	Advisor *advisorDTO
+}
+
+type advisorDTO struct {
+	Hysteresis         float64
+	FlipPenalty        float64
+	MinObservations    float64
+	HalfLife           float64
+	SnapshotEvery      int
+	StorageBudget      int
+	ExtendedStrategies bool
+	Views              []advViewDTO
+}
+
+type advViewDTO struct {
+	Name       string
+	Est        costmodel.EstimatorState
+	FCache     float64
+	FlipScore  float64
+	Flips      int
+	LastFrom   int
+	LastTo     int
+	LastReason string
 }
 
 type colDTO struct {

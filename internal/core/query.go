@@ -102,6 +102,9 @@ func (db *Database) QueryViewPlan(name string, rg *pred.Range, plan QueryPlan) (
 		}
 		return err
 	})
+	if err == nil {
+		db.observeViewQuery(vs, len(rows))
+	}
 	return rows, err
 }
 
@@ -148,6 +151,9 @@ func (db *Database) QueryAggregate(name string) (value float64, ok bool, err err
 			return nil
 		}
 	})
+	if err == nil {
+		db.observeViewQuery(vs, 1)
+	}
 	return value, ok, err
 }
 

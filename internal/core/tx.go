@@ -257,6 +257,7 @@ func (db *Database) applyOpsLocked(ops []txOp) error {
 		touched[rel] = true
 	}
 	db.noteExtraStrategyCommit(marked, touched)
+	db.observeCommitLocked(perRel, marked)
 
 	// Refresh immediate views (PhaseImmRefresh), charging the C3
 	// bookkeeping overhead per marked tuple (C_overhead).

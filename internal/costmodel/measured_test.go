@@ -1,0 +1,223 @@
+package costmodel
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// feedPhase folds a steady-state workload phase into e: per "period",
+// k update transactions of l tuples (selectivity f over screened
+// writes) and q queries each retrieving fraction fv of the view.
+// Operations are interleaved so decay treats the phase as one mixed
+// stream rather than a burst of updates followed by a burst of queries.
+func feedPhase(e *Estimator, periods, k, q int, l, f, fv float64) {
+	for p := 0; p < periods; p++ {
+		n := k + q
+		uq := 0.0
+		for i := 0; i < n; i++ {
+			// Error-diffusion interleave of k updates among q queries.
+			uq += float64(k) / float64(n)
+			if uq >= 1 {
+				uq--
+				e.ObserveUpdate(l, l*f, true)
+			} else {
+				e.ObserveQuery(fv)
+			}
+		}
+	}
+}
+
+func TestEstimatorConvergesToGeneratingParams(t *testing.T) {
+	e := &Estimator{HalfLife: 32}
+	feedPhase(e, 8, 20, 80, 5, 0.25, 0.4)
+
+	p := e.Apply(Default())
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Apply produced invalid params: %v", err)
+	}
+	// k and q are decayed counts, so only their ratio is meaningful.
+	if ratio := p.K / p.Q; math.Abs(ratio-0.25) > 0.05 {
+		t.Errorf("k/q = %.3f, want ~0.25", ratio)
+	}
+	if math.Abs(p.L-5) > 0.01 {
+		t.Errorf("l = %.3f, want 5", p.L)
+	}
+	if math.Abs(p.F-0.25) > 0.01 {
+		t.Errorf("f = %.3f, want 0.25", p.F)
+	}
+	if math.Abs(p.FV-0.4) > 0.01 {
+		t.Errorf("fv = %.3f, want 0.4", p.FV)
+	}
+	// Structural parameters must pass through untouched.
+	base := Default()
+	if p.N != base.N || p.S != base.S || p.B != base.B || p.FR2 != base.FR2 ||
+		p.C1 != base.C1 || p.C2 != base.C2 || p.C3 != base.C3 {
+		t.Errorf("Apply modified structural params: %+v", p)
+	}
+}
+
+func TestEstimatorTracksPhaseShift(t *testing.T) {
+	e := &Estimator{HalfLife: 16}
+	// Phase A: query-heavy, low selectivity.
+	feedPhase(e, 4, 5, 95, 2, 0.05, 0.1)
+	// Phase B: update-heavy, high selectivity. Run for many half-lives
+	// so phase A's weight is negligible.
+	feedPhase(e, 12, 90, 10, 8, 0.6, 0.8)
+
+	p := e.Apply(Default())
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Apply produced invalid params: %v", err)
+	}
+	// Decayed counts under-weight the sparse class a little (decay
+	// compounds across a query's long inter-arrival gap), so the ratio
+	// reads below the true 9; what matters is that the pre-shift 0.05
+	// is long gone and the estimate is firmly update-heavy.
+	if ratio := p.K / p.Q; ratio < 5 || ratio > 12 {
+		t.Errorf("post-shift k/q = %.3f, want update-heavy (~9)", ratio)
+	}
+	if math.Abs(p.L-8) > 0.3 {
+		t.Errorf("post-shift l = %.3f, want ~8", p.L)
+	}
+	if math.Abs(p.F-0.6) > 0.03 {
+		t.Errorf("post-shift f = %.3f, want ~0.6", p.F)
+	}
+	if math.Abs(p.FV-0.8) > 0.03 {
+		t.Errorf("post-shift fv = %.3f, want ~0.8", p.FV)
+	}
+}
+
+func TestEstimatorUnknownFractionKeepsPrior(t *testing.T) {
+	e := &Estimator{}
+	for i := 0; i < 10; i++ {
+		e.ObserveQuery(-1) // fraction unknown: counts toward q only
+	}
+	p := e.Apply(Default())
+	if p.FV != Default().FV {
+		t.Errorf("fv = %v after unknown-fraction queries, want default %v", p.FV, Default().FV)
+	}
+	if p.Q < 5 {
+		t.Errorf("q = %v, unknown-fraction queries must still count", p.Q)
+	}
+
+	e.ObserveQuery(0.5)
+	if fv := e.Apply(Default()).FV; math.Abs(fv-0.5) > 1e-9 {
+		t.Errorf("fv = %v after first known fraction, want 0.5", fv)
+	}
+}
+
+func TestEstimatorSnapshotRestoreRoundTrip(t *testing.T) {
+	e := &Estimator{HalfLife: 32}
+	feedPhase(e, 4, 30, 70, 6, 0.3, 0.2)
+
+	var r Estimator
+	r.HalfLife = e.HalfLife
+	r.Restore(e.Snapshot())
+	if e.Apply(Default()) != r.Apply(Default()) {
+		t.Errorf("restored estimator diverges:\n got %+v\nwant %+v",
+			r.Apply(Default()), e.Apply(Default()))
+	}
+	if e.Observations() != r.Observations() {
+		t.Errorf("observations: got %v, want %v", r.Observations(), e.Observations())
+	}
+}
+
+func TestEstimatorRestoreSanitizesCorruptSnapshot(t *testing.T) {
+	var e Estimator
+	e.Restore(EstimatorState{
+		Queries: math.NaN(), FvSum: math.Inf(1), FvObs: -3,
+		Updates: math.Inf(-1), Tuples: 1e300, ScrTup: -1, Hits: math.NaN(),
+	})
+	p := e.Apply(Default())
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Apply after corrupt Restore: %v", err)
+	}
+}
+
+func TestEstimatorEmptyApplyValidates(t *testing.T) {
+	var e Estimator
+	p := e.Apply(Default())
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Apply on empty estimator: %v", err)
+	}
+	// No updates observed: l must keep a positive value, and the q floor
+	// must hold so ratios stay finite.
+	if p.L <= 0 || p.Q <= 0 {
+		t.Errorf("empty estimator produced l=%v q=%v", p.L, p.Q)
+	}
+}
+
+// FuzzAdvisorParams drives an Estimator with arbitrary observation
+// sequences — including NaN, ±Inf, negative and enormous inputs, and a
+// hostile Restore — and holds it to the advisor's contract: Apply over
+// any valid base always yields parameters that pass Validate, with no
+// NaN or negative estimate, and the derived cost tables stay free of
+// NaN. This is the safety net under AdaptTick: a corrupted meter delta
+// must degrade an estimate, never crash a flip decision.
+func FuzzAdvisorParams(f *testing.F) {
+	seed := func(ops ...uint64) []byte {
+		b := make([]byte, 0, len(ops)*8)
+		for _, o := range ops {
+			b = binary.LittleEndian.AppendUint64(b, o)
+		}
+		return b
+	}
+	f.Add(seed())
+	f.Add(seed(0, math.Float64bits(0.5), 1, math.Float64bits(25)))
+	f.Add(seed(2, math.Float64bits(math.NaN()), 3, math.Float64bits(math.Inf(1))))
+	f.Add(seed(4, ^uint64(0), 5, 42))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := &Estimator{}
+		for len(data) >= 16 {
+			op := binary.LittleEndian.Uint64(data[:8])
+			arg := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+			data = data[16:]
+			switch op % 6 {
+			case 0:
+				e.ObserveQuery(arg)
+			case 1:
+				e.ObserveUpdate(arg, arg/3, true)
+			case 2:
+				e.ObserveUpdate(arg, 0, false)
+			case 3:
+				e.HalfLife = arg
+			case 4:
+				e.Restore(EstimatorState{
+					Queries: arg, FvSum: -arg, FvObs: arg * 2,
+					Updates: arg / 7, Tuples: arg * arg,
+					ScrTup: arg - 1, Hits: arg + 1,
+				})
+			case 5:
+				e.ObserveUpdate(0, arg, true)
+			}
+		}
+
+		p := e.Apply(Default())
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Apply produced invalid params: %v\nestimator: %+v", err, e.Snapshot())
+		}
+		if math.IsNaN(p.K) || math.IsNaN(p.Q) || math.IsNaN(p.L) ||
+			math.IsNaN(p.F) || math.IsNaN(p.FV) {
+			t.Fatalf("Apply produced NaN estimate: %+v", p)
+		}
+		if p.K < 0 || p.Q <= 0 || p.L <= 0 || p.F <= 0 || p.FV <= 0 {
+			t.Fatalf("Apply produced non-positive estimate: %+v", p)
+		}
+		if obs := e.Observations(); math.IsNaN(obs) || obs < 0 || math.IsInf(obs, 0) {
+			t.Fatalf("Observations() = %v", obs)
+		}
+		if sel, ok := e.ScreenedSelectivity(); ok && (math.IsNaN(sel) || sel <= 0 || sel > 1) {
+			t.Fatalf("ScreenedSelectivity() = %v", sel)
+		}
+		// The full advisor path: the cost tables over measured params
+		// must stay finite enough to compare (no NaN poisoning Best).
+		for model := 1; model <= 3; model++ {
+			for alg, c := range CostsFor(model, p, 16) {
+				if math.IsNaN(c) {
+					t.Fatalf("model %d %s cost is NaN for %+v", model, alg, p)
+				}
+			}
+		}
+	})
+}

@@ -69,6 +69,14 @@ const (
 	OpCheckpoint
 	// OpHealth returns the engine health snapshot.
 	OpHealth
+	// OpAdvisorStats returns the adaptive advisor's per-view state.
+	OpAdvisorStats
+	// OpAdaptTick runs one adaptive advisor decision round and
+	// returns the flips it applied.
+	OpAdaptTick
+	// OpCreateSecondary adds a secondary index on a base relation
+	// column (Name, KeyCol).
+	OpCreateSecondary
 )
 
 // String names the op for diagnostics.
@@ -96,6 +104,12 @@ func (o Op) String() string {
 		return "checkpoint"
 	case OpHealth:
 		return "health"
+	case OpAdvisorStats:
+		return "advisor-stats"
+	case OpAdaptTick:
+		return "adapt-tick"
+	case OpCreateSecondary:
+		return "create-secondary"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(o))
 	}
@@ -169,6 +183,11 @@ type Response struct {
 
 	// Health is OpHealth's result.
 	Health *core.Health
+
+	// Advisor is OpAdvisorStats' result (nil when the advisor is
+	// disabled); Flips is OpAdaptTick's result.
+	Advisor []core.AdvisorViewStat
+	Flips   []core.FlipReport
 }
 
 // WriteRequest frames and writes one request.

@@ -87,6 +87,19 @@ func (s *Server) process(req *proto.Request) (resp *proto.Response) {
 		h := s.db.Health()
 		return &proto.Response{Code: proto.CodeOK, Health: &h}
 
+	case proto.OpAdvisorStats:
+		return &proto.Response{Code: proto.CodeOK, Advisor: s.db.AdvisorStats()}
+
+	case proto.OpCreateSecondary:
+		return statusOnly(s.db.CreateSecondaryIndex(req.Name, req.KeyCol))
+
+	case proto.OpAdaptTick:
+		flips, err := s.db.AdaptTick()
+		if err != nil {
+			return engineError(err)
+		}
+		return &proto.Response{Code: proto.CodeOK, Flips: flips}
+
 	default:
 		return badRequest(fmt.Sprintf("unknown op %d", req.Op))
 	}

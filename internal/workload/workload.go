@@ -139,3 +139,43 @@ func Counts(ops []Operation) (updates, queries int) {
 	}
 	return
 }
+
+// Phase is one segment of a phase-shifted workload: a full Spec-shaped
+// parameter set active for its own k+q operations. A mid-script shift
+// between phases with different k/q mixes is the scenario an adaptive
+// strategy advisor has to survive: the measured parameters cross the
+// model's strategy boundaries and the right choice changes underneath
+// a running system.
+type Phase struct {
+	Params costmodel.Params
+	// Skew overrides the stream's update-key skew for this phase
+	// (0 = uniform).
+	Skew float64
+}
+
+// GeneratePhased concatenates one generated stream per phase, all over
+// the same key space (every phase's N must agree — the data does not
+// change shape mid-run, only the operation mix does). It returns the
+// combined stream and the operation index at which each phase begins.
+func GeneratePhased(seed int64, phases ...Phase) ([]Operation, []int, error) {
+	if len(phases) == 0 {
+		return nil, nil, fmt.Errorf("workload: no phases")
+	}
+	n := phases[0].Params.N
+	var ops []Operation
+	starts := make([]int, 0, len(phases))
+	for i, ph := range phases {
+		if ph.Params.N != n {
+			return nil, nil, fmt.Errorf("workload: phase %d changes N (%v → %v); phases share one key space", i, n, ph.Params.N)
+		}
+		starts = append(starts, len(ops))
+		// Distinct per-phase seeds keep the phases independent while
+		// the whole run stays deterministic in the top-level seed.
+		seg, err := Generate(Spec{Params: ph.Params, Seed: seed + int64(i)*1_000_003, Skew: ph.Skew})
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: phase %d: %w", i, err)
+		}
+		ops = append(ops, seg...)
+	}
+	return ops, starts, nil
+}

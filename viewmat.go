@@ -116,6 +116,28 @@ type WorkloadHints = core.WorkloadHints
 // every strategy the model covers for the view's kind.
 type Explanation = core.Explanation
 
+// Adaptive advisor surface (see Database.EnableAdaptive, AdaptTick,
+// SetStrategy, AdvisorStats).
+type (
+	// AdvisorOptions tunes the online adaptive advisor.
+	AdvisorOptions = core.AdvisorOptions
+	// FlipReport describes one strategy flip AdaptTick applied.
+	FlipReport = core.FlipReport
+	// AdvisorViewStat is one view's advisor state.
+	AdvisorViewStat = core.AdvisorViewStat
+	// Estimator folds live observations into measured workload
+	// parameters for the cost model.
+	Estimator = costmodel.Estimator
+)
+
+// Adaptive advisor errors.
+var (
+	// ErrAdaptiveDisabled is returned by AdaptTick before EnableAdaptive.
+	ErrAdaptiveDisabled = core.ErrAdaptiveDisabled
+	// ErrFlipUnsupported marks strategy flips the engine refuses.
+	ErrFlipUnsupported = core.ErrFlipUnsupported
+)
+
 // Strategies. The first three are the paper's contenders; Snapshot
 // and RecomputeOnDemand implement the two further mechanisms its
 // introduction surveys ([Adib80, Lind86] and [Bune79]).
